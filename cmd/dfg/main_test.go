@@ -1,0 +1,157 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+	read p;
+	y := 2;
+	if (p > 0) { x := 1; y := 1; } else { x := 2; }
+	print x; print y;
+`
+
+// out runs the tool in-process and returns its stdout.
+func out(t *testing.T, opts options, src string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := runTool(opts, []byte(src), &b); err != nil {
+		t.Fatalf("runTool: %v\noutput so far:\n%s", err, b.String())
+	}
+	return b.String()
+}
+
+func TestDefaultSummary(t *testing.T) {
+	got := out(t, options{}, sample)
+	for _, want := range []string{"== CFG ==", "regions:", "== DFG:", "switch (p > 0)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDotModes(t *testing.T) {
+	for _, mode := range []string{"cfg", "dfg"} {
+		got := out(t, options{dot: mode}, sample)
+		if !strings.HasPrefix(got, "digraph") {
+			t.Errorf("-dot %s: not Graphviz output:\n%s", mode, got)
+		}
+	}
+	var b strings.Builder
+	if err := runTool(options{dot: "bogus"}, []byte(sample), &b); err == nil {
+		t.Error("-dot bogus should fail")
+	}
+}
+
+func TestRegionsMode(t *testing.T) {
+	got := out(t, options{regions: true}, sample)
+	if !strings.Contains(got, "edge classes") || !strings.Contains(got, "canonical regions") {
+		t.Errorf("unexpected regions output:\n%s", got)
+	}
+}
+
+func TestChainsMode(t *testing.T) {
+	got := out(t, options{chains: true}, sample)
+	if !strings.Contains(got, "use x") || !strings.Contains(got, "use y") {
+		t.Errorf("unexpected chains output:\n%s", got)
+	}
+}
+
+func TestDepsMode(t *testing.T) {
+	got := out(t, options{deps: true}, "x := 1; y := x; x := 2; print x; print y;")
+	for _, want := range []string{"flow x", "anti x", "output x"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("deps output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSSAMode(t *testing.T) {
+	got := out(t, options{ssa: true}, sample)
+	if !strings.Contains(got, "equivalent on all uses: yes") {
+		t.Errorf("SSA equivalence line missing:\n%s", got)
+	}
+	if !strings.Contains(got, "phi") {
+		t.Errorf("expected φ functions in output:\n%s", got)
+	}
+}
+
+func TestCDGMode(t *testing.T) {
+	got := out(t, options{cdg: true}, sample)
+	if !strings.Contains(got, "class 0:") {
+		t.Errorf("unexpected CDG output:\n%s", got)
+	}
+}
+
+func TestConstpropMode(t *testing.T) {
+	got := out(t, options{constprop: true}, "p := 1; if (p == 1) { x := 1; } else { x := 2; } print x;")
+	if !strings.Contains(got, "agree: true") {
+		t.Errorf("algorithms must agree:\n%s", got)
+	}
+	if !strings.Contains(got, "print 1") {
+		t.Errorf("expected folded print:\n%s", got)
+	}
+}
+
+func TestConstpropPredicates(t *testing.T) {
+	src := "read x; if (x == 5) { y := x; } else { y := 0; } print y;"
+	plain := out(t, options{constprop: true}, src)
+	pred := out(t, options{constprop: true, pred: true}, src)
+	if plain == pred {
+		t.Error("predicate mode should change the result")
+	}
+	if !strings.Contains(pred, "agree: true") {
+		t.Errorf("predicate algorithms must agree:\n%s", pred)
+	}
+}
+
+func TestEPRMode(t *testing.T) {
+	got := out(t, options{epr: true}, "read a; read b; z := a + b; w := a + b; print z; print w;")
+	if !strings.Contains(got, "replaced=2") {
+		t.Errorf("expected CSE stats:\n%s", got)
+	}
+	if !strings.Contains(got, "epr_t0") {
+		t.Errorf("expected temporary in optimized graph:\n%s", got)
+	}
+}
+
+func TestRunMode(t *testing.T) {
+	got := out(t, options{run: true, inputs: []int64{5}}, "read n; print n * 2; print n > 4;")
+	if got != "10\ntrue\n" {
+		t.Errorf("run output = %q", got)
+	}
+}
+
+func TestVerifyMode(t *testing.T) {
+	got := out(t, options{verify: true}, sample)
+	if !strings.Contains(got, "satisfy Definition 6") {
+		t.Errorf("unexpected verify output:\n%s", got)
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	var b strings.Builder
+	if err := runTool(options{}, []byte("x := ;"), &b); err == nil {
+		t.Error("syntax error should be reported")
+	}
+	if err := runTool(options{}, []byte("label spin: goto spin;"), &b); err == nil {
+		t.Error("no-path-to-end program should be rejected")
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	got := parseInputs("1, 2,3 , x, 9")
+	want := []int64{1, 2, 3, 9}
+	if len(got) != len(want) {
+		t.Fatalf("parseInputs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parseInputs[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if parseInputs("") != nil {
+		t.Error("empty input should be nil")
+	}
+}

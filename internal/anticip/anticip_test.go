@@ -1,0 +1,311 @@
+package anticip
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// expr parses a single expression by wrapping it in an assignment.
+func expr(t *testing.T, s string) ast.Expr {
+	t.Helper()
+	return parser.MustParse("tmp__ := " + s + ";").Stmts[0].(*ast.AssignStmt).RHS
+}
+
+// edgeAfter returns the out-edge of the first node matching the label.
+func edgeAfter(t *testing.T, g *cfg.Graph, label string) cfg.EdgeID {
+	t.Helper()
+	for _, nd := range g.Nodes {
+		if g.NodeLabel(nd.ID) == label {
+			return g.OutEdges(nd.ID)[0]
+		}
+	}
+	t.Fatalf("no node labelled %q", label)
+	return cfg.NoEdge
+}
+
+func TestComputesAndKills(t *testing.T) {
+	g := build(t, "x := x + 1; y := x * 2; if (x + 1 > 0) { print x + 1; }")
+	e := expr(t, "x + 1")
+	var selfInc, mul, sw, pr cfg.NodeID
+	for _, nd := range g.Nodes {
+		switch {
+		case nd.Kind == cfg.KindAssign && nd.Var == "x":
+			selfInc = nd.ID
+		case nd.Kind == cfg.KindAssign && nd.Var == "y":
+			mul = nd.ID
+		case nd.Kind == cfg.KindSwitch:
+			sw = nd.ID
+		case nd.Kind == cfg.KindPrint:
+			pr = nd.ID
+		}
+	}
+	if !Computes(g, selfInc, e) || !Kills(g, selfInc, e) {
+		t.Error("x := x + 1 both computes and kills x+1")
+	}
+	if Computes(g, mul, e) {
+		t.Error("y := x * 2 does not compute x+1")
+	}
+	if !Computes(g, sw, e) {
+		t.Error("the predicate (x+1 > 0) computes x+1")
+	}
+	if !Computes(g, pr, e) {
+		t.Error("print x+1 computes x+1")
+	}
+}
+
+func TestCFGAntStraightLine(t *testing.T) {
+	g := build(t, "read x; y := x + 1; print y;")
+	r := CFG(g, expr(t, "x + 1"))
+	after := edgeAfter(t, g, "read x")
+	if !r.ANT[after] {
+		t.Error("x+1 must be anticipatable right after read x")
+	}
+	entry := g.OutEdges(g.Start)[0]
+	if r.ANT[entry] {
+		t.Error("x+1 must not be anticipatable before read x (read kills x)")
+	}
+	// After the computation, nothing computes x+1 again.
+	afterY := edgeAfter(t, g, "y := (x + 1)")
+	if r.ANT[afterY] {
+		t.Error("x+1 not anticipatable after its only computation")
+	}
+	if r.PAN[entry] || !r.PAN[after] {
+		t.Error("PAN should mirror ANT on straight-line code")
+	}
+}
+
+func TestCFGAntBranch(t *testing.T) {
+	// Computation on only one branch: PAN but not ANT before the switch.
+	g := build(t, `
+		read x; read p;
+		if (p > 0) { y := x + 1; } else { y := 2; }
+		print y;`)
+	r := CFG(g, expr(t, "x + 1"))
+	after := edgeAfter(t, g, "read p")
+	if r.ANT[after] {
+		t.Error("x+1 computed on one branch only: not totally anticipatable")
+	}
+	if !r.PAN[after] {
+		t.Error("x+1 computed on some branch: partially anticipatable")
+	}
+}
+
+func TestCFGAntBothBranches(t *testing.T) {
+	g := build(t, `
+		read x; read p;
+		if (p > 0) { y := x + 1; } else { z := x + 1; }
+		print y; print z;`)
+	r := CFG(g, expr(t, "x + 1"))
+	after := edgeAfter(t, g, "read p")
+	if !r.ANT[after] {
+		t.Error("x+1 computed on both branches: totally anticipatable")
+	}
+}
+
+// Figure 6: single-variable anticipatability. A use of x that does not
+// compute x+1 (d4's boundary false) does not spoil anticipatability,
+// because a later computation covers every path.
+func TestFigure6SingleVariable(t *testing.T) {
+	g := build(t, `
+		read z;
+		x := z;
+		if (z > 0) { y := x + 1; } else { w := x * 2; }
+		q := x + 1;
+		print y; print w; print q;`)
+	e := expr(t, "x + 1")
+	r := CFG(g, e)
+	after := edgeAfter(t, g, "x := z")
+	if !r.ANT[after] {
+		t.Error("x+1 anticipatable after the definition of x (both paths compute it)")
+	}
+	entry := g.OutEdges(g.Start)[0]
+	if r.ANT[entry] {
+		t.Error("x+1 not anticipatable before x is defined")
+	}
+	// The DFG solution projects to the same answer.
+	d := dfg.MustBuild(g)
+	dr := DFG(d, e)
+	for _, eid := range g.LiveEdges() {
+		if r.ANT[eid] != dr.ANT[eid] {
+			t.Errorf("edge e%d: CFG ANT=%v, DFG ANT=%v", eid, r.ANT[eid], dr.ANT[eid])
+		}
+	}
+}
+
+// Figure 7: multivariable anticipatability of x+y via per-variable relative
+// solutions combined with ∧.
+func TestFigure7MultiVariable(t *testing.T) {
+	g := build(t, `
+		read p;
+		x := p;
+		if (p > 0) { y := 1; } else { y := 2; }
+		s := x + y;
+		print s;`)
+	e := expr(t, "x + y")
+	r := CFG(g, e)
+	d := dfg.MustBuild(g)
+	dr := DFG(d, e)
+
+	// x+y is anticipatable after y's defs but not before them (y killed).
+	afterY1 := edgeAfter(t, g, "y := 1")
+	if !r.ANT[afterY1] {
+		t.Error("x+y anticipatable after y := 1")
+	}
+	afterX := edgeAfter(t, g, "x := p")
+	if r.ANT[afterX] {
+		t.Error("x+y not anticipatable before y's definitions")
+	}
+	for _, eid := range g.LiveEdges() {
+		if r.ANT[eid] != dr.ANT[eid] {
+			t.Errorf("edge e%d: CFG ANT=%v, DFG ANT=%v\ncfg:\n%s", eid, r.ANT[eid], dr.ANT[eid], g)
+		}
+	}
+}
+
+func TestAntThroughLoop(t *testing.T) {
+	// The loop does not touch x: x+1 after the loop is anticipatable before
+	// it (flows backward through the bypassed region).
+	g := build(t, `
+		read x;
+		i := 0;
+		while (i < 10) { i := i + 1; }
+		y := x + 1;
+		print y;`)
+	e := expr(t, "x + 1")
+	r := CFG(g, e)
+	after := edgeAfter(t, g, "read x")
+	if !r.ANT[after] {
+		t.Error("x+1 anticipatable across a loop that does not touch x")
+	}
+	dr := DFG(dfg.MustBuild(g), e)
+	for _, eid := range g.LiveEdges() {
+		if r.ANT[eid] != dr.ANT[eid] {
+			t.Errorf("edge e%d: CFG=%v DFG=%v", eid, r.ANT[eid], dr.ANT[eid])
+		}
+	}
+	// Loop-variant expression: i+1 is anticipatable at the loop entry only
+	// while the loop continues.
+	e2 := expr(t, "i + 1")
+	r2 := CFG(g, e2)
+	dr2 := DFG(dfg.MustBuild(g), e2)
+	for _, eid := range g.LiveEdges() {
+		if r2.ANT[eid] != dr2.ANT[eid] {
+			t.Errorf("i+1 edge e%d: CFG=%v DFG=%v", eid, r2.ANT[eid], dr2.ANT[eid])
+		}
+	}
+}
+
+// candidateExprs collects the distinct variable-bearing binary
+// subexpressions of a program.
+func candidateExprs(g *cfg.Graph) []ast.Expr {
+	var out []ast.Expr
+	seen := map[string]bool{}
+	for _, nd := range g.Nodes {
+		if nd.Expr == nil {
+			continue
+		}
+		ast.WalkExpr(nd.Expr, func(x ast.Expr) {
+			b, ok := x.(*ast.BinaryExpr)
+			if !ok || len(ast.ExprVars(b)) == 0 {
+				return
+			}
+			if s := b.String(); !seen[s] {
+				seen[s] = true
+				out = append(out, b)
+			}
+		})
+	}
+	return out
+}
+
+// checkAgreement compares the DFG projection against the CFG fixpoint for
+// every candidate expression of g. ANT must agree exactly. PAN must agree
+// exactly for single-variable expressions; for multivariable expressions
+// the per-variable combination is a safe overapproximation (§5.1 notes
+// more elaborate exact schemes), so DFG PAN ⊇ CFG PAN is required.
+func checkAgreement(t *testing.T, g *cfg.Graph, label string) {
+	t.Helper()
+	d, err := dfg.Build(g)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	for _, e := range candidateExprs(g) {
+		r := CFG(g, e)
+		dr := DFG(d, e)
+		multi := len(ast.ExprVars(e)) > 1
+		for _, eid := range g.LiveEdges() {
+			if r.ANT[eid] != dr.ANT[eid] {
+				t.Errorf("%s: ANT(%s) at e%d: CFG=%v DFG=%v\ncfg:\n%s",
+					label, e, eid, r.ANT[eid], dr.ANT[eid], g)
+				return
+			}
+			if !multi {
+				if r.PAN[eid] != dr.PAN[eid] {
+					t.Errorf("%s: PAN(%s) at e%d: CFG=%v DFG=%v\ncfg:\n%s",
+						label, e, eid, r.PAN[eid], dr.PAN[eid], g)
+					return
+				}
+			} else if r.PAN[eid] && !dr.PAN[eid] {
+				t.Errorf("%s: PAN(%s) at e%d: CFG=true but DFG=false (must overapproximate)",
+					label, e, eid)
+				return
+			}
+		}
+	}
+}
+
+func TestAgreementRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, err := cfg.Build(workload.Mixed(30, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgreement(t, g, "mixed")
+	}
+}
+
+func TestAgreementGotoPrograms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := cfg.Build(workload.GotoMess(7, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgreement(t, g, "goto")
+	}
+}
+
+func TestSelfKillingComputation(t *testing.T) {
+	// x := x + 1 computes x+1 before killing x: anticipatable at its input,
+	// not after.
+	g := build(t, "read x; x := x + 1; print x;")
+	e := expr(t, "x + 1")
+	r := CFG(g, e)
+	after := edgeAfter(t, g, "read x")
+	if !r.ANT[after] {
+		t.Error("x+1 anticipatable at the input of x := x+1")
+	}
+	afterInc := edgeAfter(t, g, "x := (x + 1)")
+	if r.ANT[afterInc] {
+		t.Error("x+1 not anticipatable after x is redefined")
+	}
+	dr := DFG(dfg.MustBuild(g), e)
+	for _, eid := range g.LiveEdges() {
+		if r.ANT[eid] != dr.ANT[eid] {
+			t.Errorf("edge e%d: CFG=%v DFG=%v", eid, r.ANT[eid], dr.ANT[eid])
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package anticip
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/workload"
+)
+
+// The backward analyses must also be insensitive to bypass granularity
+// (§3.3): the DFG solver's CFG projection equals the CFG fixpoint whether
+// or not regions were bypassed during construction.
+func TestDFGSolverIdenticalAcrossGranularities(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g, err := cfg.Build(workload.Mixed(25, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs := candidateExprs(g)
+		if len(exprs) > 5 {
+			exprs = exprs[:5]
+		}
+		for _, e := range exprs {
+			ref := CFG(g, e)
+			for _, gran := range []dfg.Granularity{dfg.GranRegions, dfg.GranNone} {
+				d, err := dfg.BuildGranularity(g, gran)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := DFG(d, e)
+				for _, eid := range g.LiveEdges() {
+					if ref.ANT[eid] != got.ANT[eid] {
+						t.Errorf("seed %d, %v, ANT(%s) at e%d: CFG=%v DFG=%v",
+							seed, gran, e, eid, ref.ANT[eid], got.ANT[eid])
+						return
+					}
+				}
+			}
+		}
+	}
+}

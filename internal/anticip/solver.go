@@ -1,0 +1,198 @@
+package anticip
+
+import (
+	"dfg/internal/cfg"
+	"dfg/internal/dataflow"
+	"dfg/internal/dfg"
+	"dfg/internal/lang/ast"
+)
+
+// solveVar computes ANT and PAN relative to variable x for expression e on
+// x's dependence edges (Figure 5(b)).
+//
+// The unknowns are the multiedge-tail (source-port) values. The value of a
+// head is:
+//
+//   - use site at node n: true iff n computes e (the boundary rule — uses
+//     of x that do not compute e contribute false);
+//   - merge operator input: the merge output's value (pass-through);
+//   - switch operator input: ∧ of the outputs for ANT, ∨ for PAN; output
+//     ports pruned by dead-edge removal contribute false (the paper's rule
+//     for branch sides where x is dead).
+//
+// A tail's value is the ∨ of its heads' values: heads postdominate the
+// tail with no intervening definition of x, so anticipation at any head
+// lifts to the tail. ANT is the greatest fixpoint (ports start true), PAN
+// the least (ports start false).
+func solveVar(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter) (ant, pan map[dfg.Src]bool) {
+	ant = fixpoint(d, x, e, cost, true)
+	pan = fixpoint(d, x, e, cost, false)
+	return ant, pan
+}
+
+func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total bool) map[dfg.Src]bool {
+	g := d.G
+
+	// Enumerate the live ports of variable x.
+	var ports []dfg.Src
+	for _, op := range d.Ops {
+		if op.Var != x {
+			continue
+		}
+		if op.Kind == dfg.OpSwitch {
+			for _, out := range []cfg.Branch{cfg.BranchTrue, cfg.BranchFalse} {
+				s := dfg.Src{Op: op.ID, Out: out}
+				if d.LiveSrc(s) {
+					ports = append(ports, s)
+				}
+			}
+		} else {
+			s := dfg.Src{Op: op.ID, Out: cfg.BranchNone}
+			if d.LiveSrc(s) {
+				ports = append(ports, s)
+			}
+		}
+	}
+
+	val := make(map[dfg.Src]bool, len(ports))
+	for _, p := range ports {
+		val[p] = total // ANT: greatest fixpoint; PAN: least fixpoint
+	}
+
+	// headVal computes the value of one dependence head under the current
+	// port assignment.
+	headVal := func(c dfg.Consumer) bool {
+		cost.Joins++
+		if c.UseIdx >= 0 {
+			return Computes(g, d.Uses[c.UseIdx].Node, e)
+		}
+		op := d.Ops[c.Op]
+		switch op.Kind {
+		case dfg.OpMerge:
+			return val[dfg.Src{Op: op.ID, Out: cfg.BranchNone}]
+		case dfg.OpSwitch:
+			t := val[dfg.Src{Op: op.ID, Out: cfg.BranchTrue}]  // false if dead
+			f := val[dfg.Src{Op: op.ID, Out: cfg.BranchFalse}] // false if dead
+			if total {
+				return t && f
+			}
+			return t || f
+		}
+		return false
+	}
+
+	recompute := func(p dfg.Src) bool {
+		cost.Transfers++
+		v := false
+		for _, c := range d.Consumers(p) {
+			if !d.LiveConsumer(p, c) {
+				continue
+			}
+			if headVal(c) {
+				v = true
+				break
+			}
+		}
+		return v
+	}
+
+	// Worklist fixpoint. When a port of operator O changes, the ports
+	// feeding O's inputs must be re-evaluated.
+	wl := dataflow.NewWorklist()
+	index := make(map[dfg.Src]int, len(ports))
+	for i, p := range ports {
+		index[p] = i
+		wl.Push(i)
+	}
+	for {
+		i, ok := wl.Pop()
+		if !ok {
+			break
+		}
+		cost.Visits++
+		p := ports[i]
+		nv := recompute(p)
+		if nv == val[p] {
+			continue
+		}
+		val[p] = nv
+		for _, in := range d.Ops[p.Op].In {
+			if j, ok := index[in]; ok {
+				wl.Push(j)
+			}
+		}
+	}
+	return val
+}
+
+// projectPorts projects a per-port solution onto CFG edges: for every live
+// dependence link whose head value is true, every edge between the link's
+// tail and head (inclusive) is anticipatable relative to x. All other
+// edges are false (where x's dependences do not flow, x is dead, and an
+// expression over x cannot be anticipatable).
+func projectPorts(d *dfg.Graph, ports map[dfg.Src]bool, e ast.Expr, total bool) map[cfg.EdgeID]bool {
+	g := d.G
+	out := map[cfg.EdgeID]bool{}
+	for _, eid := range g.LiveEdges() {
+		out[eid] = false
+	}
+
+	headVal := func(c dfg.Consumer) bool {
+		if c.UseIdx >= 0 {
+			return Computes(g, d.Uses[c.UseIdx].Node, e)
+		}
+		op := d.Ops[c.Op]
+		switch op.Kind {
+		case dfg.OpMerge:
+			return ports[dfg.Src{Op: op.ID, Out: cfg.BranchNone}]
+		case dfg.OpSwitch:
+			t := ports[dfg.Src{Op: op.ID, Out: cfg.BranchTrue}]
+			f := ports[dfg.Src{Op: op.ID, Out: cfg.BranchFalse}]
+			if total {
+				return t && f
+			}
+			return t || f
+		}
+		return false
+	}
+
+	for p := range ports {
+		for _, c := range d.Consumers(p) {
+			if !d.LiveConsumer(p, c) || !headVal(c) {
+				continue
+			}
+			markBetween(g, d.TailEdge(p), d.HeadEdge(c), out)
+		}
+	}
+	return out
+}
+
+// markBetween marks every CFG edge on a path from tail to head, walking
+// backward from head and stopping at tail. Because tail dominates head and
+// head postdominates tail (Definition 6), every edge met this way lies
+// between them.
+func markBetween(g *cfg.Graph, tail, head cfg.EdgeID, out map[cfg.EdgeID]bool) {
+	if tail == cfg.NoEdge || head == cfg.NoEdge {
+		return
+	}
+	out[head] = true
+	if head == tail {
+		return
+	}
+	seen := map[cfg.EdgeID]bool{head: true}
+	stack := []cfg.EdgeID{head}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pe := range g.InEdges(g.Edge(cur).Src) {
+			if seen[pe] {
+				continue
+			}
+			seen[pe] = true
+			out[pe] = true
+			if pe != tail {
+				stack = append(stack, pe)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package cdg
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestFOWDiamond(t *testing.T) {
+	g := build(t, "read p; if (p) { x := 1; } else { x := 2; } print x;")
+	fow := BuildFOW(g)
+
+	var sw, mg, thenN, elseN, printN cfg.NodeID
+	for _, nd := range g.Nodes {
+		switch {
+		case nd.Kind == cfg.KindSwitch:
+			sw = nd.ID
+		case nd.Kind == cfg.KindMerge:
+			mg = nd.ID
+		case nd.Kind == cfg.KindPrint:
+			printN = nd.ID
+		case nd.Kind == cfg.KindAssign && nd.Expr.String() == "1":
+			thenN = nd.ID
+		case nd.Kind == cfg.KindAssign && nd.Expr.String() == "2":
+			elseN = nd.ID
+		}
+	}
+	tEdge := g.SwitchEdge(sw, cfg.BranchTrue)
+	fEdge := g.SwitchEdge(sw, cfg.BranchFalse)
+
+	// then depends exactly on the true edge; else on the false edge.
+	if len(fow.Deps[thenN]) != 1 || fow.Deps[thenN][0].Edge != tEdge {
+		t.Errorf("Deps(then) = %v", fow.Deps[thenN])
+	}
+	if len(fow.Deps[elseN]) != 1 || fow.Deps[elseN][0].Edge != fEdge {
+		t.Errorf("Deps(else) = %v", fow.Deps[elseN])
+	}
+	// switch, merge, print are unconditional: only the ENTRY dependence.
+	for _, n := range []cfg.NodeID{sw, mg, printN} {
+		deps := fow.Deps[n]
+		if len(deps) != 1 || deps[0].Edge != cfg.NoEdge {
+			t.Errorf("Deps(n%d) = %v, want [ENTRY]", n, deps)
+		}
+	}
+}
+
+func TestFOWLoop(t *testing.T) {
+	g := build(t, "i := 0; while (i < 10) { i := i + 1; } print i;")
+	fow := BuildFOW(g)
+	var sw, body cfg.NodeID
+	for _, nd := range g.Nodes {
+		switch {
+		case nd.Kind == cfg.KindSwitch:
+			sw = nd.ID
+		case nd.Kind == cfg.KindAssign && nd.Var == "i" && nd.Expr.String() == "(i + 1)":
+			body = nd.ID
+		}
+	}
+	tEdge := g.SwitchEdge(sw, cfg.BranchTrue)
+	// Loop body depends on the true edge only.
+	if len(fow.Deps[body]) != 1 || fow.Deps[body][0].Edge != tEdge {
+		t.Errorf("Deps(body) = %v", fow.Deps[body])
+	}
+	// The switch (loop condition) is executed unconditionally at least once
+	// AND re-executed under its own true edge: deps = {ENTRY, tEdge}.
+	deps := fow.Deps[sw]
+	if len(deps) != 2 {
+		t.Fatalf("Deps(switch) = %v, want 2 deps", deps)
+	}
+	if deps[0].Edge != cfg.NoEdge || deps[1].Edge != tEdge {
+		t.Errorf("Deps(switch) = %v, want [ENTRY, e%d]", deps, tEdge)
+	}
+}
+
+// partitionFromFOW groups nodes by CD-set signature. The end node is
+// excluded: classic FOW gives it an empty dependence set by convention,
+// while cycle equivalence groups it with the unconditional nodes (it lies
+// on the end→start cycle); the two conventions are both standard.
+func partitionFromFOW(g *cfg.Graph, fow *FOW) map[cfg.NodeID]int {
+	renum := map[string]int{}
+	out := map[cfg.NodeID]int{}
+	for _, nd := range g.Nodes {
+		if nd.ID == g.End {
+			continue
+		}
+		sig := fow.Signature(nd.ID)
+		c, ok := renum[sig]
+		if !ok {
+			c = len(renum)
+			renum[sig] = c
+		}
+		out[nd.ID] = c
+	}
+	return out
+}
+
+// samePartition checks two node→class maps induce the same partition.
+func samePartition(a, b map[cfg.NodeID]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for k, ca := range a {
+		cb, ok := b[k]
+		if !ok {
+			return false
+		}
+		if v, ok := fwd[ca]; ok && v != cb {
+			return false
+		}
+		if v, ok := bwd[cb]; ok && v != ca {
+			return false
+		}
+		fwd[ca], bwd[cb] = cb, ca
+	}
+	return true
+}
+
+// dropEnd removes the end node from a node→class map (see partitionFromFOW).
+func dropEnd(g *cfg.Graph, m map[cfg.NodeID]int) map[cfg.NodeID]int {
+	out := make(map[cfg.NodeID]int, len(m))
+	for k, v := range m {
+		if k != g.End {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func TestFactoredMatchesFOWPartition(t *testing.T) {
+	srcs := []string{
+		"x := 1; print x;",
+		"read p; if (p) { x := 1; } else { x := 2; } print x;",
+		"i := 0; while (i < 10) { i := i + 1; } print i;",
+		`read p; if (p > 0) { i := 0; while (i < 5) { i := i + 1; } } print p;`,
+	}
+	for _, src := range srcs {
+		g := build(t, src)
+		fact := BuildFactored(g)
+		fow := BuildFOW(g)
+		if !samePartition(dropEnd(g, fact.ClassOf), partitionFromFOW(g, fow)) {
+			t.Errorf("partitions differ for %q\nfactored: %v\nfow-part: %v\ncfg:\n%s",
+				src, fact.ClassOf, partitionFromFOW(g, fow), g)
+		}
+	}
+}
+
+func TestFactoredMatchesFOWRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, err := cfg.Build(workload.Mixed(30, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fact := BuildFactored(g)
+		fow := BuildFOW(g)
+		if !samePartition(dropEnd(g, fact.ClassOf), partitionFromFOW(g, fow)) {
+			t.Errorf("seed %d: factored and FOW partitions differ\ncfg:\n%s", seed, g)
+		}
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := cfg.Build(workload.GotoMess(8, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fact := BuildFactored(g)
+		fow := BuildFOW(g)
+		if !samePartition(dropEnd(g, fact.ClassOf), partitionFromFOW(g, fow)) {
+			t.Errorf("goto seed %d: factored and FOW partitions differ\ncfg:\n%s", seed, g)
+		}
+	}
+}
+
+func TestFactoredClassDepsMatchMembers(t *testing.T) {
+	// Every member of a class must have exactly the class's dependence set.
+	g := build(t, `read p; if (p > 0) { x := 1; if (p > 1) { x := 2; } } print x;`)
+	fact := BuildFactored(g)
+	fow := BuildFOW(g)
+	for c, members := range fact.Members {
+		var reps []cfg.NodeID
+		for _, m := range members {
+			if m != g.End {
+				reps = append(reps, m)
+			}
+		}
+		if len(reps) == 0 {
+			continue
+		}
+		want := fow.Signature(reps[0])
+		for _, m := range reps {
+			if got := fow.Signature(m); got != want {
+				t.Errorf("class %d member n%d has deps %q, class rep has %q (class deps %v)",
+					c, m, got, want, fact.ClassDeps[c])
+			}
+		}
+	}
+}
+
+func TestPartitionOnlyConsistent(t *testing.T) {
+	g := build(t, "read p; while (p > 0) { p := p - 1; } print p;")
+	part := PartitionOnly(g)
+	fact := BuildFactored(g)
+	// PartitionOnly returns raw edge-class ids; compare as partitions.
+	a := map[cfg.NodeID]int{}
+	for k, v := range part {
+		a[k] = v
+	}
+	if !samePartition(a, fact.ClassOf) {
+		t.Errorf("PartitionOnly disagrees with BuildFactored")
+	}
+}
+
+func TestFactoredString(t *testing.T) {
+	g := build(t, "read p; if (p) { x := 1; } print p;")
+	s := BuildFactored(g).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,266 @@
+package cfg
+
+import (
+	"fmt"
+
+	"dfg/internal/lang/ast"
+)
+
+// Build lowers a program to a control flow graph obeying the switch/merge
+// discipline: one CFG node per statement, a switch node per if/while
+// predicate, and a merge node at every control flow join. Structured
+// statements nest; goto/label produce arbitrary (possibly irreducible)
+// control flow between top-level program points.
+//
+// The result is validated against Definition 1; Build returns an error if
+// the program's control flow leaves nodes unreachable from start or without
+// a path to end (e.g. a `while (true)` that never exits, or a goto cycle
+// that skips the program tail).
+func Build(prog *ast.Program) (*Graph, error) {
+	b := &builder{g: New(), labels: map[string]NodeID{}}
+	b.g.VarNames = prog.Vars()
+
+	// Pre-create a merge node for every top-level label so forward gotos
+	// have a target. Degenerate in-degrees are fixed up by compact().
+	for _, s := range prog.Stmts {
+		if l, ok := s.(*ast.LabelStmt); ok {
+			id := b.g.AddNode(KindMerge)
+			b.g.Nodes[id].Comment = "label " + l.Name
+			b.labels[l.Name] = id
+		}
+	}
+
+	pend := []pendingEdge{{src: b.g.Start, branch: BranchNone}}
+	pend = b.lowerBlock(prog.Stmts, pend)
+	for _, p := range pend {
+		b.g.AddEdge(p.src, b.g.End, p.branch)
+	}
+
+	g, err := b.g.compact()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild lowers prog and panics on error; for tests and examples with
+// fixed inputs.
+func MustBuild(prog *ast.Program) *Graph {
+	g, err := Build(prog)
+	if err != nil {
+		panic(fmt.Sprintf("cfg.MustBuild: %v", err))
+	}
+	return g
+}
+
+// pendingEdge is a dangling control flow exit waiting to be wired to the
+// next node: an out-edge of src (with the given branch label) that has not
+// been created yet.
+type pendingEdge struct {
+	src    NodeID
+	branch Branch
+}
+
+type builder struct {
+	g      *Graph
+	labels map[string]NodeID // top-level label name → its merge node
+}
+
+// connect wires every pending exit to dst, inserting nothing: merge nodes
+// are only created by control constructs, so callers must ensure dst can
+// accept len(pend) in-edges (compact() fixes up degenerate merges).
+func (b *builder) connect(pend []pendingEdge, dst NodeID) {
+	for _, p := range pend {
+		b.g.AddEdge(p.src, dst, p.branch)
+	}
+}
+
+// seq appends a single-entry single-exit node after the pending exits and
+// returns the new pending exit. If multiple exits are pending, a merge is
+// interposed.
+func (b *builder) seq(pend []pendingEdge, n NodeID) []pendingEdge {
+	if len(pend) == 0 {
+		// Unreachable statement: drop the node (it has no in-edges and will
+		// be pruned by compact()).
+		return nil
+	}
+	if len(pend) > 1 {
+		m := b.g.AddNode(KindMerge)
+		b.connect(pend, m)
+		pend = []pendingEdge{{src: m, branch: BranchNone}}
+	}
+	b.connect(pend, n)
+	return []pendingEdge{{src: n, branch: BranchNone}}
+}
+
+func (b *builder) lowerBlock(stmts []ast.Stmt, pend []pendingEdge) []pendingEdge {
+	for _, s := range stmts {
+		pend = b.lowerStmt(s, pend)
+	}
+	return pend
+}
+
+func (b *builder) lowerStmt(s ast.Stmt, pend []pendingEdge) []pendingEdge {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		n := b.g.AddNode(KindAssign)
+		b.g.Nodes[n].Var = s.Name
+		b.g.Nodes[n].Expr = s.RHS
+		return b.seq(pend, n)
+
+	case *ast.ReadStmt:
+		n := b.g.AddNode(KindRead)
+		b.g.Nodes[n].Var = s.Name
+		return b.seq(pend, n)
+
+	case *ast.PrintStmt:
+		n := b.g.AddNode(KindPrint)
+		b.g.Nodes[n].Expr = s.Arg
+		return b.seq(pend, n)
+
+	case *ast.SkipStmt:
+		n := b.g.AddNode(KindNop)
+		return b.seq(pend, n)
+
+	case *ast.IfStmt:
+		if len(pend) == 0 {
+			return nil
+		}
+		sw := b.g.AddNode(KindSwitch)
+		b.g.Nodes[sw].Expr = s.Cond
+		pend = b.seqSwitch(pend, sw)
+		thenOut := b.lowerBlock(s.Then, []pendingEdge{{src: sw, branch: BranchTrue}})
+		elseOut := b.lowerBlock(s.Else, []pendingEdge{{src: sw, branch: BranchFalse}})
+		return append(thenOut, elseOut...)
+
+	case *ast.WhileStmt:
+		if len(pend) == 0 {
+			return nil
+		}
+		// Loop header merge receives the entry edges and the back edge.
+		hdr := b.g.AddNode(KindMerge)
+		b.g.Nodes[hdr].Comment = "loop header"
+		b.connect(pend, hdr)
+		sw := b.g.AddNode(KindSwitch)
+		b.g.Nodes[sw].Expr = s.Cond
+		b.g.AddEdge(hdr, sw, BranchNone)
+		bodyOut := b.lowerBlock(s.Body, []pendingEdge{{src: sw, branch: BranchTrue}})
+		b.connect(bodyOut, hdr) // back edge(s)
+		return []pendingEdge{{src: sw, branch: BranchFalse}}
+
+	case *ast.GotoStmt:
+		target := b.labels[s.Target]
+		b.connect(pend, target)
+		return nil // following statements are unreachable until a label
+
+	case *ast.LabelStmt:
+		m := b.labels[s.Name]
+		b.connect(pend, m)
+		return []pendingEdge{{src: m, branch: BranchNone}}
+	}
+	panic(fmt.Sprintf("cfg: unknown statement type %T", s))
+}
+
+// seqSwitch wires the pending exits to a switch node, interposing a merge
+// when several exits are pending (a switch has exactly one in-edge).
+func (b *builder) seqSwitch(pend []pendingEdge, sw NodeID) []pendingEdge {
+	if len(pend) > 1 {
+		m := b.g.AddNode(KindMerge)
+		b.connect(pend, m)
+		pend = []pendingEdge{{src: m, branch: BranchNone}}
+	}
+	b.connect(pend, sw)
+	return pend
+}
+
+// compact rewrites the graph into a fresh one, dropping nodes unreachable
+// from start, splicing out degenerate merges (in-degree < 2) and nop nodes,
+// and renumbering nodes and edges densely. Branch labels on spliced chains
+// are preserved from the first edge of the chain.
+func (g *Graph) compact() (*Graph, error) {
+	reach := g.reachable(g.Start, false)
+
+	// splice maps a node to the node that replaces it (itself, unless it is
+	// a degenerate merge or a nop to be spliced out). Chains are resolved
+	// transitively.
+	skip := func(n *Node) bool {
+		if !reach[n.ID] {
+			return false
+		}
+		switch n.Kind {
+		case KindNop:
+			return len(g.InEdges(n.ID)) == 1 && len(g.OutEdges(n.ID)) == 1
+		case KindMerge:
+			live := 0
+			for _, eid := range n.In {
+				if !g.Edges[eid].Dead && reach[g.Edges[eid].Src] {
+					live++
+				}
+			}
+			return live < 2
+		}
+		return false
+	}
+
+	// resolve follows spliced nodes to the real destination.
+	var resolve func(n NodeID, guard int) (NodeID, error)
+	resolve = func(n NodeID, guard int) (NodeID, error) {
+		if guard > len(g.Nodes)+1 {
+			return NoNode, fmt.Errorf("cfg: cycle of degenerate merge/nop nodes")
+		}
+		nd := g.Nodes[n]
+		if !skip(nd) {
+			return n, nil
+		}
+		outs := g.OutEdges(n)
+		if len(outs) != 1 {
+			return NoNode, fmt.Errorf("cfg: degenerate node %d has %d out-edges", n, len(outs))
+		}
+		return resolve(g.Edges[outs[0]].Dst, guard+1)
+	}
+
+	ng := &Graph{Start: NoNode, End: NoNode, VarNames: g.VarNames}
+	remap := make([]NodeID, len(g.Nodes))
+	for i := range remap {
+		remap[i] = NoNode
+	}
+	for _, n := range g.Nodes {
+		if !reach[n.ID] || skip(n) {
+			continue
+		}
+		id := ng.AddNode(n.Kind)
+		nn := ng.Nodes[id]
+		nn.Var, nn.Expr, nn.Comment = n.Var, n.Expr, n.Comment
+		remap[n.ID] = id
+	}
+	if remap[g.Start] == NoNode || remap[g.End] == NoNode {
+		return nil, fmt.Errorf("cfg: start or end eliminated during compaction (program cannot reach end)")
+	}
+	ng.Start, ng.End = remap[g.Start], remap[g.End]
+
+	for _, e := range g.Edges {
+		if e.Dead || !reach[e.Src] {
+			continue
+		}
+		if remap[e.Src] == NoNode {
+			continue // source spliced out; its single out-edge is re-routed via resolve below
+		}
+		dst, err := resolve(e.Dst, 0)
+		if err != nil {
+			return nil, err
+		}
+		if remap[dst] == NoNode {
+			return nil, fmt.Errorf("cfg: edge target %d resolved to eliminated node", e.Dst)
+		}
+		ng.AddEdge(remap[e.Src], remap[dst], e.Branch)
+	}
+	return ng, nil
+}
+
+// Compact exposes graph compaction for transformation passes: it prunes
+// unreachable nodes and dead edges, splices out degenerate merges and nops,
+// and renumbers densely. The receiver is unchanged; a new graph is returned.
+func (g *Graph) Compact() (*Graph, error) { return g.compact() }

@@ -1,0 +1,115 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindAndBranchStrings(t *testing.T) {
+	kinds := map[NodeKind]string{
+		KindStart: "start", KindEnd: "end", KindAssign: "assign",
+		KindRead: "read", KindPrint: "print", KindSwitch: "switch",
+		KindMerge: "merge", KindNop: "nop",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", int(k), k.String())
+		}
+	}
+	if NodeKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	if BranchTrue.String() != "T" || BranchFalse.String() != "F" || BranchNone.String() != "" {
+		t.Error("branch strings wrong")
+	}
+}
+
+func TestSwitchEdgeMissing(t *testing.T) {
+	g := buildSrc(t, "x := 1; print x;")
+	// Non-switch node: no labelled edges.
+	if got := g.SwitchEdge(g.Start, BranchTrue); got != NoEdge {
+		t.Errorf("SwitchEdge on start = %v", got)
+	}
+}
+
+func TestDeadEdgeFiltering(t *testing.T) {
+	g := buildSrc(t, "read p; if (p) { x := 1; } else { x := 2; } print x;")
+	var sw NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == KindSwitch {
+			sw = nd.ID
+		}
+	}
+	f := g.SwitchEdge(sw, BranchFalse)
+	g.Edge(f).Dead = true
+
+	if len(g.OutEdges(sw)) != 1 {
+		t.Errorf("dead edge not filtered from OutEdges")
+	}
+	if len(g.Succs(sw)) != 1 {
+		t.Errorf("dead edge not filtered from Succs")
+	}
+	dst := g.Edge(f).Dst
+	found := false
+	for _, p := range g.Preds(dst) {
+		if p == sw {
+			found = true
+		}
+	}
+	if found && len(g.InEdges(dst)) != 1 {
+		t.Errorf("dead edge not filtered from InEdges/Preds")
+	}
+	// DOT with includeDead renders the dashed edge; without it, omits it.
+	withDead := g.DOT("t", true)
+	if !strings.Contains(withDead, "style=dashed") {
+		t.Error("includeDead DOT missing dashed edge")
+	}
+	if strings.Contains(g.DOT("t", false), "style=dashed") {
+		t.Error("dead edge leaked into live DOT")
+	}
+	// LiveEdges excludes it.
+	for _, eid := range g.LiveEdges() {
+		if eid == f {
+			t.Error("dead edge in LiveEdges")
+		}
+	}
+}
+
+func TestSortedVarNames(t *testing.T) {
+	g := buildSrc(t, "zeta := 1; alpha := zeta; print alpha;")
+	got := g.SortedVarNames()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("SortedVarNames = %v", got)
+	}
+}
+
+func TestValidateBadMergeAndDangling(t *testing.T) {
+	// Merge with a single in-edge.
+	g := New()
+	m := g.AddNode(KindMerge)
+	g.AddEdge(g.Start, m, BranchNone)
+	g.AddEdge(m, g.End, BranchNone)
+	if err := g.Validate(); err == nil {
+		t.Error("1-in merge should fail validation")
+	}
+	// Unreachable node.
+	g2 := New()
+	g2.AddEdge(g2.Start, g2.End, BranchNone)
+	orphan := g2.AddNode(KindNop)
+	_ = orphan
+	if err := g2.Validate(); err == nil {
+		t.Error("orphan node should fail validation")
+	}
+}
+
+func TestCoReachable(t *testing.T) {
+	g := buildSrc(t, "read p; if (p) { x := 1; } else { x := 2; } print x;")
+	co := g.CoReachableNodes(g.End)
+	if len(co) != g.NumNodes() {
+		t.Errorf("all %d nodes should co-reach end, got %d", g.NumNodes(), len(co))
+	}
+	fwd := g.ReachableNodes(g.Start)
+	if len(fwd) != g.NumNodes() {
+		t.Errorf("all nodes should be reachable, got %d", len(fwd))
+	}
+}

@@ -1,0 +1,105 @@
+package cfg
+
+import "testing"
+
+func TestSplitEdgePlain(t *testing.T) {
+	g := buildSrc(t, "x := 1; print x;")
+	// Split the edge between the assignment and the print.
+	var assign, pr NodeID
+	for _, nd := range g.Nodes {
+		switch nd.Kind {
+		case KindAssign:
+			assign = nd.ID
+		case KindPrint:
+			pr = nd.ID
+		}
+	}
+	mid := g.OutEdges(assign)[0]
+	if g.Edge(mid).Dst != pr {
+		t.Fatal("unexpected shape")
+	}
+	n := g.AddNode(KindNop)
+	newEdge := g.SplitEdge(mid, n)
+
+	if g.Edge(mid).Dst != n {
+		t.Error("original edge must end at the new node")
+	}
+	if e := g.Edge(newEdge); e.Src != n || e.Dst != pr {
+		t.Errorf("new edge %d→%d, want %d→%d", e.Src, e.Dst, n, pr)
+	}
+	if ins := g.InEdges(pr); len(ins) != 1 || ins[0] != newEdge {
+		t.Errorf("print in-edges = %v", ins)
+	}
+	if ins := g.InEdges(n); len(ins) != 1 || ins[0] != mid {
+		t.Errorf("nop in-edges = %v", ins)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid after split: %v", err)
+	}
+}
+
+func TestSplitEdgePreservesBranchLabel(t *testing.T) {
+	g := buildSrc(t, "read p; if (p) { x := 1; } else { x := 2; } print x;")
+	var sw NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == KindSwitch {
+			sw = nd.ID
+		}
+	}
+	tEdge := g.SwitchEdge(sw, BranchTrue)
+	n := g.AddNode(KindNop)
+	g.SplitEdge(tEdge, n)
+	if got := g.SwitchEdge(sw, BranchTrue); got != tEdge {
+		t.Errorf("true edge id changed: %d vs %d", got, tEdge)
+	}
+	if g.Edge(tEdge).Branch != BranchTrue {
+		t.Error("branch label lost")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid after split: %v", err)
+	}
+}
+
+func TestSplitEdgeIntoMerge(t *testing.T) {
+	// Splitting one in-edge of a merge must leave the other intact.
+	g := buildSrc(t, "read p; if (p) { x := 1; } else { x := 2; } print x;")
+	var mg NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == KindMerge {
+			mg = nd.ID
+		}
+	}
+	ins := g.InEdges(mg)
+	if len(ins) != 2 {
+		t.Fatal("expected 2-way merge")
+	}
+	n := g.AddNode(KindNop)
+	g.SplitEdge(ins[0], n)
+	newIns := g.InEdges(mg)
+	if len(newIns) != 2 {
+		t.Fatalf("merge in-degree changed: %v", newIns)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid after split: %v", err)
+	}
+}
+
+func TestEdgePreorderRespectsDominance(t *testing.T) {
+	g := buildSrc(t, `
+		read p;
+		i := 0;
+		while (i < p) { i := i + 1; }
+		print i;`)
+	pre := g.EdgePreorder()
+	dom := NewDominance(g)
+	for _, a := range g.LiveEdges() {
+		for _, b := range g.LiveEdges() {
+			if a == b {
+				continue
+			}
+			if dom.EdgeDominatesEdge(a, b) && pre[a] >= pre[b] {
+				t.Errorf("e%d dominates e%d but preorder %d >= %d", a, b, pre[a], pre[b])
+			}
+		}
+	}
+}

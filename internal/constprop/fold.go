@@ -1,0 +1,150 @@
+// Package constprop implements Section 4 of the paper: constant propagation
+// with dead code elimination, three ways.
+//
+//   - CFG: the standard algorithm of Figure 4(a) — vectors of lattice
+//     values on control flow edges, solved with a worklist. Finds both
+//     all-paths and possible-paths constants (dead branches are pruned via
+//     the switch equations). O(EV) space, O(EV²) time.
+//
+//   - DFG: the paper's algorithm of Figure 4(b) — one lattice value per
+//     dependence, propagated through def, merge and switch operators.
+//     Equally precise, but does work only for relevant dependences: O(EV)
+//     time, and far less in practice thanks to region bypassing.
+//
+//   - DefUse: the classic def-use-chain algorithm (§2.2) — a use is
+//     constant if every reaching definition yields the same constant. It
+//     finds all-paths constants only (Figure 3(b)'s possible-paths constant
+//     is missed), exhibiting the precision gap the paper discusses.
+//
+// Apply rewrites a CFG with the analysis results: uses are replaced by
+// constants, expressions folded, constant branches removed, and dead
+// assignments eliminated.
+package constprop
+
+import (
+	"dfg/internal/dataflow"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// foldExpr evaluates e over the constant lattice: variables are looked up
+// with lookup; ⊥ operands yield ⊥ (dead), ⊤ operands yield ⊤, and all-
+// constant applications fold (trapping applications conservatively yield
+// ⊤). Counting of transfer work is left to callers.
+func foldExpr(e ast.Expr, lookup func(string) dataflow.ConstVal) dataflow.ConstVal {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return dataflow.ConstOf(interp.IntVal(e.Value))
+	case *ast.BoolLit:
+		return dataflow.ConstOf(interp.BoolVal(e.Value))
+	case *ast.VarRef:
+		return lookup(e.Name)
+	case *ast.UnaryExpr:
+		x := foldExpr(e.X, lookup)
+		return applyFold(x, dataflow.Bottom, func() (interp.Value, bool) {
+			return evalUnary(e.Op, x.Val)
+		}, true)
+	case *ast.BinaryExpr:
+		x := foldExpr(e.X, lookup)
+		y := foldExpr(e.Y, lookup)
+		return applyFold(x, y, func() (interp.Value, bool) {
+			return evalBinary(e.Op, x.Val, y.Val)
+		}, false)
+	}
+	return dataflow.TopVal
+}
+
+// applyFold combines operand lattice values: any ⊥ → ⊥; any ⊤ → ⊤;
+// otherwise apply (failure → ⊤). For unary operators pass unary=true and a
+// dummy second operand.
+func applyFold(x, y dataflow.ConstVal, apply func() (interp.Value, bool), unary bool) dataflow.ConstVal {
+	if x.Kind == dataflow.Bot || (!unary && y.Kind == dataflow.Bot) {
+		return dataflow.Bottom
+	}
+	if x.Kind == dataflow.Top || (!unary && y.Kind == dataflow.Top) {
+		return dataflow.TopVal
+	}
+	v, ok := apply()
+	if !ok {
+		return dataflow.TopVal
+	}
+	return dataflow.ConstOf(v)
+}
+
+func evalUnary(op token.Kind, x interp.Value) (interp.Value, bool) {
+	switch op {
+	case token.MINUS:
+		if x.B {
+			return interp.Value{}, false
+		}
+		return interp.IntVal(-x.I), true
+	case token.NOT:
+		if !x.B {
+			return interp.Value{}, false
+		}
+		return interp.BoolVal(!x.Bool), true
+	}
+	return interp.Value{}, false
+}
+
+func evalBinary(op token.Kind, x, y interp.Value) (interp.Value, bool) {
+	switch op {
+	case token.AND, token.OR:
+		if !x.B || !y.B {
+			return interp.Value{}, false
+		}
+		if op == token.AND {
+			return interp.BoolVal(x.Bool && y.Bool), true
+		}
+		return interp.BoolVal(x.Bool || y.Bool), true
+	case token.EQ:
+		if x.B != y.B {
+			return interp.Value{}, false
+		}
+		return interp.BoolVal(x == y), true
+	case token.NEQ:
+		if x.B != y.B {
+			return interp.Value{}, false
+		}
+		return interp.BoolVal(x != y), true
+	}
+	if x.B || y.B {
+		return interp.Value{}, false
+	}
+	switch op {
+	case token.PLUS:
+		return interp.IntVal(x.I + y.I), true
+	case token.MINUS:
+		return interp.IntVal(x.I - y.I), true
+	case token.STAR:
+		return interp.IntVal(x.I * y.I), true
+	case token.SLASH:
+		if y.I == 0 {
+			return interp.Value{}, false
+		}
+		return interp.IntVal(x.I / y.I), true
+	case token.PERCENT:
+		if y.I == 0 {
+			return interp.Value{}, false
+		}
+		return interp.IntVal(x.I % y.I), true
+	case token.LT:
+		return interp.BoolVal(x.I < y.I), true
+	case token.LE:
+		return interp.BoolVal(x.I <= y.I), true
+	case token.GT:
+		return interp.BoolVal(x.I > y.I), true
+	case token.GE:
+		return interp.BoolVal(x.I >= y.I), true
+	}
+	return interp.Value{}, false
+}
+
+// litFor converts a constant lattice value to a literal expression.
+func litFor(v dataflow.ConstVal) ast.Expr {
+	if v.Val.B {
+		return &ast.BoolLit{Value: v.Val.Bool}
+	}
+	return &ast.IntLit{Value: v.Val.I}
+}

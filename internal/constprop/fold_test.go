@@ -1,0 +1,114 @@
+package constprop
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cfgpkg "dfg/internal/cfg"
+	"dfg/internal/dataflow"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/lang/token"
+)
+
+// randExpr builds a random expression over the given variables.
+func randExpr(rng *rand.Rand, vars []string, depth int) ast.Expr {
+	if depth <= 0 || rng.Float64() < 0.35 {
+		switch rng.Intn(3) {
+		case 0:
+			return &ast.IntLit{Value: int64(rng.Intn(7)) - 3}
+		case 1:
+			return &ast.BoolLit{Value: rng.Intn(2) == 0}
+		default:
+			return &ast.VarRef{Name: vars[rng.Intn(len(vars))]}
+		}
+	}
+	ops := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE,
+		token.AND, token.OR,
+	}
+	return &ast.BinaryExpr{
+		Op: ops[rng.Intn(len(ops))],
+		X:  randExpr(rng, vars, depth-1),
+		Y:  randExpr(rng, vars, depth-1),
+	}
+}
+
+// TestFoldAgreesWithInterpreter: for random expressions and random concrete
+// environments, folding with constant lookups must either return exactly
+// the interpreter's value, ⊤ (when the interpreter traps or the fold gave
+// up), or nothing weaker. It must never return a *wrong* constant.
+func TestFoldAgreesWithInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	vars := []string{"a", "b", "c"}
+	for trial := 0; trial < 2000; trial++ {
+		e := randExpr(rng, vars, 3)
+
+		// Concrete environment.
+		env := map[string]interp.Value{}
+		for _, v := range vars {
+			if rng.Intn(2) == 0 {
+				env[v] = interp.IntVal(int64(rng.Intn(5) - 2))
+			} else {
+				env[v] = interp.BoolVal(rng.Intn(2) == 0)
+			}
+		}
+
+		// Abstract environment: all constants.
+		lookup := func(v string) dataflow.ConstVal { return dataflow.ConstOf(env[v]) }
+		folded := foldExpr(e, lookup)
+
+		// Concrete evaluation through the interpreter.
+		got, err := evalWithEnv(e, env)
+		switch {
+		case err != nil:
+			// Interpreter trapped (type error / div by zero): fold must not
+			// claim a constant... except short-circuit differences: the
+			// fold evaluates both operands of && / || (no short-circuit),
+			// so it may trap where the interpreter doesn't and vice versa.
+			// What it must never do is produce a *different* constant than
+			// a successful concrete run — vacuous here.
+		case folded.Kind == dataflow.Const:
+			if folded.Val != got {
+				t.Fatalf("fold(%s) = %s but interpreter says %s (env %v)", e, folded, got, env)
+			}
+		case folded.Kind == dataflow.Bot:
+			t.Fatalf("fold(%s) = ⊥ with all-constant inputs", e)
+		}
+	}
+}
+
+// evalWithEnv runs the interpreter on `print e` with variables preset via
+// reads — instead, simpler: build assignments for the env then print e.
+func evalWithEnv(e ast.Expr, env map[string]interp.Value) (interp.Value, error) {
+	var src string
+	var inputs []int64
+	for v, val := range env {
+		if val.B {
+			if val.Bool {
+				src += fmt.Sprintf("%s := true;\n", v)
+			} else {
+				src += fmt.Sprintf("%s := false;\n", v)
+			}
+		} else {
+			src += fmt.Sprintf("%s := %d;\n", v, val.I)
+		}
+	}
+	src += "print " + e.String() + ";\n"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return interp.Value{}, err
+	}
+	g, err := cfgpkg.Build(prog)
+	if err != nil {
+		return interp.Value{}, err
+	}
+	res, err := interp.Run(g, inputs, 10000)
+	if err != nil {
+		return interp.Value{}, err
+	}
+	return res.Output[0], nil
+}

@@ -1,0 +1,69 @@
+package constprop
+
+import (
+	"dfg/internal/dataflow"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// Options controls optional precision extensions of the analyses.
+type Options struct {
+	// Predicates enables the Multiflow-style predicate analysis of §4: "if
+	// the predicate at a switch is x == c, we can propagate the constant c
+	// for x on the true side of the conditional even if we cannot
+	// determine the value of x for the false side. It is easy to extend
+	// both the DFG and CFG algorithms to accomplish this, but this
+	// extension seems difficult in SSA-based algorithms since SSA edges
+	// bypass switches in the CFG." (Experiment E11.)
+	//
+	// Supported forms: x == c and c == x refine x on the true side;
+	// x != c and c != x refine x on the false side.
+	Predicates bool
+}
+
+// predFact describes the refinement a switch predicate implies: variable
+// Var equals Val on the branch OnTrue ? true-side : false-side.
+type predFact struct {
+	Var    string
+	Val    interp.Value
+	OnTrue bool
+}
+
+// predicateFact matches the supported predicate shapes.
+func predicateFact(e ast.Expr) (predFact, bool) {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQ && b.Op != token.NEQ) {
+		return predFact{}, false
+	}
+	name, lit, ok := varAndLit(b.X, b.Y)
+	if !ok {
+		return predFact{}, false
+	}
+	return predFact{Var: name, Val: lit, OnTrue: b.Op == token.EQ}, true
+}
+
+func varAndLit(x, y ast.Expr) (string, interp.Value, bool) {
+	if v, ok := x.(*ast.VarRef); ok {
+		if lit, ok := literalValue(y); ok {
+			return v.Name, lit, true
+		}
+	}
+	if v, ok := y.(*ast.VarRef); ok {
+		if lit, ok := literalValue(x); ok {
+			return v.Name, lit, true
+		}
+	}
+	return "", interp.Value{}, false
+}
+
+// refine narrows a lattice value with the knowledge that the variable
+// equals val on this branch. ⊤ becomes the constant; a matching constant
+// stays; anything else is untouched (a contradicting constant makes the
+// branch dead, which predicate folding already handles).
+func refine(v dataflow.ConstVal, val interp.Value) dataflow.ConstVal {
+	if v.Kind == dataflow.Top {
+		return dataflow.ConstOf(val)
+	}
+	return v
+}

@@ -1,0 +1,190 @@
+package constprop
+
+import (
+	"fmt"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dataflow"
+	"dfg/internal/defuse"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// Apply rewrites g according to the analysis result and returns the
+// optimized graph (g itself is not modified):
+//
+//  1. every use site proved constant is replaced by its literal;
+//  2. expressions are folded where all operands became literals;
+//  3. switches whose predicate is a boolean constant are removed, along
+//     with the untaken side (dead code elimination of unreachable code);
+//  4. assignments whose value is never used are deleted (dead code
+//     elimination of useless code). Reads are always kept — consuming an
+//     input is observable — and assignments whose right-hand side contains
+//     division or modulo are kept because removal could suppress a trap.
+func Apply(res *Result) (*cfg.Graph, error) {
+	g := clone(res.G)
+
+	// 1+2: substitute constants into each node's expression and fold.
+	for _, nd := range g.Nodes {
+		if nd.Expr == nil {
+			continue
+		}
+		values := map[string]dataflow.ConstVal{}
+		for _, v := range g.Uses(nd.ID) {
+			if cv, ok := res.UseVals[UseKey{nd.ID, v}]; ok && cv.Kind == dataflow.Const {
+				values[v] = cv
+			}
+		}
+		if len(values) > 0 {
+			nd.Expr = substitute(nd.Expr, values)
+		}
+		nd.Expr = foldLiteral(nd.Expr)
+	}
+
+	// 3: fold constant branches. A switch whose predicate folded to a
+	// literal boolean becomes a pass-through to the taken side.
+	for _, nd := range g.Nodes {
+		if nd.Kind != cfg.KindSwitch {
+			continue
+		}
+		lit, ok := nd.Expr.(*ast.BoolLit)
+		if !ok {
+			continue
+		}
+		taken, untaken := cfg.BranchTrue, cfg.BranchFalse
+		if !lit.Value {
+			taken, untaken = untaken, taken
+		}
+		g.Edge(g.SwitchEdge(nd.ID, untaken)).Dead = true
+		g.Edge(g.SwitchEdge(nd.ID, taken)).Branch = cfg.BranchNone
+		nd.Kind = cfg.KindNop
+		nd.Expr = nil
+	}
+	compacted, err := g.Compact()
+	if err != nil {
+		return nil, fmt.Errorf("constprop: %v", err)
+	}
+	g = compacted
+
+	// 4: delete dead assignments, iterating because removal can kill
+	// further defs.
+	for {
+		chains := defuse.Compute(g)
+		reached := map[cfg.NodeID]bool{}
+		for _, ch := range chains.All {
+			reached[ch.Def] = true
+		}
+		removed := false
+		for _, nd := range g.Nodes {
+			if nd.Kind != cfg.KindAssign || reached[nd.ID] {
+				continue
+			}
+			if mayTrap(nd.Expr) {
+				continue
+			}
+			nd.Kind = cfg.KindNop
+			nd.Expr = nil
+			nd.Var = ""
+			removed = true
+		}
+		if !removed {
+			break
+		}
+		g, err = g.Compact()
+		if err != nil {
+			return nil, fmt.Errorf("constprop: %v", err)
+		}
+	}
+	return g, nil
+}
+
+// clone deep-copies a CFG (nodes, edges, expressions).
+func clone(g *cfg.Graph) *cfg.Graph {
+	ng := &cfg.Graph{Start: g.Start, End: g.End, VarNames: append([]string(nil), g.VarNames...)}
+	for _, nd := range g.Nodes {
+		cp := &cfg.Node{
+			ID: nd.ID, Kind: nd.Kind, Var: nd.Var, Comment: nd.Comment,
+			In: append([]cfg.EdgeID(nil), nd.In...), Out: append([]cfg.EdgeID(nil), nd.Out...),
+		}
+		if nd.Expr != nil {
+			cp.Expr = ast.CloneExpr(nd.Expr)
+		}
+		ng.Nodes = append(ng.Nodes, cp)
+	}
+	for _, e := range g.Edges {
+		ce := *e
+		ng.Edges = append(ng.Edges, &ce)
+	}
+	return ng
+}
+
+// substitute replaces references to the given variables with literals.
+func substitute(e ast.Expr, values map[string]dataflow.ConstVal) ast.Expr {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		if v, ok := values[e.Name]; ok {
+			return litFor(v)
+		}
+		return e
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{Op: e.Op, X: substitute(e.X, values), Y: substitute(e.Y, values), Pos: e.Pos}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: e.Op, X: substitute(e.X, values), Pos: e.Pos}
+	}
+	return e
+}
+
+// foldLiteral folds constant subexpressions bottom-up, leaving anything
+// that would trap (division by zero) untouched.
+func foldLiteral(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		x, y := foldLiteral(e.X), foldLiteral(e.Y)
+		folded := &ast.BinaryExpr{Op: e.Op, X: x, Y: y, Pos: e.Pos}
+		xv, xok := literalValue(x)
+		yv, yok := literalValue(y)
+		if xok && yok {
+			if v, ok := evalBinary(e.Op, xv, yv); ok {
+				return litFor(dataflow.ConstOf(v))
+			}
+		}
+		return folded
+	case *ast.UnaryExpr:
+		x := foldLiteral(e.X)
+		folded := &ast.UnaryExpr{Op: e.Op, X: x, Pos: e.Pos}
+		if xv, ok := literalValue(x); ok {
+			if v, ok := evalUnary(e.Op, xv); ok {
+				return litFor(dataflow.ConstOf(v))
+			}
+		}
+		return folded
+	}
+	return e
+}
+
+func literalValue(e ast.Expr) (v interp.Value, ok bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return interp.IntVal(e.Value), true
+	case *ast.BoolLit:
+		return interp.BoolVal(e.Value), true
+	}
+	return interp.Value{}, false
+}
+
+// mayTrap reports whether evaluating e could fail at runtime (division or
+// modulo present with any non-literal or zero divisor).
+func mayTrap(e ast.Expr) bool {
+	trap := false
+	ast.WalkExpr(e, func(x ast.Expr) {
+		if b, ok := x.(*ast.BinaryExpr); ok {
+			if b.Op == token.SLASH || b.Op == token.PERCENT {
+				if lit, ok := b.Y.(*ast.IntLit); !ok || lit.Value == 0 {
+					trap = true
+				}
+			}
+		}
+	})
+	return trap
+}

@@ -1,0 +1,143 @@
+// Package dataflow provides the shared machinery of the paper's analyses:
+// the constant-propagation lattice (Kildall's ⊥ / constant / ⊤), boolean
+// dataflow values for anticipatability and availability, and operation
+// counters used by the complexity experiments (E4) to measure algorithmic
+// work independently of wall-clock noise.
+package dataflow
+
+import (
+	"fmt"
+
+	"dfg/internal/interp"
+)
+
+// ConstKind discriminates constant-lattice values.
+type ConstKind int
+
+// Lattice levels. Bot ⊑ Const ⊑ Top, with distinct constants joining to
+// Top.
+const (
+	Bot   ConstKind = iota // never executed / no information (dead)
+	Const                  // known constant value in all executions
+	Top                    // may vary between executions
+)
+
+// ConstVal is a value of Kildall's constant propagation lattice.
+type ConstVal struct {
+	Kind ConstKind
+	Val  interp.Value // meaningful iff Kind == Const
+}
+
+// Bottom, TopVal are the lattice extremes.
+var (
+	Bottom = ConstVal{Kind: Bot}
+	TopVal = ConstVal{Kind: Top}
+)
+
+// ConstOf wraps a runtime value as a lattice constant.
+func ConstOf(v interp.Value) ConstVal { return ConstVal{Kind: Const, Val: v} }
+
+// Join computes the least upper bound of two lattice values.
+func (a ConstVal) Join(b ConstVal) ConstVal {
+	switch {
+	case a.Kind == Bot:
+		return b
+	case b.Kind == Bot:
+		return a
+	case a.Kind == Top || b.Kind == Top:
+		return TopVal
+	case a.Val == b.Val:
+		return a
+	default:
+		return TopVal
+	}
+}
+
+// Leq reports a ⊑ b in the lattice order.
+func (a ConstVal) Leq(b ConstVal) bool {
+	switch {
+	case a.Kind == Bot:
+		return true
+	case b.Kind == Top:
+		return true
+	case a.Kind == Const && b.Kind == Const:
+		return a.Val == b.Val
+	default:
+		return false
+	}
+}
+
+// String renders the value: ⊥, ⊤, or the constant.
+func (a ConstVal) String() string {
+	switch a.Kind {
+	case Bot:
+		return "⊥"
+	case Top:
+		return "⊤"
+	default:
+		return a.Val.String()
+	}
+}
+
+// IsTrue reports whether the value is the boolean constant true; IsFalse
+// symmetric.
+func (a ConstVal) IsTrue() bool  { return a.Kind == Const && a.Val.B && a.Val.Bool }
+func (a ConstVal) IsFalse() bool { return a.Kind == Const && a.Val.B && !a.Val.Bool }
+
+// Counter tallies the abstract operations of an analysis so experiments can
+// compare algorithmic work (lattice joins, transfer evaluations, worklist
+// pops) rather than just wall time.
+type Counter struct {
+	Joins     int // lattice join operations
+	Transfers int // transfer-function/operator evaluations
+	Visits    int // worklist pops
+}
+
+// Add accumulates another counter.
+func (c *Counter) Add(o Counter) {
+	c.Joins += o.Joins
+	c.Transfers += o.Transfers
+	c.Visits += o.Visits
+}
+
+// Total returns the sum of all counted operations.
+func (c Counter) Total() int { return c.Joins + c.Transfers + c.Visits }
+
+// String renders the counter.
+func (c Counter) String() string {
+	return fmt.Sprintf("visits=%d transfers=%d joins=%d (total %d)", c.Visits, c.Transfers, c.Joins, c.Total())
+}
+
+// Worklist is a simple FIFO worklist over int keys with membership
+// deduplication — the scheduling structure shared by the iterative solvers.
+type Worklist struct {
+	queue []int
+	in    map[int]bool
+}
+
+// NewWorklist returns an empty worklist.
+func NewWorklist() *Worklist {
+	return &Worklist{in: map[int]bool{}}
+}
+
+// Push enqueues k if not already pending.
+func (w *Worklist) Push(k int) {
+	if !w.in[k] {
+		w.in[k] = true
+		w.queue = append(w.queue, k)
+	}
+}
+
+// Pop dequeues the next key; ok is false when empty.
+func (w *Worklist) Pop() (k int, ok bool) {
+	if len(w.queue) == 0 {
+		return 0, false
+	}
+	k = w.queue[0]
+	w.queue = w.queue[1:]
+	w.in[k] = false
+	return k, true
+}
+
+// Len returns the number of pending keys.
+func (w *Worklist) Len() int { return len(w.queue) }

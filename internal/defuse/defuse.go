@@ -1,0 +1,186 @@
+// Package defuse computes classic def-use chains (Definitions 3–4 of the
+// paper) via an iterative reaching-definitions analysis with bit vectors.
+// It is one of the two baselines the DFG is compared against: def-use
+// chains support only forward problems, can lose precision (§2.2), and have
+// worst-case size O(E²V) (Reif & Tarjan), which experiment E10 reproduces
+// with the DiamondLadder family.
+package defuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/graph"
+)
+
+// Def identifies a definition site: a node defining a variable.
+type Def struct {
+	Node cfg.NodeID
+	Var  string
+}
+
+// Chain is one def-use chain: the definition at Def reaches the use of the
+// same variable at Use.
+type Chain struct {
+	Def cfg.NodeID
+	Use cfg.NodeID
+	Var string
+}
+
+// Chains is the result of the analysis.
+type Chains struct {
+	G *cfg.Graph
+	// Defs lists all definition sites in node order.
+	Defs []Def
+	// ByUse maps (use node, var) to the definitions reaching that use.
+	byUse map[useKey][]cfg.NodeID
+	// All lists every chain.
+	All []Chain
+	// Iterations is the number of worklist passes used (for experiments).
+	Iterations int
+}
+
+type useKey struct {
+	node cfg.NodeID
+	v    string
+}
+
+// Compute runs reaching definitions over g and materializes all def-use
+// chains. Uninitialized uses (no definition reaches them) simply have no
+// chains, mirroring the classic formulation.
+func Compute(g *cfg.Graph) *Chains {
+	c := &Chains{G: g, byUse: map[useKey][]cfg.NodeID{}}
+
+	// Enumerate definition sites; defIdx[node] is the bit index.
+	defIdx := map[cfg.NodeID]int{}
+	for _, nd := range g.Nodes {
+		if v := g.Defs(nd.ID); v != "" {
+			defIdx[nd.ID] = len(c.Defs)
+			c.Defs = append(c.Defs, Def{Node: nd.ID, Var: v})
+		}
+	}
+	nd := len(c.Defs)
+	words := (nd + 63) / 64
+
+	// Per-variable kill masks.
+	killOf := map[string][]uint64{}
+	for i, d := range c.Defs {
+		if killOf[d.Var] == nil {
+			killOf[d.Var] = make([]uint64, words)
+		}
+		killOf[d.Var][i/64] |= 1 << (i % 64)
+	}
+
+	// IN/OUT sets per node.
+	in := make([][]uint64, g.NumNodes())
+	out := make([][]uint64, g.NumNodes())
+	for i := range in {
+		in[i] = make([]uint64, words)
+		out[i] = make([]uint64, words)
+	}
+
+	transfer := func(n cfg.NodeID, src, dst []uint64) bool {
+		changed := false
+		v := g.Defs(n)
+		var kill []uint64
+		if v != "" {
+			kill = killOf[v]
+		}
+		var gen int = -1
+		if v != "" {
+			gen = defIdx[n]
+		}
+		for w := 0; w < words; w++ {
+			x := src[w]
+			if kill != nil {
+				x &^= kill[w]
+			}
+			if gen >= 0 && gen/64 == w {
+				x |= 1 << (gen % 64)
+			}
+			if x != dst[w] {
+				dst[w] = x
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// Iterate to fixpoint in reverse postorder.
+	rpo := graph.ReversePostorder(g.Positional(), int(g.Start))
+	for changed := true; changed; {
+		changed = false
+		c.Iterations++
+		for _, ni := range rpo {
+			n := cfg.NodeID(ni)
+			// IN = union of OUT of preds.
+			for w := 0; w < words; w++ {
+				var x uint64
+				for _, p := range g.Preds(n) {
+					x |= out[p][w]
+				}
+				if x != in[n][w] {
+					in[n][w] = x
+					changed = true
+				}
+			}
+			if transfer(n, in[n], out[n]) {
+				changed = true
+			}
+		}
+	}
+
+	// Materialize chains: for each use of v at node n, the reaching defs of
+	// v in IN[n].
+	for _, ndp := range g.Nodes {
+		for _, v := range g.Uses(ndp.ID) {
+			key := useKey{ndp.ID, v}
+			for i, d := range c.Defs {
+				if d.Var != v {
+					continue
+				}
+				if in[ndp.ID][i/64]&(1<<(i%64)) != 0 {
+					c.byUse[key] = append(c.byUse[key], d.Node)
+					c.All = append(c.All, Chain{Def: d.Node, Use: ndp.ID, Var: v})
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Reaching returns the definition nodes of v reaching the use at n, in
+// definition order.
+func (c *Chains) Reaching(n cfg.NodeID, v string) []cfg.NodeID {
+	return c.byUse[useKey{n, v}]
+}
+
+// Size returns the total number of def-use chains (the representation size
+// that experiment E10 charts against SSA and DFG sizes).
+func (c *Chains) Size() int { return len(c.All) }
+
+// String renders the chains grouped by use.
+func (c *Chains) String() string {
+	keys := make([]useKey, 0, len(c.byUse))
+	for k := range c.byUse {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].v < keys[j].v
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		defs := c.byUse[k]
+		parts := make([]string, len(defs))
+		for i, d := range defs {
+			parts[i] = fmt.Sprintf("n%d", d)
+		}
+		fmt.Fprintf(&b, "use %s @n%d <- {%s}\n", k.v, k.node, strings.Join(parts, ","))
+	}
+	return b.String()
+}

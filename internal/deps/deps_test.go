@@ -1,0 +1,162 @@
+package deps
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/defuse"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func findAssign(g *cfg.Graph, v, rhs string) cfg.NodeID {
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindAssign && nd.Var == v && nd.Expr.String() == rhs {
+			return nd.ID
+		}
+	}
+	return cfg.NoNode
+}
+
+func TestStraightLineAllThreeKinds(t *testing.T) {
+	// d1: x := 1    (def)
+	// u:  y := x    (use of x)
+	// d2: x := 2    (def again)
+	g := build(t, "x := 1; y := x; x := 2; print x;")
+	s := Compute(g)
+	d1 := findAssign(g, "x", "1")
+	u := findAssign(g, "y", "x")
+	d2 := findAssign(g, "x", "2")
+
+	if !s.Has(Flow, d1, u, "x") {
+		t.Error("missing flow dep x:=1 → y:=x")
+	}
+	if !s.Has(Anti, u, d2, "x") {
+		t.Error("missing anti dep y:=x → x:=2")
+	}
+	if !s.Has(Output, d1, d2, "x") {
+		t.Error("missing output dep x:=1 → x:=2")
+	}
+	// The second def kills the first: no flow from d1 to the final print.
+	var pr cfg.NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindPrint {
+			pr = nd.ID
+		}
+	}
+	if s.Has(Flow, d1, pr, "x") {
+		t.Error("flow dep must not cross the killing def")
+	}
+	if !s.Has(Flow, d2, pr, "x") {
+		t.Error("missing flow dep x:=2 → print x")
+	}
+}
+
+func TestSelfIncrement(t *testing.T) {
+	// x := x + 1 reads then writes x: anti-dependent on itself, and in a
+	// loop also flow- and output-dependent on itself via the back edge.
+	g := build(t, "read x; x := x + 1; print x;")
+	s := Compute(g)
+	inc := findAssign(g, "x", "(x + 1)")
+	if !s.Has(Anti, inc, inc, "x") {
+		t.Error("missing self anti dependence at x := x+1")
+	}
+	if s.Has(Flow, inc, inc, "x") {
+		t.Error("straight-line self increment has no self flow dependence")
+	}
+
+	g2 := build(t, "x := 0; while (x < 9) { x := x + 1; } print x;")
+	s2 := Compute(g2)
+	inc2 := findAssign(g2, "x", "(x + 1)")
+	if !s2.Has(Flow, inc2, inc2, "x") {
+		t.Error("missing loop-carried flow dependence")
+	}
+	if !s2.Has(Output, inc2, inc2, "x") {
+		t.Error("missing loop-carried output dependence")
+	}
+	if !s2.Has(Anti, inc2, inc2, "x") {
+		t.Error("missing self/loop anti dependence")
+	}
+}
+
+func TestBranchesIndependent(t *testing.T) {
+	// Defs on different branches have no output dependence (no path
+	// between them).
+	g := build(t, "read p; if (p > 0) { x := 1; } else { x := 2; } print x;")
+	s := Compute(g)
+	d1 := findAssign(g, "x", "1")
+	d2 := findAssign(g, "x", "2")
+	if s.Has(Output, d1, d2, "x") || s.Has(Output, d2, d1, "x") {
+		t.Error("parallel branch defs must not be output dependent")
+	}
+}
+
+func TestAntiThroughBranch(t *testing.T) {
+	// A use before the branch is anti-dependent on a def inside one branch.
+	g := build(t, "read x; y := x; read p; if (p > 0) { x := 5; } print x; print y;")
+	s := Compute(g)
+	u := findAssign(g, "y", "x")
+	d := findAssign(g, "x", "5")
+	if !s.Has(Anti, u, d, "x") {
+		t.Errorf("missing anti dep through branch\n%s", s)
+	}
+}
+
+func TestFlowMatchesDefUseChains(t *testing.T) {
+	// Property: the flow component is exactly the def-use chain relation.
+	for seed := int64(0); seed < 15; seed++ {
+		g, err := cfg.Build(workload.Mixed(30, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Compute(g)
+		chains := defuse.Compute(g)
+		flow := s.ByKind(Flow)
+		if len(flow) != chains.Size() {
+			t.Fatalf("seed %d: flow deps %d != chains %d", seed, len(flow), chains.Size())
+		}
+		for _, d := range flow {
+			found := false
+			for _, r := range chains.Reaching(d.To, d.Var) {
+				if r == d.From {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: flow dep %v not in chains", seed, d)
+			}
+		}
+	}
+}
+
+func TestOutputDependenceTransitReduced(t *testing.T) {
+	// Three defs in a row: output deps d1→d2 and d2→d3 but NOT d1→d3 (d2
+	// kills in between).
+	g := build(t, "x := 1; x := 2; x := 3; print x;")
+	s := Compute(g)
+	d1 := findAssign(g, "x", "1")
+	d2 := findAssign(g, "x", "2")
+	d3 := findAssign(g, "x", "3")
+	if !s.Has(Output, d1, d2, "x") || !s.Has(Output, d2, d3, "x") {
+		t.Error("missing adjacent output deps")
+	}
+	if s.Has(Output, d1, d3, "x") {
+		t.Error("output dep must not skip over the intervening def")
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	g := build(t, "x := 1; y := x; x := 2;")
+	if s := Compute(g).String(); s == "" {
+		t.Error("empty String()")
+	}
+}

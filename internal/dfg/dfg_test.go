@@ -1,0 +1,368 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func build(t *testing.T, src string) (*cfg.Graph, *Graph) {
+	t.Helper()
+	g, err := cfg.Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	d, err := Build(g)
+	if err != nil {
+		t.Fatalf("dfg: %v", err)
+	}
+	return g, d
+}
+
+// findNode returns the first node satisfying pred.
+func findNode(g *cfg.Graph, pred func(*cfg.Node) bool) cfg.NodeID {
+	for _, nd := range g.Nodes {
+		if pred(nd) {
+			return nd.ID
+		}
+	}
+	return cfg.NoNode
+}
+
+// useAt returns the use site for variable v at node n, or nil.
+func useAt(d *Graph, n cfg.NodeID, v string) *UseSite {
+	for _, u := range d.Uses {
+		if u.Node == n && u.Var == v {
+			return u
+		}
+	}
+	return nil
+}
+
+func TestStraightLineDefUse(t *testing.T) {
+	g, d := build(t, "x := 1; y := x + 1; print y;")
+	def := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindAssign && n.Var == "x" })
+	use := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindAssign && n.Var == "y" })
+	u := useAt(d, use, "x")
+	if u == nil {
+		t.Fatal("no use of x at y:=x+1")
+	}
+	if d.Ops[u.Src.Op].Kind != OpDef || d.Ops[u.Src.Op].Node != def {
+		t.Errorf("use of x sourced from %v, want def at n%d", d.Ops[u.Src.Op], def)
+	}
+}
+
+// Figure 1(c): x bypasses the conditional (direct def→use edges, no switch
+// operator for x); y is intercepted by a merge at the join.
+func TestFigure1DFG(t *testing.T) {
+	g, d := build(t, `
+		read a;
+		x := 1;
+		if (x == 1) { y := 2; } else { y := 3; a := y; }
+		print y;`)
+
+	sw := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindSwitch })
+	mg := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindMerge })
+	defX := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindAssign && n.Var == "x" })
+	printY := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindPrint })
+
+	// x's use at the switch predicate comes directly from the definition.
+	u := useAt(d, sw, "x")
+	if u == nil {
+		t.Fatal("switch predicate has no x use")
+	}
+	if d.Ops[u.Src.Op].Kind != OpDef || d.Ops[u.Src.Op].Node != defX {
+		t.Errorf("x at switch sourced from %v op at n%d, want the def", d.Ops[u.Src.Op].Kind, d.Ops[u.Src.Op].Node)
+	}
+	// No live switch operator for x: the region after the predicate is
+	// bypassed for x (no defs or uses of x inside).
+	if id, ok := d.switchOf[nodeVar{sw, "x"}]; ok {
+		if d.Ops[id].LiveOut[0] || d.Ops[id].LiveOut[1] {
+			t.Errorf("unexpected live switch operator for x")
+		}
+	}
+	// y at print flows through a merge operator at the join.
+	uy := useAt(d, printY, "y")
+	if uy == nil {
+		t.Fatal("print has no y use")
+	}
+	if op := d.Ops[uy.Src.Op]; op.Kind != OpMerge || op.Node != mg {
+		t.Errorf("y at print sourced from %v at n%d, want merge at n%d", op.Kind, op.Node, mg)
+	}
+	// The merge's two inputs are the two defs of y.
+	mop := d.Ops[uy.Src.Op]
+	if len(mop.In) != 2 {
+		t.Fatalf("y merge has %d inputs, want 2", len(mop.In))
+	}
+	for _, in := range mop.In {
+		op := d.Ops[in.Op]
+		if op.Kind != OpDef || op.Var != "y" {
+			t.Errorf("y merge input from %v %s, want y defs", op.Kind, op.Var)
+		}
+	}
+}
+
+// Figure 2: y := 2 is split by a switch operator; its true output is dead
+// (killed by y := 1 before any use) and removed.
+func TestFigure2DeadEdgeRemoval(t *testing.T) {
+	g, d := build(t, `
+		read p;
+		y := 2;
+		if (p > 0) { x := 1; y := 1; } else { x := 2; }
+		print x; print y;`)
+
+	sw := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindSwitch })
+	sid, ok := d.switchOf[nodeVar{sw, "y"}]
+	if !ok {
+		t.Fatal("no switch operator for y (region defines y, cannot bypass)")
+	}
+	op := d.Ops[sid]
+	if op.LiveOut[0] {
+		t.Error("true output of y's switch should be dead (y:=1 kills it)")
+	}
+	if !op.LiveOut[1] {
+		t.Error("false output of y's switch should be live (flows to merge)")
+	}
+	// x is defined on both sides: no bypass; its switch operator is fully
+	// dead since the incoming x (init) is never used before the defs.
+	if xid, ok := d.switchOf[nodeVar{sw, "x"}]; ok {
+		xop := d.Ops[xid]
+		if xop.LiveOut[0] || xop.LiveOut[1] {
+			t.Error("x's switch operator should be entirely dead")
+		}
+	}
+}
+
+func TestLoopCarriedDependence(t *testing.T) {
+	g, d := build(t, "i := 0; while (i < 10) { i := i + 1; } print i;")
+	hdr := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindMerge })
+	sw := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindSwitch })
+	body := findNode(g, func(n *cfg.Node) bool {
+		return n.Kind == cfg.KindAssign && n.Expr != nil && n.Expr.String() == "(i + 1)"
+	})
+
+	mid, ok := d.mergeOf[nodeVar{hdr, "i"}]
+	if !ok {
+		t.Fatal("no merge operator for i at loop header")
+	}
+	mop := d.Ops[mid]
+	if len(mop.In) != 2 {
+		t.Fatalf("loop merge has %d inputs, want 2", len(mop.In))
+	}
+	// One input from i := 0, one from the switch-gated body def.
+	kinds := map[OpKind]int{}
+	for _, in := range mop.In {
+		kinds[d.Ops[in.Op].Kind]++
+	}
+	if kinds[OpDef] != 2 && !(kinds[OpDef] == 1 && kinds[OpSwitch] == 1) {
+		t.Errorf("unexpected loop merge input kinds: %v", kinds)
+	}
+	// The body's use of i comes from the switch operator's true output.
+	u := useAt(d, body, "i")
+	if u == nil {
+		t.Fatal("body has no i use")
+	}
+	if op := d.Ops[u.Src.Op]; op.Kind != OpSwitch || op.Node != sw || u.Src.Out != cfg.BranchTrue {
+		t.Errorf("body i sourced from %v@n%d out=%v", op.Kind, op.Node, u.Src.Out)
+	}
+}
+
+func TestLoopInvariantBypass(t *testing.T) {
+	// z is neither defined nor used in the loop: its dependence must bypass
+	// the entire loop (no merge/switch operators for z).
+	g, d := build(t, `
+		read z;
+		i := 0;
+		while (i < 10) { i := i + z; }
+		print z;`)
+	_ = g
+	for _, op := range d.Ops {
+		if op.Var != "z" {
+			continue
+		}
+		if op.Kind == OpMerge || op.Kind == OpSwitch {
+			// z IS used in the loop here (i := i + z) — adjust: this test
+			// uses z in the loop, so operators are expected. See below.
+			_ = op
+		}
+	}
+	// Rebuild with a loop not touching z at all.
+	g2, d2 := build(t, `
+		read z;
+		i := 0;
+		while (i < 10) { i := i + 1; }
+		print z;`)
+	_ = g2
+	for _, op := range d2.Ops {
+		if op.Var == "z" && (op.Kind == OpMerge || op.Kind == OpSwitch) && (op.LiveOut[0] || op.LiveOut[1]) {
+			t.Errorf("live %v operator for z despite loop bypass", op.Kind)
+		}
+	}
+	// And print z's source is the read directly.
+	pz := findNode(g2, func(n *cfg.Node) bool { return n.Kind == cfg.KindPrint })
+	u := useAt(d2, pz, "z")
+	if u == nil {
+		t.Fatal("no z use at print")
+	}
+	if op := d2.Ops[u.Src.Op]; op.Kind != OpDef {
+		t.Errorf("z at print sourced from %v, want the read def", op.Kind)
+	}
+}
+
+func TestControlVariable(t *testing.T) {
+	// Statements with no variable operands consume the control variable.
+	g, d := build(t, "read p; if (p > 0) { x := 1; } else { x := 2; } print x;")
+	thenN := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindAssign && n.Expr.String() == "1" })
+	u := useAt(d, thenN, CtlVar)
+	if u == nil {
+		t.Fatal("x := 1 has no control-variable use")
+	}
+	// Its source is the switch operator's true output (control dependence).
+	op := d.Ops[u.Src.Op]
+	if op.Kind != OpSwitch || op.Var != CtlVar || u.Src.Out != cfg.BranchTrue {
+		t.Errorf("ctl use sourced from %v %s out=%v, want switch.T", op.Kind, op.Var, u.Src.Out)
+	}
+	// read p also consumes ctl, directly from init.
+	readN := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindRead })
+	ur := useAt(d, readN, CtlVar)
+	if ur == nil {
+		t.Fatal("read has no control-variable use")
+	}
+	if op := d.Ops[ur.Src.Op]; op.Kind != OpInit {
+		t.Errorf("read ctl sourced from %v, want init", op.Kind)
+	}
+}
+
+func TestDefinition6OnExamples(t *testing.T) {
+	srcs := []string{
+		"x := 1; y := x + 1; print y;",
+		"read p; if (p) { x := 1; } else { x := 2; } print x;",
+		"i := 0; while (i < 10) { i := i + 1; } print i;",
+		`read a; x := 1; if (x == 1) { y := 2; } else { y := 3; a := y; } print y; print a;`,
+		`read p; y := 2; if (p > 0) { x := 1; y := 1; } else { x := 2; } print x; print y;`,
+		`read p; if (p > 0) { i := 0; while (i < 5) { i := i + p; } print i; } print p;`,
+	}
+	for _, src := range srcs {
+		_, d := build(t, src)
+		if err := d.VerifyDefinition6(); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+		if err := d.VerifyMultiedgeOrder(); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestDefinition6OnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, err := cfg.Build(workload.Mixed(30, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := d.VerifyDefinition6(); err != nil {
+			t.Errorf("seed %d: %v\ncfg:\n%s\ndfg:\n%s", seed, err, g, d)
+		}
+		if err := d.VerifyMultiedgeOrder(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDefinition6OnGotoPrograms(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := cfg.Build(workload.GotoMess(8, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := d.VerifyDefinition6(); err != nil {
+			t.Errorf("seed %d: %v\ncfg:\n%s", seed, err, g)
+		}
+	}
+}
+
+func TestEveryUseHasSource(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := cfg.Build(workload.Mixed(40, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every variable operand of every node must have a use site with a
+		// valid source.
+		for _, nd := range g.Nodes {
+			for _, v := range g.Uses(nd.ID) {
+				if useAt(d, nd.ID, v) == nil {
+					t.Fatalf("seed %d: no use site for %s at n%d", seed, v, nd.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeInputArity(t *testing.T) {
+	// Every live merge operator must have one input per CFG in-edge.
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := cfg.Build(workload.Mixed(35, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range d.Ops {
+			if op.Kind != OpMerge {
+				continue
+			}
+			if want := len(g.InEdges(op.Node)); len(op.In) != want {
+				t.Errorf("seed %d: merge op%d for %s at n%d has %d inputs, want %d",
+					seed, op.ID, op.Var, op.Node, len(op.In), want)
+			}
+		}
+	}
+}
+
+func TestStatsAndDump(t *testing.T) {
+	_, d := build(t, `read p; y := 2; if (p > 0) { x := 1; y := 1; } else { x := 2; } print x; print y;`)
+	s := d.ComputeStats()
+	if s.Ops == 0 || s.Dependences == 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+	if s.DeadRemoved == 0 {
+		t.Errorf("expected some dead edges removed, got %+v", s)
+	}
+	if !strings.Contains(d.String(), "merge y") {
+		t.Errorf("String() missing merge for y:\n%s", d)
+	}
+	dot := d.DOT("t")
+	if !strings.Contains(dot, "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func BenchmarkBuildDFG(b *testing.B) {
+	g, err := cfg.Build(workload.Mixed(500, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

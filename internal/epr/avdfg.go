@@ -1,0 +1,300 @@
+package epr
+
+import (
+	"sort"
+
+	"dfg/internal/anticip"
+	"dfg/internal/cfg"
+	"dfg/internal/dataflow"
+	"dfg/internal/dfg"
+	"dfg/internal/lang/ast"
+)
+
+// DFG-based availability (Figure 5(b): "ANT and PAN are backward dataflow
+// problems, while AV is a forward problem").
+//
+// Availability decomposes per variable exactly like anticipatability:
+// AV(e) = ∧ over x ∈ vars(e) of AV-relative-to-x, where AV-rel-x at p means
+// "on every path to p, e was computed after the most recent assignment to
+// x". (For one path, if each variable has a computation after its own last
+// def, the latest computation follows them all; quantifying over paths
+// commutes with the conjunction.)
+//
+// On x's dependence edges, AV-rel-x propagates forward:
+//
+//   - the init and def operators produce false (a fresh value of x kills e);
+//   - a use head that computes e turns the value true for the rest of the
+//     multiedge (heads are totally ordered by dominance, so "the rest" is
+//     well defined by sorting heads in edge preorder);
+//   - merge operators conjoin their inputs; switch operators copy.
+//
+// Where x's dependences do not flow (x dead), relative availability is left
+// undefined; EPR never consults it there (anticipatability is false at
+// those points, and deletions only happen at computing nodes, where every
+// operand is live).
+
+// dfgAV computes AV (total=true) or PAV (total=false) for e per CFG edge
+// using the dependence flow graph. Returned maps contain entries only for
+// edges covered by some variable's dependence flow; absent means unknown
+// (treated as false by EPR's decision rules).
+func dfgAV(d *dfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) map[cfg.EdgeID]bool {
+	vars := ast.ExprVars(e)
+	var combined map[cfg.EdgeID]bool
+	for _, x := range vars {
+		proj := dfgAVVar(d, x, e, total, cost)
+		if combined == nil {
+			combined = proj
+			continue
+		}
+		// Conjoin; edges missing from either projection drop out.
+		for eid := range combined {
+			v, ok := proj[eid]
+			if !ok {
+				delete(combined, eid)
+				continue
+			}
+			combined[eid] = combined[eid] && v
+		}
+	}
+	if combined == nil {
+		combined = map[cfg.EdgeID]bool{}
+	}
+	return combined
+}
+
+// avState identifies a position along a multiedge: the value flowing out of
+// port src after the first pos heads have been passed.
+type avState struct {
+	src dfg.Src
+	pos int
+}
+
+// dfgAVVar solves relative availability for one variable and projects it
+// onto the CFG edges its dependences cover.
+func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Counter) map[cfg.EdgeID]bool {
+	g := d.G
+	pre := g.EdgePreorder()
+
+	// Live ports of x with their live consumers in dominance (preorder)
+	// order.
+	type portInfo struct {
+		src   dfg.Src
+		heads []dfg.Consumer
+	}
+	var ports []portInfo
+	portIdx := map[dfg.Src]int{}
+	addPort := func(s dfg.Src) {
+		if !d.LiveSrc(s) {
+			return
+		}
+		var heads []dfg.Consumer
+		for _, c := range d.Consumers(s) {
+			if d.LiveConsumer(s, c) {
+				heads = append(heads, c)
+			}
+		}
+		sort.SliceStable(heads, func(i, j int) bool {
+			return pre[d.HeadEdge(heads[i])] < pre[d.HeadEdge(heads[j])]
+		})
+		portIdx[s] = len(ports)
+		ports = append(ports, portInfo{src: s, heads: heads})
+	}
+	for _, op := range d.Ops {
+		if op.Var != x {
+			continue
+		}
+		if op.Kind == dfg.OpSwitch {
+			addPort(dfg.Src{Op: op.ID, Out: cfg.BranchTrue})
+			addPort(dfg.Src{Op: op.ID, Out: cfg.BranchFalse})
+		} else {
+			addPort(dfg.Src{Op: op.ID, Out: cfg.BranchNone})
+		}
+	}
+
+	// Unknown: the value at each port's origin. Init/def ports are the
+	// constant false (a fresh x kills e); merge/switch outputs are derived
+	// from their inputs' positional values. AV uses a greatest fixpoint,
+	// PAV a least fixpoint.
+	val := make([]bool, len(ports))
+	for i, p := range ports {
+		switch d.Ops[p.src.Op].Kind {
+		case dfg.OpInit, dfg.OpDef:
+			val[i] = false
+		default:
+			val[i] = total
+		}
+	}
+
+	// posVal(src, k): the value flowing just after the first k heads.
+	posVal := func(src dfg.Src, k int) bool {
+		i, ok := portIdx[src]
+		if !ok {
+			return false
+		}
+		v := val[i]
+		for j := 0; j < k && j < len(ports[i].heads); j++ {
+			c := ports[i].heads[j]
+			if c.UseIdx >= 0 && anticip.Computes(g, d.Uses[c.UseIdx].Node, e) {
+				v = true
+			}
+		}
+		return v
+	}
+
+	// inputPos locates, for an operator input, the producing port and the
+	// consumer's position among its ordered heads.
+	inputPos := func(opID dfg.OpID, inIdx int) (dfg.Src, int) {
+		src := d.Ops[opID].In[inIdx]
+		i, ok := portIdx[src]
+		if !ok {
+			return src, 0
+		}
+		for k, c := range ports[i].heads {
+			if c.UseIdx == -1 && c.Op == opID && c.InIdx == inIdx {
+				return src, k
+			}
+		}
+		return src, len(ports[i].heads)
+	}
+
+	recompute := func(i int) bool {
+		cost.Transfers++
+		p := ports[i]
+		op := d.Ops[p.src.Op]
+		switch op.Kind {
+		case dfg.OpInit, dfg.OpDef:
+			return false
+		case dfg.OpSwitch:
+			src, k := inputPos(op.ID, 0)
+			return posVal(src, k)
+		case dfg.OpMerge:
+			acc := total
+			for inIdx := range op.In {
+				src, k := inputPos(op.ID, inIdx)
+				v := posVal(src, k)
+				cost.Joins++
+				if total {
+					acc = acc && v
+				} else {
+					if inIdx == 0 {
+						acc = v
+					} else {
+						acc = acc || v
+					}
+				}
+			}
+			return acc
+		}
+		return false
+	}
+
+	// Fixpoint: when a port changes, re-evaluate ports fed by it (its
+	// consumers that are operators).
+	wl := dataflow.NewWorklist()
+	for i := range ports {
+		wl.Push(i)
+	}
+	for {
+		i, ok := wl.Pop()
+		if !ok {
+			break
+		}
+		cost.Visits++
+		nv := recompute(i)
+		if nv == val[i] {
+			continue
+		}
+		val[i] = nv
+		for _, c := range ports[i].heads {
+			if c.UseIdx >= 0 {
+				continue
+			}
+			op := d.Ops[c.Op]
+			if op.Kind == dfg.OpSwitch {
+				if j, ok := portIdx[dfg.Src{Op: op.ID, Out: cfg.BranchTrue}]; ok {
+					wl.Push(j)
+				}
+				if j, ok := portIdx[dfg.Src{Op: op.ID, Out: cfg.BranchFalse}]; ok {
+					wl.Push(j)
+				}
+			} else if op.Kind == dfg.OpMerge {
+				if j, ok := portIdx[dfg.Src{Op: op.ID, Out: cfg.BranchNone}]; ok {
+					wl.Push(j)
+				}
+			}
+		}
+	}
+
+	// Projection: walk each port's spans in head (dominance) order. Edges
+	// from the span cursor up to and including a head's in-edge carry the
+	// value *before* that head's node executes; a computing head raises
+	// the value for the edges after its node. Two heads can share one head
+	// edge (a switch's predicate use and the switch operator's input), so
+	// each span is marked only once. A head at a node redefining x ends
+	// the old value's life there — its out-edge belongs to the def
+	// operator's (false) span.
+	out := map[cfg.EdgeID]bool{}
+	mark := func(tail, head cfg.EdgeID, v bool) {
+		span := map[cfg.EdgeID]bool{}
+		markBetweenEdges(g, tail, head, span)
+		for eid := range span {
+			out[eid] = v
+		}
+	}
+	for i, p := range ports {
+		v := val[i]
+		prevEdge := d.TailEdge(p.src)
+		lastMarked := cfg.NoEdge
+		for _, c := range p.heads {
+			he := d.HeadEdge(c)
+			if he != lastMarked {
+				mark(prevEdge, he, v)
+				lastMarked = he
+			}
+			if c.UseIdx < 0 {
+				continue // operator head: downstream handled by its ports
+			}
+			node := d.Uses[c.UseIdx].Node
+			if anticip.Computes(g, node, e) {
+				v = true
+			}
+			if g.Defs(node) == x {
+				break // x redefined: this port's value dies here
+			}
+			if outs := g.OutEdges(node); len(outs) == 1 {
+				prevEdge = outs[0]
+				out[prevEdge] = v
+				lastMarked = cfg.NoEdge
+			}
+		}
+	}
+	return out
+}
+
+// markBetweenEdges marks the CFG edges on paths from tail to head,
+// inclusive (same walk as the anticipatability projection).
+func markBetweenEdges(g *cfg.Graph, tail, head cfg.EdgeID, out map[cfg.EdgeID]bool) {
+	if tail == cfg.NoEdge || head == cfg.NoEdge {
+		return
+	}
+	out[head] = true
+	if head == tail {
+		return
+	}
+	seen := map[cfg.EdgeID]bool{head: true}
+	stack := []cfg.EdgeID{head}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pe := range g.InEdges(g.Edge(cur).Src) {
+			if seen[pe] {
+				continue
+			}
+			seen[pe] = true
+			out[pe] = true
+			if pe != tail {
+				stack = append(stack, pe)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package epr
+
+import (
+	"sort"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dataflow"
+	"dfg/internal/dfg"
+	"dfg/internal/workload"
+)
+
+// TestDFGAvailabilityAgreesOnCoveredEdges: wherever the DFG projection has
+// an answer, it must equal the CFG fixpoint for both AV and PAV.
+func TestDFGAvailabilityAgreesOnCoveredEdges(t *testing.T) {
+	check := func(g *cfg.Graph, label string) {
+		t.Helper()
+		d, err := dfg.Build(g)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for _, e := range CandidateExprs(g) {
+			var cost dataflow.Counter
+			cfgAV := availability(g, e, true, &cost)
+			cfgPAV := availability(g, e, false, &cost)
+			dAV := dfgAV(d, e, true, &cost)
+			dPAV := dfgAV(d, e, false, &cost)
+			for eid, v := range dAV {
+				if cfgAV[eid] != v {
+					t.Errorf("%s: AV(%s) at e%d: CFG=%v DFG=%v\ncfg:\n%s",
+						label, e, eid, cfgAV[eid], v, g)
+					return
+				}
+			}
+			for eid, v := range dPAV {
+				if cfgPAV[eid] != v {
+					t.Errorf("%s: PAV(%s) at e%d: CFG=%v DFG=%v\ncfg:\n%s",
+						label, e, eid, cfgPAV[eid], v, g)
+					return
+				}
+			}
+		}
+	}
+	srcs := []string{
+		cseSrc,
+		ifRedundancySrc,
+		loopInvariantSrc,
+		"read x; y := x + 1; z := x + 1; print y; print z;",
+		"read x; x := x + 1; y := x + 1; print y;",
+	}
+	for _, src := range srcs {
+		check(build(t, src), src)
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := cfg.Build(workload.Mixed(25, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(g, "mixed")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		g, err := cfg.Build(workload.GotoMess(7, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(g, "goto")
+	}
+}
+
+// TestDriversProduceIdenticalDecisions: the two drivers must agree on the
+// exact INSERT edges and DELETE nodes for every candidate expression.
+func TestDriversProduceIdenticalDecisions(t *testing.T) {
+	cmp := func(a, b []cfg.EdgeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		as := append([]cfg.EdgeID(nil), a...)
+		bs := append([]cfg.EdgeID(nil), b...)
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cmpN := func(a, b []cfg.NodeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		as := append([]cfg.NodeID(nil), a...)
+		bs := append([]cfg.NodeID(nil), b...)
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := cfg.Build(workload.Mixed(25, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d *dfg.Graph
+		d, err = dfg.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range CandidateExprs(g) {
+			ac, err := AnalyzeExpr(g, e, DriverCFG, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ad, err := AnalyzeExpr(g, e, DriverDFG, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare only when the transformation would fire.
+			if ac.Redundant() != ad.Redundant() {
+				t.Errorf("seed %d, %s: Redundant() differs: CFG=%v DFG=%v\nCFG analysis:\n%s\nDFG analysis:\n%s",
+					seed, e, ac.Redundant(), ad.Redundant(), ac, ad)
+				continue
+			}
+			if !ac.Redundant() {
+				continue
+			}
+			if !cmp(ac.Insert, ad.Insert) {
+				t.Errorf("seed %d, %s: INSERT differs: CFG=%v DFG=%v", seed, e, ac.Insert, ad.Insert)
+			}
+			if !cmpN(ac.Delete, ad.Delete) {
+				t.Errorf("seed %d, %s: DELETE differs: CFG=%v DFG=%v", seed, e, ac.Delete, ad.Delete)
+			}
+		}
+	}
+}
+
+// TestDFGAvailabilitySelfKill: x := x+1 does not make x+1 available (the
+// fresh x invalidates it).
+func TestDFGAvailabilitySelfKill(t *testing.T) {
+	g := build(t, "read x; x := x + 1; y := x + 1; print y;")
+	d := dfg.MustBuild(g)
+	e := expr(t, "x + 1")
+	var cost dataflow.Counter
+	av := dfgAV(d, e, true, &cost)
+	// Edge after x := x+1: x+1 not available (computed with the OLD x).
+	var afterInc cfg.EdgeID = cfg.NoEdge
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindAssign && nd.Var == "x" && nd.Expr != nil {
+			afterInc = g.OutEdges(nd.ID)[0]
+		}
+	}
+	if av[afterInc] {
+		t.Error("x+1 wrongly available after x := x+1")
+	}
+	// Edge after y := x+1: available.
+	var afterY cfg.EdgeID = cfg.NoEdge
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindAssign && nd.Var == "y" {
+			afterY = g.OutEdges(nd.ID)[0]
+		}
+	}
+	if v, ok := av[afterY]; ok && !v {
+		t.Error("x+1 should be available after y := x+1")
+	}
+}

@@ -1,0 +1,82 @@
+package epr
+
+import (
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/ssa"
+)
+
+// CopyPropagate replaces uses of copies with their sources where provably
+// safe: for a copy `y := x` at node D, a use of y whose (SSA) reaching
+// definition is D is rewritten to x, provided x has at most one definition
+// in the whole program (so its value cannot differ between D and the use).
+//
+// This is deliberately conservative — its purpose is the staged-analysis
+// experiment E12: after EPR rewrites `z := a+b; w := a+b` into `z := t;
+// w := t`, copy propagation exposes `z+1` and `w+1` as the same lexical
+// expression `t+1`, which a second EPR round then eliminates — the §1
+// chain the paper opens with. The input graph is not modified.
+func CopyPropagate(g *cfg.Graph) *cfg.Graph {
+	out := Clone(g)
+	for rounds := 0; rounds < 10; rounds++ {
+		if !copyPropOnce(out) {
+			break
+		}
+	}
+	return out
+}
+
+func copyPropOnce(g *cfg.Graph) bool {
+	form := ssa.Cytron(g)
+
+	defCount := map[string]int{}
+	for _, nd := range g.Nodes {
+		if v := g.Defs(nd.ID); v != "" {
+			defCount[v]++
+		}
+	}
+
+	// copySource maps a copy node D (y := x, with x effectively constant
+	// across the program) to x.
+	copySource := map[cfg.NodeID]string{}
+	for _, nd := range g.Nodes {
+		if nd.Kind != cfg.KindAssign {
+			continue
+		}
+		ref, ok := nd.Expr.(*ast.VarRef)
+		if !ok {
+			continue
+		}
+		x := ref.Name
+		v := form.UseDef[ssa.UseKey{Node: nd.ID, Var: x}]
+		switch {
+		case defCount[x] == 0:
+			copySource[nd.ID] = x // x is uninitialized everywhere
+		case defCount[x] == 1 && v.Kind == ssa.ValDef:
+			copySource[nd.ID] = x // x's single def reaches the copy
+		}
+	}
+	if len(copySource) == 0 {
+		return false
+	}
+
+	changed := false
+	for _, nd := range g.Nodes {
+		if nd.Expr == nil {
+			continue
+		}
+		for _, y := range g.Uses(nd.ID) {
+			v := form.UseDef[ssa.UseKey{Node: nd.ID, Var: y}]
+			if v.Kind != ssa.ValDef {
+				continue
+			}
+			x, ok := copySource[v.Node]
+			if !ok || x == y {
+				continue
+			}
+			nd.Expr = replaceSubexpr(nd.Expr, &ast.VarRef{Name: y}, &ast.VarRef{Name: x})
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,519 @@
+// Package epr implements Section 5.2 of the paper: elimination of partial
+// redundancies, the optimization that subsumes common subexpression
+// elimination and loop-invariant code motion (Morel & Renvoise).
+//
+// The algorithm is edge-based, as the paper advocates ("our epr algorithm
+// is simple in part because it is edge-based rather than node-based...
+// DFG algorithms are naturally edge-based and avoid these complications"):
+//
+//	ANT/PAN  backward anticipatability (internal/anticip, CFG or DFG solver)
+//	AV/PAV   forward total/partial availability
+//	INSERT   the earliest down-safe edges: D = ANT ∧ ¬AV holds, but does
+//	         not yet hold "after transformation" just above
+//	DELETE   computations whose input edge has the expression available
+//	         after insertion
+//
+// Insertions are down-safe (only on edges where the expression is totally
+// anticipatable), so no execution path ever computes the expression more
+// often than before; deletions make partially redundant computations
+// vanish. The paper's PP profitability rules (merge rule and multiedge
+// rule) are provided as a diagnostic analysis; the transformation uses the
+// busy/earliest placement, whose possible superfluous code motion the
+// paper explicitly tolerates ("there is no experimental data showing the
+// superiority of any single strategy").
+package epr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/anticip"
+	"dfg/internal/cfg"
+	"dfg/internal/dataflow"
+	"dfg/internal/dfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// Driver selects which solver supplies anticipatability.
+type Driver int
+
+// Drivers.
+const (
+	DriverCFG Driver = iota // classical fixpoint on the control flow graph
+	DriverDFG               // sparse solver on the dependence flow graph
+)
+
+// Analysis is the per-expression dataflow bundle.
+type Analysis struct {
+	G    *cfg.Graph
+	Expr ast.Expr
+
+	ANT, PAN map[cfg.EdgeID]bool // anticipatability at each edge
+	AV, PAV  map[cfg.EdgeID]bool // total/partial availability at each edge
+
+	// Insert lists the edges receiving a new computation (earliest
+	// down-safe placement); Delete lists the nodes whose computation of
+	// Expr becomes redundant and is replaced by the temporary.
+	Insert []cfg.EdgeID
+	Delete []cfg.NodeID
+
+	Cost dataflow.Counter
+}
+
+// AnalyzeExpr computes the full EPR analysis for one expression.
+func AnalyzeExpr(g *cfg.Graph, e ast.Expr, driver Driver, d *dfg.Graph) (*Analysis, error) {
+	a := &Analysis{G: g, Expr: e}
+
+	switch driver {
+	case DriverDFG:
+		if d == nil {
+			var err error
+			d, err = dfg.Build(g)
+			if err != nil {
+				return nil, err
+			}
+		}
+		r := anticip.DFG(d, e)
+		a.ANT, a.PAN = r.ANT, r.PAN
+		a.Cost.Add(r.Cost)
+		// AV and PAV on the dependence flow graph too (Fig 5(b): "AV is a
+		// forward problem"). Edges not covered by the variables' dependence
+		// flow are absent from the maps and read as false, which is safe:
+		// every edge EPR's decision rules consult lies where the operands
+		// are live, hence covered.
+		a.AV = dfgAV(d, e, true, &a.Cost)
+		a.PAV = dfgAV(d, e, false, &a.Cost)
+	default:
+		r := anticip.CFG(g, e)
+		a.ANT, a.PAN = r.ANT, r.PAN
+		a.Cost.Add(r.Cost)
+		a.AV = availability(g, e, true, &a.Cost)
+		a.PAV = availability(g, e, false, &a.Cost)
+	}
+
+	a.placeAndDelete()
+	return a, nil
+}
+
+// availability solves AV (total=true) or PAV (total=false) per edge: the
+// expression has been computed on every/some path from start with no
+// subsequent assignment to its variables.
+func availability(g *cfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) map[cfg.EdgeID]bool {
+	av := map[cfg.EdgeID]bool{}
+	for _, eid := range g.LiveEdges() {
+		av[eid] = total // GFP for AV, LFP for PAV
+	}
+	av[g.OutEdges(g.Start)[0]] = false
+
+	wl := dataflow.NewWorklist()
+	for _, nd := range g.Nodes {
+		wl.Push(int(nd.ID))
+	}
+	for {
+		ni, ok := wl.Pop()
+		if !ok {
+			break
+		}
+		cost.Visits++
+		n := cfg.NodeID(ni)
+		nd := g.Node(n)
+		if nd.Kind == cfg.KindStart {
+			continue // boundary
+		}
+
+		in := total
+		ins := g.InEdges(n)
+		if len(ins) == 0 {
+			in = false
+		}
+		for _, eid := range ins {
+			cost.Joins++
+			if total {
+				in = in && av[eid]
+			} else {
+				if eid == ins[0] {
+					in = av[eid]
+				} else {
+					in = in || av[eid]
+				}
+			}
+		}
+
+		cost.Transfers++
+		out := in
+		if anticip.Kills(g, n, e) {
+			out = false
+			// A node that computes e and then kills one of its variables
+			// (x := x+1) does not make e available.
+		} else if anticip.Computes(g, n, e) {
+			out = true
+		}
+
+		for _, eid := range g.OutEdges(n) {
+			if av[eid] != out {
+				av[eid] = out
+				wl.Push(int(g.Edge(eid).Dst))
+			}
+		}
+	}
+	return av
+}
+
+// placeAndDelete derives INSERT and DELETE from ANT and AV using the
+// earliest down-safe placement:
+//
+//	D(E)     = ANT(E) ∧ ¬AV(E)         (needed below, not yet available)
+//	S(E)     = D(E) ∨ AV(E)            (available after transformation)
+//	prior(E) = availability just above E assuming upstream S holds
+//	INSERT   = { E : D(E) ∧ ¬prior(E) }
+//	DELETE   = { n computes Expr : S(in(n)) }
+func (a *Analysis) placeAndDelete() {
+	g := a.G
+	d := func(eid cfg.EdgeID) bool { return a.ANT[eid] && !a.AV[eid] }
+	s := func(eid cfg.EdgeID) bool { return d(eid) || a.AV[eid] }
+
+	prior := func(eid cfg.EdgeID) bool {
+		n := g.Edge(eid).Src
+		nd := g.Node(n)
+		if nd.Kind == cfg.KindStart {
+			return false
+		}
+		if anticip.Kills(g, n, a.Expr) {
+			return false
+		}
+		if anticip.Computes(g, n, a.Expr) {
+			return true
+		}
+		ins := g.InEdges(n)
+		if len(ins) == 0 {
+			return false
+		}
+		for _, f := range ins {
+			if !s(f) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, eid := range g.LiveEdges() {
+		if d(eid) && !prior(eid) {
+			a.Insert = append(a.Insert, eid)
+		}
+	}
+	for _, nd := range g.Nodes {
+		if !anticip.Computes(g, nd.ID, a.Expr) {
+			continue
+		}
+		ins := g.InEdges(nd.ID)
+		if len(ins) == 1 && s(ins[0]) {
+			a.Delete = append(a.Delete, nd.ID)
+		}
+	}
+}
+
+// Redundant reports whether the transformation has dynamic benefit: some
+// computation slated for deletion is at least partially redundant (the
+// expression is partially available at its input — true for straight-line
+// CSE, if-shaped partial redundancies, and loop-invariant computations
+// reached again via a back edge). Without such a point the busy placement
+// would only move code without reducing any path's computation count.
+func (a *Analysis) Redundant() bool {
+	for _, nid := range a.Delete {
+		ins := a.G.InEdges(nid)
+		if len(ins) == 1 && a.PAV[ins[0]] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// The paper's PP profitability rules (diagnostic)
+
+// PP identifies the profitable placement points of Figure 5's rules:
+//
+//   - merge rule: an in-edge of a merge is a profitable placement if the
+//     expression is anticipatable and partially available at the merge
+//     output (insertion makes it totally available there);
+//   - multiedge rule: the tail of a DFG multiedge is profitable if the
+//     expression is anticipatable at the tail and partially anticipatable
+//     at two or more heads.
+type PP struct {
+	MergeEdges []cfg.EdgeID // merge-rule placements (merge in-edges)
+	TailEdges  []cfg.EdgeID // multiedge-rule placements (tail CFG edges)
+}
+
+// ProfitablePlacements evaluates the paper's PP rules for e over graph g
+// and its DFG.
+func ProfitablePlacements(g *cfg.Graph, d *dfg.Graph, e ast.Expr, a *Analysis) *PP {
+	pp := &PP{}
+	// Merge rule.
+	for _, nd := range g.Nodes {
+		if nd.Kind != cfg.KindMerge {
+			continue
+		}
+		out := g.OutEdges(nd.ID)[0]
+		if a.ANT[out] && a.PAV[out] {
+			pp.MergeEdges = append(pp.MergeEdges, g.InEdges(nd.ID)...)
+		}
+	}
+	// Multiedge rule: for each variable of e, examine the multiedges of
+	// that variable: tail anticipatable with >= 2 partially anticipatable
+	// heads.
+	vars := ast.ExprVars(e)
+	varSet := map[string]bool{}
+	for _, v := range vars {
+		varSet[v] = true
+	}
+	seen := map[cfg.EdgeID]bool{}
+	for _, op := range d.Ops {
+		if !varSet[op.Var] {
+			continue
+		}
+		outs := []cfg.Branch{cfg.BranchNone}
+		if op.Kind == dfg.OpSwitch {
+			outs = []cfg.Branch{cfg.BranchTrue, cfg.BranchFalse}
+		}
+		for _, out := range outs {
+			src := dfg.Src{Op: op.ID, Out: out}
+			if !d.LiveSrc(src) {
+				continue
+			}
+			tail := d.TailEdge(src)
+			if tail == cfg.NoEdge || !a.ANT[tail] || seen[tail] {
+				continue
+			}
+			panHeads := 0
+			for _, c := range d.Consumers(src) {
+				if !d.LiveConsumer(src, c) {
+					continue
+				}
+				if h := d.HeadEdge(c); h != cfg.NoEdge && a.PAN[h] {
+					panHeads++
+				}
+			}
+			if panHeads >= 2 {
+				seen[tail] = true
+				pp.TailEdges = append(pp.TailEdges, tail)
+			}
+		}
+	}
+	sort.Slice(pp.TailEdges, func(i, j int) bool { return pp.TailEdges[i] < pp.TailEdges[j] })
+	return pp
+}
+
+// ---------------------------------------------------------------------------
+// Transformation
+
+// Stats summarizes one EPR run.
+type Stats struct {
+	Exprs    int // expressions examined
+	Inserted int // computations inserted
+	Replaced int // computations replaced by temporaries
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("exprs=%d inserted=%d replaced=%d", s.Exprs, s.Inserted, s.Replaced)
+}
+
+// mayTrapExpr reports whether evaluating e could fail at runtime: hoisting
+// such expressions can move a trap earlier, which is observable.
+func mayTrapExpr(e ast.Expr) bool {
+	trap := false
+	ast.WalkExpr(e, func(x ast.Expr) {
+		if b, ok := x.(*ast.BinaryExpr); ok && (b.Op == token.SLASH || b.Op == token.PERCENT) {
+			trap = true
+		}
+	})
+	return trap
+}
+
+// CandidateExprs returns the distinct variable-bearing, non-trapping binary
+// subexpressions of the program, innermost (smallest) first so that nested
+// redundancies are handled in stages.
+func CandidateExprs(g *cfg.Graph) []ast.Expr {
+	var out []ast.Expr
+	seen := map[string]bool{}
+	for _, nd := range g.Nodes {
+		if nd.Expr == nil {
+			continue
+		}
+		ast.WalkExpr(nd.Expr, func(x ast.Expr) {
+			b, ok := x.(*ast.BinaryExpr)
+			if !ok || len(ast.ExprVars(b)) == 0 || mayTrapExpr(b) {
+				return
+			}
+			if s := b.String(); !seen[s] {
+				seen[s] = true
+				out = append(out, b)
+			}
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return len(out[i].String()) < len(out[j].String())
+	})
+	return out
+}
+
+// ApplyExpr transforms g for a single expression using a precomputed
+// analysis, returning the number of insertions and replacements. The graph
+// is modified in place; temp is the temporary variable name.
+func ApplyExpr(g *cfg.Graph, a *Analysis, temp string) (inserted, replaced int) {
+	if !a.Redundant() {
+		return 0, 0
+	}
+	g.AddVar(temp)
+	for _, eid := range a.Insert {
+		n := g.AddNode(cfg.KindAssign)
+		g.Nodes[n].Var = temp
+		g.Nodes[n].Expr = ast.CloneExpr(a.Expr)
+		g.Nodes[n].Comment = "epr insert"
+		g.SplitEdge(eid, n)
+		inserted++
+	}
+	for _, nid := range a.Delete {
+		nd := g.Node(nid)
+		nd.Expr = replaceSubexpr(nd.Expr, a.Expr, &ast.VarRef{Name: temp})
+		replaced++
+	}
+	return inserted, replaced
+}
+
+// replaceSubexpr substitutes every occurrence of pat in e with repl.
+func replaceSubexpr(e, pat ast.Expr, repl ast.Expr) ast.Expr {
+	if ast.EqualExpr(e, pat) {
+		return ast.CloneExpr(repl)
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{Op: e.Op, X: replaceSubexpr(e.X, pat, repl), Y: replaceSubexpr(e.Y, pat, repl), Pos: e.Pos}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: e.Op, X: replaceSubexpr(e.X, pat, repl), Pos: e.Pos}
+	}
+	return e
+}
+
+// Placement selects the code-motion strategy.
+type Placement int
+
+// Placements.
+const (
+	// PlaceBusy inserts at the earliest down-safe points (busy code
+	// motion): simple, but temporaries live long.
+	PlaceBusy Placement = iota
+	// PlaceLazy delays insertions to the latest covering points (lazy code
+	// motion, KRS92): same dynamic savings, minimal temporary lifetimes.
+	PlaceLazy
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == PlaceLazy {
+		return "lazy"
+	}
+	return "busy"
+}
+
+// Apply runs EPR over every candidate expression of g with the given
+// driver and busy (earliest) placement, returning the transformed graph
+// and statistics. The input graph is not modified. Temporaries are named
+// epr_t0, epr_t1, ...
+func Apply(g *cfg.Graph, driver Driver) (*cfg.Graph, Stats, error) {
+	return ApplyPlaced(g, driver, PlaceBusy)
+}
+
+// ApplyPlaced is Apply with an explicit placement strategy.
+func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, Stats, error) {
+	out := Clone(g)
+	var st Stats
+	tmp := 0
+	// Iterate until no expression yields a transformation: replacing an
+	// inner expression can expose an outer redundancy.
+	for rounds := 0; rounds < 10; rounds++ {
+		changed := false
+		for _, e := range CandidateExprs(out) {
+			st.Exprs++
+			var d *dfg.Graph
+			if driver == DriverDFG {
+				var err error
+				d, err = dfg.Build(out)
+				if err != nil {
+					return nil, st, err
+				}
+			}
+			a, err := AnalyzeExpr(out, e, driver, d)
+			if err != nil {
+				return nil, st, err
+			}
+			if !a.Redundant() {
+				continue
+			}
+			name := fmt.Sprintf("epr_t%d", tmp)
+			tmp++
+			var ins, rep int
+			if placement == PlaceLazy {
+				out.AddVar(name)
+				ins, rep = applyLazy(out, a, a.Lazy(), name)
+			} else {
+				ins, rep = ApplyExpr(out, a, name)
+			}
+			st.Inserted += ins
+			st.Replaced += rep
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return out, st, nil
+}
+
+// Clone deep-copies a CFG.
+func Clone(g *cfg.Graph) *cfg.Graph {
+	ng := &cfg.Graph{Start: g.Start, End: g.End, VarNames: append([]string(nil), g.VarNames...)}
+	for _, nd := range g.Nodes {
+		cp := &cfg.Node{
+			ID: nd.ID, Kind: nd.Kind, Var: nd.Var, Comment: nd.Comment,
+			In: append([]cfg.EdgeID(nil), nd.In...), Out: append([]cfg.EdgeID(nil), nd.Out...),
+		}
+		if nd.Expr != nil {
+			cp.Expr = ast.CloneExpr(nd.Expr)
+		}
+		ng.Nodes = append(ng.Nodes, cp)
+	}
+	for _, e := range g.Edges {
+		ce := *e
+		ng.Edges = append(ng.Edges, &ce)
+	}
+	return ng
+}
+
+// String renders an analysis compactly.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "expr %s\n", a.Expr)
+	row := func(name string, m map[cfg.EdgeID]bool) {
+		var ids []int
+		for eid, v := range m {
+			if v {
+				ids = append(ids, int(eid))
+			}
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = fmt.Sprintf("e%d", id)
+		}
+		fmt.Fprintf(&b, "  %s: {%s}\n", name, strings.Join(parts, ","))
+	}
+	row("ANT", a.ANT)
+	row("PAN", a.PAN)
+	row("AV", a.AV)
+	row("PAV", a.PAV)
+	fmt.Fprintf(&b, "  INSERT: %v\n  DELETE: %v\n", a.Insert, a.Delete)
+	return b.String()
+}

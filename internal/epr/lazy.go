@@ -1,0 +1,142 @@
+package epr
+
+import (
+	"dfg/internal/anticip"
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+)
+
+// Lazy placement (Knoop, Rüthing & Steffen's lazy code motion, which the
+// paper cites in its discussion of placement strategies: "there has been
+// much discussion in the literature about code motion strategies [DS88,
+// Dha91, KRS92]"). Busy placement inserts at the *earliest* down-safe
+// points, which can move computations far above their uses — the
+// "superfluous code motion" §5.2 worries about. Lazy placement delays each
+// insertion to the *latest* point that still covers every redundant
+// computation, minimizing temporary lifetimes while eliminating exactly
+// the same dynamic redundancies.
+//
+// The delay analysis (greatest fixpoint, forward):
+//
+//	LATER(e)   = EARLIEST(e) ∨ (LATERIN(src(e)) ∧ src(e) does not compute)
+//	LATERIN(n) = ∧ over in-edges e of LATER(e);   LATERIN(start) = false
+//
+// Placement:
+//
+//	insert on edge e        iff LATER(e) ∧ ¬LATERIN(dst(e))
+//	landing node n          iff n computes the expression ∧ LATERIN(n)
+//	                             (the delayed insertion lands at n: insert
+//	                             t := e just above n and rewrite n)
+//	replaced node n         iff n computes ∧ ¬LATERIN(n)
+//	                             (t provably arrives: rewrite n to use t)
+type LazyPlacement struct {
+	Insert  []cfg.EdgeID // pure edge insertions
+	Landing []cfg.NodeID // computations that become the definition point
+	Replace []cfg.NodeID // computations rewritten to use the temporary
+}
+
+// Lazy derives the lazy placement from a completed analysis (whose Insert
+// field holds the earliest placement).
+func (a *Analysis) Lazy() *LazyPlacement {
+	g := a.G
+	earliest := map[cfg.EdgeID]bool{}
+	for _, e := range a.Insert {
+		earliest[e] = true
+	}
+	comp := func(n cfg.NodeID) bool { return anticip.Computes(g, n, a.Expr) }
+
+	later := map[cfg.EdgeID]bool{}
+	laterIn := map[cfg.NodeID]bool{}
+	for _, eid := range g.LiveEdges() {
+		later[eid] = true
+	}
+	for _, nd := range g.Nodes {
+		laterIn[nd.ID] = nd.ID != g.Start
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, eid := range g.LiveEdges() {
+			src := g.Edge(eid).Src
+			v := earliest[eid] || (laterIn[src] && !comp(src) && src != g.Start)
+			if v != later[eid] {
+				later[eid] = v
+				changed = true
+			}
+		}
+		for _, nd := range g.Nodes {
+			if nd.ID == g.Start {
+				continue
+			}
+			v := true
+			ins := g.InEdges(nd.ID)
+			if len(ins) == 0 {
+				v = false
+			}
+			for _, eid := range ins {
+				v = v && later[eid]
+			}
+			if v != laterIn[nd.ID] {
+				laterIn[nd.ID] = v
+				changed = true
+			}
+		}
+	}
+
+	lp := &LazyPlacement{}
+	for _, eid := range g.LiveEdges() {
+		if later[eid] && !laterIn[g.Edge(eid).Dst] {
+			lp.Insert = append(lp.Insert, eid)
+		}
+	}
+	for _, nd := range g.Nodes {
+		if !comp(nd.ID) {
+			continue
+		}
+		if laterIn[nd.ID] {
+			lp.Landing = append(lp.Landing, nd.ID)
+		} else {
+			lp.Replace = append(lp.Replace, nd.ID)
+		}
+	}
+
+	// Prune: an insertion edge whose destination subtree contains no
+	// replaced computation serves nobody... coverage follows from the LCM
+	// theorems, so we keep the sets as computed; Redundant() already gates
+	// whether any transformation happens at all.
+	return lp
+}
+
+// applyLazy rewrites g for one expression using the lazy placement.
+func applyLazy(g *cfg.Graph, a *Analysis, lp *LazyPlacement, temp string) (inserted, replaced int) {
+	g.AddVar(temp)
+	newAssign := func() cfg.NodeID {
+		n := g.AddNode(cfg.KindAssign)
+		g.Nodes[n].Var = temp
+		g.Nodes[n].Expr = ast.CloneExpr(a.Expr)
+		g.Nodes[n].Comment = "epr lazy insert"
+		return n
+	}
+	for _, eid := range lp.Insert {
+		g.SplitEdge(eid, newAssign())
+		inserted++
+	}
+	for _, nid := range lp.Landing {
+		// t := e just above the landing computation, then rewrite it.
+		ins := g.InEdges(nid)
+		if len(ins) != 1 {
+			continue // computations always have one in-edge in this IR
+		}
+		g.SplitEdge(ins[0], newAssign())
+		inserted++
+		nd := g.Node(nid)
+		nd.Expr = replaceSubexpr(nd.Expr, a.Expr, &ast.VarRef{Name: temp})
+		replaced++
+	}
+	for _, nid := range lp.Replace {
+		nd := g.Node(nid)
+		nd.Expr = replaceSubexpr(nd.Expr, a.Expr, &ast.VarRef{Name: temp})
+		replaced++
+	}
+	return inserted, replaced
+}

@@ -1,0 +1,166 @@
+package epr
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/workload"
+)
+
+// TestLazySameDynamicSavings: busy and lazy placement eliminate exactly
+// the same dynamic redundancies — operator evaluation counts match on
+// every input, and both match or beat the original.
+func TestLazySameDynamicSavings(t *testing.T) {
+	srcs := []string{
+		cseSrc,
+		ifRedundancySrc,
+		loopInvariantSrc,
+		"read x; u := x + 1; w := x + 1; print u; print w;",
+	}
+	for _, src := range srcs {
+		g := build(t, src)
+		busy, _, err := ApplyPlaced(g, DriverCFG, PlaceBusy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, _, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inputs := range [][]int64{{1, 2, 3}, {5, 1, 10}, {0, 0, 0}} {
+			orig, err0 := interp.Run(g, inputs, 300000)
+			rb, err1 := interp.Run(busy, inputs, 300000)
+			rl, err2 := interp.Run(lazy, inputs, 300000)
+			if err0 != nil || err1 != nil || err2 != nil {
+				t.Fatalf("%q: run error: %v %v %v", src, err0, err1, err2)
+			}
+			if !interp.SameOutput(orig, rb) || !interp.SameOutput(orig, rl) {
+				t.Errorf("%q: outputs differ on %v\nlazy:\n%s", src, inputs, lazy)
+			}
+			if rb.BinOps != rl.BinOps {
+				t.Errorf("%q on %v: busy %d binops, lazy %d (must match)\nlazy:\n%s",
+					src, inputs, rb.BinOps, rl.BinOps, lazy)
+			}
+		}
+	}
+}
+
+// TestLazyAvoidsHoistingAboveBranch: on the if-shaped redundancy, busy
+// placement hoists above the conditional while lazy placement inserts on
+// the else edge and lands at the then-side computation — the temp is never
+// live across the branch point.
+func TestLazyAvoidsHoistingAboveBranch(t *testing.T) {
+	g := build(t, ifRedundancySrc)
+	a, err := AnalyzeExpr(g, expr(t, "x + 1"), DriverCFG, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Redundant() {
+		t.Fatal("expected redundancy")
+	}
+	lp := a.Lazy()
+
+	var sw cfg.NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindSwitch {
+			sw = nd.ID
+		}
+	}
+	fEdge := g.SwitchEdge(sw, cfg.BranchFalse)
+	dom := cfg.NewDominance(g)
+
+	// Busy inserts strictly above the switch.
+	for _, eid := range a.Insert {
+		if !dom.EdgeDominatesEdge(eid, g.InEdges(sw)[0]) && eid != g.InEdges(sw)[0] {
+			t.Errorf("busy insert e%d not above the switch", eid)
+		}
+	}
+	// Lazy: one pure insertion on the false edge, one landing at u := x+1.
+	if len(lp.Insert) != 1 || lp.Insert[0] != fEdge {
+		t.Errorf("lazy Insert = %v, want [e%d] (the else edge)\nanalysis:\n%s", lp.Insert, fEdge, a)
+	}
+	if len(lp.Landing) != 1 {
+		t.Errorf("lazy Landing = %v, want the then-side computation", lp.Landing)
+	}
+	// w := x+1 is a pure replacement.
+	if len(lp.Replace) != 1 {
+		t.Errorf("lazy Replace = %v, want exactly w := x+1", lp.Replace)
+	}
+}
+
+// TestLazyLoopInvariantInsertAtEntry: lazy placement still hoists the
+// repeat-until invariant out of the loop (the latest point outside it).
+func TestLazyLoopInvariantInsertAtEntry(t *testing.T) {
+	g := build(t, loopInvariantSrc)
+	opt, st, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replaced == 0 {
+		t.Fatalf("no replacement: %v\n%s", st, opt)
+	}
+	a, _ := interp.Run(g, []int64{3, 4, 10}, 100000)
+	b, _ := interp.Run(opt, []int64{3, 4, 10}, 100000)
+	if b.BinOps >= a.BinOps {
+		t.Errorf("no dynamic savings under lazy placement: %d vs %d", b.BinOps, a.BinOps)
+	}
+}
+
+// TestLazySemanticPreservationRandom: the heavyweight differential check.
+func TestLazySemanticPreservationRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, err := cfg.Build(workload.Mixed(30, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph after lazy EPR: %v", seed, err)
+		}
+		differential(t, g, opt, "lazy-mixed", false)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		g, err := cfg.Build(workload.GotoMess(7, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		differential(t, g, opt, "lazy-goto", false)
+	}
+}
+
+// TestLazyVsBusyDynamicEquality: busy and lazy agree on dynamic cost for
+// random programs too.
+func TestLazyVsBusyDynamicEquality(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := cfg.Build(workload.Mixed(25, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		busy, _, err := ApplyPlaced(g, DriverCFG, PlaceBusy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, _, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inputs := range [][]int64{{4, 2, 7, 1}, {9, 9, 9, 9}} {
+			rb, err1 := interp.Run(busy, inputs, 300000)
+			rl, err2 := interp.Run(lazy, inputs, 300000)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if rb.BinOps != rl.BinOps {
+				t.Errorf("seed %d on %v: busy %d vs lazy %d binops", seed, inputs, rb.BinOps, rl.BinOps)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package interp executes control flow graphs directly. It is the
+// verification substrate of the repository: every optimization pass is
+// differential-tested by running the original and transformed CFGs on the
+// same inputs and comparing observable output (the sequence of printed
+// values).
+//
+// The interpreter also counts expression evaluations, which experiment E7
+// uses to demonstrate that partial redundancy elimination reduces the
+// dynamic number of computations without changing results.
+package interp
+
+import (
+	"fmt"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// Value is a runtime value: an integer or a boolean.
+type Value struct {
+	Bool bool
+	B    bool // true if the value is a boolean
+	I    int64
+}
+
+// IntVal makes an integer value.
+func IntVal(i int64) Value { return Value{I: i} }
+
+// BoolVal makes a boolean value.
+func BoolVal(b bool) Value { return Value{Bool: b, B: true} }
+
+// String renders the value as the language would print it.
+func (v Value) String() string {
+	if v.B {
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// Result is the observable outcome of a run.
+type Result struct {
+	// Output is the sequence of printed values.
+	Output []Value
+	// Steps is the number of CFG nodes executed.
+	Steps int
+	// BinOps is the number of binary/unary operator evaluations — the
+	// dynamic computation count that redundancy elimination reduces.
+	BinOps int
+	// Reads is how many inputs were consumed.
+	Reads int
+}
+
+// Outputs renders the output sequence as a comparable string slice.
+func (r *Result) Outputs() []string {
+	out := make([]string, len(r.Output))
+	for i, v := range r.Output {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// RunError describes a runtime failure (type error, division by zero, step
+// limit).
+type RunError struct {
+	Node cfg.NodeID
+	Msg  string
+}
+
+// Error implements error.
+func (e *RunError) Error() string { return fmt.Sprintf("interp: at n%d: %s", e.Node, e.Msg) }
+
+// Run executes g with the given input stream. Reads beyond the end of
+// inputs yield 0. Execution stops with an error after maxSteps nodes
+// (maxSteps <= 0 means 1,000,000). Uninitialized variables read as 0.
+func Run(g *cfg.Graph, inputs []int64, maxSteps int) (*Result, error) {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	env := map[string]Value{}
+	res := &Result{}
+
+	cur := g.Start
+	for {
+		if res.Steps >= maxSteps {
+			return res, &RunError{Node: cur, Msg: fmt.Sprintf("step limit %d exceeded", maxSteps)}
+		}
+		res.Steps++
+		nd := g.Node(cur)
+
+		var next cfg.EdgeID = cfg.NoEdge
+		switch nd.Kind {
+		case cfg.KindStart, cfg.KindMerge, cfg.KindNop:
+			next = firstOut(g, cur)
+
+		case cfg.KindEnd:
+			return res, nil
+
+		case cfg.KindAssign:
+			v, err := eval(nd.Expr, env, res)
+			if err != nil {
+				return res, &RunError{Node: cur, Msg: err.Error()}
+			}
+			env[nd.Var] = v
+			next = firstOut(g, cur)
+
+		case cfg.KindRead:
+			var v int64
+			if res.Reads < len(inputs) {
+				v = inputs[res.Reads]
+			}
+			res.Reads++
+			env[nd.Var] = IntVal(v)
+			next = firstOut(g, cur)
+
+		case cfg.KindPrint:
+			v, err := eval(nd.Expr, env, res)
+			if err != nil {
+				return res, &RunError{Node: cur, Msg: err.Error()}
+			}
+			res.Output = append(res.Output, v)
+			next = firstOut(g, cur)
+
+		case cfg.KindSwitch:
+			v, err := eval(nd.Expr, env, res)
+			if err != nil {
+				return res, &RunError{Node: cur, Msg: err.Error()}
+			}
+			if !v.B {
+				return res, &RunError{Node: cur, Msg: fmt.Sprintf("switch predicate is not boolean: %s", v)}
+			}
+			if v.Bool {
+				next = g.SwitchEdge(cur, cfg.BranchTrue)
+			} else {
+				next = g.SwitchEdge(cur, cfg.BranchFalse)
+			}
+		}
+		if next == cfg.NoEdge {
+			return res, &RunError{Node: cur, Msg: "no successor edge"}
+		}
+		cur = g.Edge(next).Dst
+	}
+}
+
+func firstOut(g *cfg.Graph, n cfg.NodeID) cfg.EdgeID {
+	outs := g.OutEdges(n)
+	if len(outs) == 0 {
+		return cfg.NoEdge
+	}
+	return outs[0]
+}
+
+// eval evaluates an expression in env, counting operator applications.
+func eval(e ast.Expr, env map[string]Value, res *Result) (Value, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return IntVal(e.Value), nil
+	case *ast.BoolLit:
+		return BoolVal(e.Value), nil
+	case *ast.VarRef:
+		return env[e.Name], nil // zero Value = int 0
+	case *ast.UnaryExpr:
+		x, err := eval(e.X, env, res)
+		if err != nil {
+			return Value{}, err
+		}
+		res.BinOps++
+		switch e.Op {
+		case token.MINUS:
+			if x.B {
+				return Value{}, fmt.Errorf("unary - applied to boolean")
+			}
+			return IntVal(-x.I), nil
+		case token.NOT:
+			if !x.B {
+				return Value{}, fmt.Errorf("! applied to integer")
+			}
+			return BoolVal(!x.Bool), nil
+		}
+		return Value{}, fmt.Errorf("unknown unary operator %s", e.Op)
+	case *ast.BinaryExpr:
+		x, err := eval(e.X, env, res)
+		if err != nil {
+			return Value{}, err
+		}
+		// Short-circuit booleans.
+		if e.Op == token.AND || e.Op == token.OR {
+			if !x.B {
+				return Value{}, fmt.Errorf("%s applied to integer", e.Op)
+			}
+			res.BinOps++
+			if (e.Op == token.AND && !x.Bool) || (e.Op == token.OR && x.Bool) {
+				return x, nil
+			}
+			y, err := eval(e.Y, env, res)
+			if err != nil {
+				return Value{}, err
+			}
+			if !y.B {
+				return Value{}, fmt.Errorf("%s applied to integer", e.Op)
+			}
+			return y, nil
+		}
+		y, err := eval(e.Y, env, res)
+		if err != nil {
+			return Value{}, err
+		}
+		res.BinOps++
+		return applyBinary(e.Op, x, y)
+	}
+	return Value{}, fmt.Errorf("unknown expression %T", e)
+}
+
+// applyBinary applies a non-short-circuit binary operator.
+func applyBinary(op token.Kind, x, y Value) (Value, error) {
+	switch op {
+	case token.EQ, token.NEQ:
+		if x.B != y.B {
+			return Value{}, fmt.Errorf("comparing integer with boolean")
+		}
+		eq := x == y
+		if op == token.NEQ {
+			eq = !eq
+		}
+		return BoolVal(eq), nil
+	}
+	if x.B || y.B {
+		return Value{}, fmt.Errorf("%s applied to boolean", op)
+	}
+	switch op {
+	case token.PLUS:
+		return IntVal(x.I + y.I), nil
+	case token.MINUS:
+		return IntVal(x.I - y.I), nil
+	case token.STAR:
+		return IntVal(x.I * y.I), nil
+	case token.SLASH:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("division by zero")
+		}
+		return IntVal(x.I / y.I), nil
+	case token.PERCENT:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("modulo by zero")
+		}
+		return IntVal(x.I % y.I), nil
+	case token.LT:
+		return BoolVal(x.I < y.I), nil
+	case token.LE:
+		return BoolVal(x.I <= y.I), nil
+	case token.GT:
+		return BoolVal(x.I > y.I), nil
+	case token.GE:
+		return BoolVal(x.I >= y.I), nil
+	}
+	return Value{}, fmt.Errorf("unknown binary operator %s", op)
+}
+
+// EvalConst evaluates an expression with no variable references (constant
+// folding helper shared with the optimizers). Returns ok=false if the
+// expression references variables or traps (division by zero).
+func EvalConst(e ast.Expr) (Value, bool) {
+	if len(ast.ExprVars(e)) != 0 {
+		return Value{}, false
+	}
+	r := &Result{}
+	v, err := eval(e, map[string]Value{}, r)
+	if err != nil {
+		return Value{}, false
+	}
+	return v, true
+}
+
+// SameOutput reports whether two results printed identical sequences.
+func SameOutput(a, b *Result) bool {
+	if len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func run(t *testing.T, src string, inputs ...int64) *Result {
+	t.Helper()
+	g, err := cfg.Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := Run(g, inputs, 100000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func wantOutput(t *testing.T, res *Result, want ...string) {
+	t.Helper()
+	got := res.Outputs()
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, "x := 2 + 3 * 4; print x; print x - 1; print x / 2; print x % 5;")
+	wantOutput(t, res, "14", "13", "7", "4")
+}
+
+func TestBooleansAndComparisons(t *testing.T) {
+	res := run(t, "x := 5; print x < 10; print x == 5; print x != 5; print x >= 6;")
+	wantOutput(t, res, "true", "true", "false", "false")
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not be evaluated when the left is false;
+	// 1/0 would trap.
+	res := run(t, "x := 0; print x > 0 && 1 / x > 0; print x == 0 || 1 / x > 0;")
+	wantOutput(t, res, "false", "true")
+}
+
+func TestIfElse(t *testing.T) {
+	res := run(t, "read p; if (p > 0) { print 1; } else { print 2; }", 5)
+	wantOutput(t, res, "1")
+	res = run(t, "read p; if (p > 0) { print 1; } else { print 2; }", -5)
+	wantOutput(t, res, "2")
+}
+
+func TestWhileLoop(t *testing.T) {
+	res := run(t, "i := 0; s := 0; while (i < 5) { s := s + i; i := i + 1; } print s;")
+	wantOutput(t, res, "10")
+}
+
+func TestGotoLoop(t *testing.T) {
+	res := run(t, `
+		read n;
+		label top:
+		print n;
+		n := n - 1;
+		if (n > 0) { goto top; }`, 3)
+	wantOutput(t, res, "3", "2", "1")
+}
+
+func TestReadsDefaultZero(t *testing.T) {
+	res := run(t, "read a; read b; print a + b;", 7)
+	wantOutput(t, res, "7") // second read gets 0
+	if res.Reads != 2 {
+		t.Errorf("Reads = %d, want 2", res.Reads)
+	}
+}
+
+func TestUninitializedIsZero(t *testing.T) {
+	res := run(t, "print x + 1;")
+	wantOutput(t, res, "1")
+}
+
+func TestStepLimit(t *testing.T) {
+	g, err := cfg.Build(parser.MustParse("read p; p := 1; while (p > 0) { p := p + 1; } print p;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(g, nil, 100)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	g, err := cfg.Build(parser.MustParse("x := 0; print 1 / x;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(g, nil, 100)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division error, got %v", err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	for _, src := range []string{
+		"x := 1 + true;",
+		"if (5) { print 1; }",
+		"print !3;",
+		"print true < false;",
+	} {
+		g, err := cfg.Build(parser.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(g, nil, 100); err == nil {
+			t.Errorf("%q: expected runtime type error", src)
+		}
+	}
+}
+
+func TestBinOpCounting(t *testing.T) {
+	res := run(t, "x := 1 + 2; y := x * 3;")
+	if res.BinOps != 2 {
+		t.Errorf("BinOps = %d, want 2", res.BinOps)
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	prog := parser.MustParse("x := 2 * 3 + 4; y := a + 1; z := 1 / 0; w := 3 < 4;")
+	rhs := func(i int) ast.Expr { return prog.Stmts[i].(*ast.AssignStmt).RHS }
+
+	if v, ok := EvalConst(rhs(0)); !ok || v.B || v.I != 10 {
+		t.Errorf("EvalConst(2*3+4) = %v, %v", v, ok)
+	}
+	if _, ok := EvalConst(rhs(1)); ok {
+		t.Error("EvalConst(a+1) should fail (variable reference)")
+	}
+	if _, ok := EvalConst(rhs(2)); ok {
+		t.Error("EvalConst(1/0) should fail (trap)")
+	}
+	if v, ok := EvalConst(rhs(3)); !ok || !v.B || !v.Bool {
+		t.Errorf("EvalConst(3<4) = %v, %v", v, ok)
+	}
+}
+
+func TestWorkloadProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, err := cfg.Build(workload.Mixed(40, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(g, []int64{3, 1, 4, 1, 5, 9, 2, 6}, 200000); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := cfg.Build(workload.GotoMess(8, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(g, []int64{3}, 200000); err != nil {
+			t.Errorf("goto seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSameOutput(t *testing.T) {
+	a := run(t, "print 1; print 2;")
+	b := run(t, "x := 1; print x; print x + 1;")
+	if !SameOutput(a, b) {
+		t.Error("outputs should match")
+	}
+	c := run(t, "print 1;")
+	if SameOutput(a, c) {
+		t.Error("outputs should differ")
+	}
+}

@@ -1,0 +1,86 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/parser"
+)
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"0":     {},
+		"-7":    IntVal(-7),
+		"true":  BoolVal(true),
+		"false": BoolVal(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOutputsRendering(t *testing.T) {
+	res := run(t, "print 1; print true; print 2 - 5;")
+	got := res.Outputs()
+	want := []string{"1", "true", "-3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Outputs()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunErrorMessage(t *testing.T) {
+	g, err := cfg.Build(parser.MustParse("x := 1 / 0;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := Run(g, nil, 100)
+	if rerr == nil {
+		t.Fatal("expected trap")
+	}
+	if !strings.Contains(rerr.Error(), "interp: at n") {
+		t.Errorf("error lacks location: %v", rerr)
+	}
+	var re *RunError
+	if ok := errorsAs(rerr, &re); !ok || re.Node == cfg.NoNode {
+		t.Errorf("expected RunError with node, got %T", rerr)
+	}
+}
+
+// errorsAs is a minimal errors.As for *RunError (stdlib errors is fine too;
+// kept explicit for clarity).
+func errorsAs(err error, target **RunError) bool {
+	re, ok := err.(*RunError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+func TestModuloAndUnary(t *testing.T) {
+	res := run(t, "x := 17; print -x; print x % 5; print !(x > 20);")
+	wantOutput(t, res, "-17", "2", "true")
+}
+
+func TestNestedBooleanPredicates(t *testing.T) {
+	res := run(t, `
+		read a; read b;
+		if (a > 0 && (b < 0 || a == b)) { print 1; } else { print 2; }`,
+		3, 3)
+	wantOutput(t, res, "1")
+}
+
+func TestDefaultStepCap(t *testing.T) {
+	// maxSteps <= 0 selects the 1M default; a small program finishes fine.
+	g, err := cfg.Build(parser.MustParse("print 1;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+}

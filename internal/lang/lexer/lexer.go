@@ -1,0 +1,231 @@
+// Package lexer implements a hand-written scanner for the analysis
+// language. It produces a stream of tokens with positions and reports
+// lexical errors with their source location.
+package lexer
+
+import (
+	"fmt"
+
+	"dfg/internal/lang/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input buffer into tokens. The zero value is not usable;
+// construct with New.
+type Lexer struct {
+	src  []byte
+	off  int // current reading offset
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src []byte) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// pos returns the current source position.
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{Offset: l.off, Line: l.line, Col: l.col}
+}
+
+// peek returns the current byte without consuming it, or 0 at EOF.
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+// peek2 returns the byte after the current one, or 0.
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+// advance consumes one byte, maintaining line/col accounting.
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// skipSpaceAndComments consumes whitespace and // or /* */ comments.
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. At end of input it returns an EOF
+// token; it is safe to call Next repeatedly after EOF.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := string(l.src[start:l.off])
+		kind := token.Lookup(lit)
+		if kind != token.IDENT {
+			return token.Token{Kind: kind, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off < len(l.src) && isLetter(l.peek()) {
+			l.errorf(pos, "malformed number: letter follows digits")
+		}
+		return token.Token{Kind: token.INT, Lit: string(l.src[start:l.off]), Pos: pos}
+	}
+
+	l.advance()
+	two := func(second byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: ifTwo, Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Pos: pos}
+	}
+
+	switch c {
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ':':
+		return two('=', token.ASSIGN, token.COLON)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.EQ, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '='; assignment is ':=' and equality is '=='")
+		return token.Token{Kind: token.ILLEGAL, Lit: "=", Pos: pos}
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LE, token.LT)
+	case '>':
+		return two('=', token.GE, token.GT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.AND, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '&'; did you mean '&&'?")
+		return token.Token{Kind: token.ILLEGAL, Lit: "&", Pos: pos}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.OR, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '|'; did you mean '||'?")
+		return token.Token{Kind: token.ILLEGAL, Lit: "|", Pos: pos}
+	}
+	l.errorf(pos, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// ScanAll tokenizes the whole input, returning the tokens (ending with EOF)
+// and any lexical errors.
+func ScanAll(src []byte) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

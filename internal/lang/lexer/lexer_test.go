@@ -1,0 +1,152 @@
+package lexer
+
+import (
+	"testing"
+
+	"dfg/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasicProgram(t *testing.T) {
+	src := `x := 1; if (x < 2) { y := x + 1; } else { y := 0; }`
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.SEMI,
+		token.IF, token.LPAREN, token.IDENT, token.LT, token.INT, token.RPAREN,
+		token.LBRACE, token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.INT, token.SEMI, token.RBRACE,
+		token.ELSE, token.LBRACE, token.IDENT, token.ASSIGN, token.INT, token.SEMI, token.RBRACE,
+		token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	src := `+ - * / % == != < <= > >= && || ! := : ;`
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE,
+		token.AND, token.OR, token.NOT, token.ASSIGN, token.COLON, token.SEMI, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanKeywords(t *testing.T) {
+	src := `if else while goto label print read skip true false notakeyword`
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.IF, token.ELSE, token.WHILE, token.GOTO, token.LABEL,
+		token.PRINT, token.READ, token.SKIP, token.TRUE, token.FALSE,
+		token.IDENT, token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if toks[10].Lit != "notakeyword" {
+		t.Errorf("ident literal = %q", toks[10].Lit)
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	src := "x := 1; // line comment\n/* block\ncomment */ y := 2;"
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == token.IDENT {
+			idents = append(idents, tok.Lit)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "x" || idents[1] != "y" {
+		t.Errorf("idents = %v, want [x y]", idents)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	src := "x := 1;\n  y := 2;"
+	toks, _ := ScanAll([]byte(src))
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	// y is the 5th token (x, :=, 1, ;, y)
+	if toks[4].Pos.Line != 2 || toks[4].Pos.Col != 3 {
+		t.Errorf("y at %v, want 2:3", toks[4].Pos)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int // minimum error count
+	}{
+		{"x = 1;", 1},      // single '='
+		{"x := 1 & 2;", 1}, // single '&'
+		{"x := 1 | 2;", 1}, // single '|'
+		{"x := 3abc;", 1},  // malformed number
+		{"x := $;", 1},     // illegal character
+		{"/* unterminated", 1},
+	}
+	for _, c := range cases {
+		_, errs := ScanAll([]byte(c.src))
+		if len(errs) < c.want {
+			t.Errorf("ScanAll(%q): %d errors, want >= %d", c.src, len(errs), c.want)
+		}
+	}
+}
+
+func TestEOFStable(t *testing.T) {
+	l := New([]byte("x"))
+	l.Next() // IDENT
+	for i := 0; i < 3; i++ {
+		if got := l.Next(); got.Kind != token.EOF {
+			t.Fatalf("Next after EOF = %v, want EOF", got)
+		}
+	}
+}
+
+func TestUnterminatedCommentAtEOF(t *testing.T) {
+	toks, errs := ScanAll([]byte("x := 1; /*"))
+	if len(errs) != 1 {
+		t.Fatalf("want exactly 1 error, got %v", errs)
+	}
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Fatalf("stream must end with EOF")
+	}
+}

@@ -1,0 +1,314 @@
+// Package parser implements a recursive-descent parser for the analysis
+// language, producing the AST of internal/lang/ast.
+//
+// Grammar (EBNF):
+//
+//	program  = { stmt } .
+//	stmt     = ident ":=" expr ";"
+//	         | "if" "(" expr ")" block [ "else" block ]
+//	         | "while" "(" expr ")" block
+//	         | "goto" ident ";"
+//	         | "label" ident ":"
+//	         | "print" expr ";"
+//	         | "read" ident ";"
+//	         | "skip" ";" .
+//	block    = "{" { stmt } "}" .
+//	expr     = binary expression with standard precedence (see token.Kind.Precedence)
+//	unary    = [ "!" | "-" ] primary .
+//	primary  = INT | "true" | "false" | ident | "(" expr ")" .
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/lexer"
+	"dfg/internal/lang/token"
+)
+
+// Parser holds parse state. Construct with New, then call ParseProgram.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs []string
+}
+
+// New returns a parser over src. Lexical errors are carried into the
+// parser's error list.
+func New(src []byte) *Parser {
+	toks, lerrs := lexer.ScanAll(src)
+	p := &Parser{toks: toks}
+	for _, e := range lerrs {
+		p.errs = append(p.errs, e.Error())
+	}
+	return p
+}
+
+// Parse parses src as a whole program.
+func Parse(src string) (*ast.Program, error) {
+	return New([]byte(src)).ParseProgram()
+}
+
+// MustParse parses src and panics on error. It is a convenience for tests
+// and examples whose inputs are fixed.
+func MustParse(src string) *ast.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse: %v\nsource:\n%s", err, src))
+	}
+	return p
+}
+
+func (p *Parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *Parser) next() token.Token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *Parser) advance() {
+	if p.pos < len(p.toks)-1 { // never step past EOF
+		p.pos++
+	}
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// expect consumes the current token if it has kind k, reporting an error and
+// leaving the token in place otherwise. It returns the token either way.
+func (p *Parser) expect(k token.Kind) token.Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %q, found %s", k.String(), t)
+		return t
+	}
+	p.advance()
+	return t
+}
+
+// sync skips tokens until a statement boundary, for error recovery.
+func (p *Parser) sync() {
+	for {
+		switch p.cur().Kind {
+		case token.EOF, token.SEMI, token.RBRACE:
+			if p.cur().Kind == token.SEMI {
+				p.advance()
+			}
+			return
+		}
+		p.advance()
+	}
+}
+
+// ParseProgram parses the whole token stream as a program. If any lexical or
+// syntax errors occurred, it returns a non-nil error summarizing all of them
+// (and a best-effort partial AST).
+func (p *Parser) ParseProgram() (*ast.Program, error) {
+	var stmts []ast.Stmt
+	for p.cur().Kind != token.EOF {
+		before := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+		if s == nil && p.pos == before {
+			// Error recovery stopped at a token that cannot start a
+			// statement (e.g. a stray '}' at top level): skip it so the
+			// loop always makes progress.
+			p.advance()
+		}
+	}
+	prog := &ast.Program{Stmts: stmts}
+	if len(p.errs) > 0 {
+		return prog, errors.New(strings.Join(p.errs, "\n"))
+	}
+	if err := checkLabels(prog); err != nil {
+		return prog, err
+	}
+	return prog, nil
+}
+
+// checkLabels verifies every goto targets a declared label, labels are
+// unique, and labels appear only at the top level of the program (nested
+// labels inside if/while would create entries into the middle of structured
+// constructs; we lower only top-level labels).
+func checkLabels(prog *ast.Program) error {
+	labels := map[string]bool{}
+	var errs []string
+	for _, s := range prog.Stmts {
+		if l, ok := s.(*ast.LabelStmt); ok {
+			if labels[l.Name] {
+				errs = append(errs, fmt.Sprintf("%s: duplicate label %q", l.Pos, l.Name))
+			}
+			labels[l.Name] = true
+		}
+	}
+	ast.WalkStmts(prog.Stmts, func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.GotoStmt:
+			if !labels[s.Target] {
+				errs = append(errs, fmt.Sprintf("%s: goto undefined or non-top-level label %q", s.Pos, s.Target))
+			}
+		}
+	})
+	// Detect labels nested inside structured statements.
+	nested := map[string]bool{}
+	for _, s := range prog.Stmts {
+		switch s := s.(type) {
+		case *ast.IfStmt, *ast.WhileStmt:
+			ast.WalkStmts([]ast.Stmt{s}, func(inner ast.Stmt) {
+				if l, ok := inner.(*ast.LabelStmt); ok {
+					nested[l.Name] = true
+				}
+			})
+		}
+	}
+	for name := range nested {
+		errs = append(errs, fmt.Sprintf("label %q may not appear inside if/while; labels must be top-level", name))
+	}
+	if len(errs) > 0 {
+		return errors.New(strings.Join(errs, "\n"))
+	}
+	return nil
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.advance()
+		p.expect(token.ASSIGN)
+		rhs := p.parseExpr()
+		p.expect(token.SEMI)
+		return &ast.AssignStmt{Name: t.Lit, RHS: rhs, Pos: t.Pos}
+
+	case token.IF:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		then := p.parseBlock()
+		var els []ast.Stmt
+		if p.cur().Kind == token.ELSE {
+			p.advance()
+			els = p.parseBlock()
+			if els == nil {
+				els = []ast.Stmt{} // explicit empty else
+			}
+		}
+		return &ast.IfStmt{Cond: cond, Then: then, Else: els, Pos: t.Pos}
+
+	case token.WHILE:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseBlock()
+		return &ast.WhileStmt{Cond: cond, Body: body, Pos: t.Pos}
+
+	case token.GOTO:
+		p.advance()
+		name := p.expect(token.IDENT)
+		p.expect(token.SEMI)
+		return &ast.GotoStmt{Target: name.Lit, Pos: t.Pos}
+
+	case token.LABEL:
+		p.advance()
+		name := p.expect(token.IDENT)
+		p.expect(token.COLON)
+		return &ast.LabelStmt{Name: name.Lit, Pos: t.Pos}
+
+	case token.PRINT:
+		p.advance()
+		arg := p.parseExpr()
+		p.expect(token.SEMI)
+		return &ast.PrintStmt{Arg: arg, Pos: t.Pos}
+
+	case token.READ:
+		p.advance()
+		name := p.expect(token.IDENT)
+		p.expect(token.SEMI)
+		return &ast.ReadStmt{Name: name.Lit, Pos: t.Pos}
+
+	case token.SKIP:
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.SkipStmt{Pos: t.Pos}
+	}
+	p.errorf(t.Pos, "expected statement, found %s", t)
+	p.sync()
+	return nil
+}
+
+func (p *Parser) parseBlock() []ast.Stmt {
+	p.expect(token.LBRACE)
+	var stmts []ast.Stmt
+	for p.cur().Kind != token.RBRACE && p.cur().Kind != token.EOF {
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	p.expect(token.RBRACE)
+	return stmts
+}
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+// parseBinary implements precedence climbing: it parses an expression whose
+// binary operators all have precedence >= minPrec.
+func (p *Parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		op := p.cur()
+		prec := op.Kind.Precedence()
+		if prec < minPrec {
+			return lhs
+		}
+		p.advance()
+		rhs := p.parseBinary(prec + 1) // all binary ops are left-associative
+		lhs = &ast.BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.NOT, token.MINUS:
+		p.advance()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "integer literal out of range: %s", t.Lit)
+		}
+		return &ast.IntLit{Value: v, Pos: t.Pos}
+	case token.TRUE:
+		p.advance()
+		return &ast.BoolLit{Value: true, Pos: t.Pos}
+	case token.FALSE:
+		p.advance()
+		return &ast.BoolLit{Value: false, Pos: t.Pos}
+	case token.IDENT:
+		p.advance()
+		return &ast.VarRef{Name: t.Lit, Pos: t.Pos}
+	case token.LPAREN:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.advance()
+	return &ast.IntLit{Value: 0, Pos: t.Pos}
+}

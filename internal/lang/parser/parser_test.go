@@ -1,0 +1,194 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+func TestParseAssign(t *testing.T) {
+	p := MustParse("x := 1 + 2 * 3;")
+	if len(p.Stmts) != 1 {
+		t.Fatalf("got %d stmts", len(p.Stmts))
+	}
+	a, ok := p.Stmts[0].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("stmt type %T", p.Stmts[0])
+	}
+	// Precedence: 1 + (2 * 3)
+	if got := a.String(); got != "x := (1 + (2 * 3));" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPrecedenceAndAssociativity(t *testing.T) {
+	cases := map[string]string{
+		"x := 1 - 2 - 3;":     "x := ((1 - 2) - 3);",
+		"x := 1 + 2 < 3 * 4;": "x := ((1 + 2) < (3 * 4));",
+		"x := a && b || c;":   "x := ((a && b) || c);",
+		"x := a || b && c;":   "x := (a || (b && c));",
+		"x := !a && b;":       "x := (!a && b);",
+		"x := -a * b;":        "x := (-a * b);",
+		"x := (1 + 2) * 3;":   "x := ((1 + 2) * 3);",
+		"x := a == b != c;":   "x := ((a == b) != c);",
+		"x := 1 % 2 / 3;":     "x := ((1 % 2) / 3);",
+	}
+	for src, want := range cases {
+		p := MustParse(src)
+		if got := p.Stmts[0].String(); got != want {
+			t.Errorf("parse(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := MustParse("if (p) { x := 1; } else { x := 2; } y := x;")
+	if len(p.Stmts) != 2 {
+		t.Fatalf("got %d stmts", len(p.Stmts))
+	}
+	ifs, ok := p.Stmts[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt type %T", p.Stmts[0])
+	}
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("then/else lengths %d/%d", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+func TestParseIfNoElse(t *testing.T) {
+	p := MustParse("if (p) { x := 1; }")
+	ifs := p.Stmts[0].(*ast.IfStmt)
+	if ifs.Else != nil {
+		t.Errorf("expected nil else, got %v", ifs.Else)
+	}
+}
+
+func TestParseWhile(t *testing.T) {
+	p := MustParse("while (i < 10) { i := i + 1; }")
+	w, ok := p.Stmts[0].(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("stmt type %T", p.Stmts[0])
+	}
+	if len(w.Body) != 1 {
+		t.Errorf("body length %d", len(w.Body))
+	}
+}
+
+func TestParseGotoLabel(t *testing.T) {
+	p := MustParse("label L: x := 1; goto L;")
+	if _, ok := p.Stmts[0].(*ast.LabelStmt); !ok {
+		t.Errorf("stmt 0 type %T", p.Stmts[0])
+	}
+	if g, ok := p.Stmts[2].(*ast.GotoStmt); !ok || g.Target != "L" {
+		t.Errorf("stmt 2 = %v", p.Stmts[2])
+	}
+}
+
+func TestParseReadPrintSkip(t *testing.T) {
+	p := MustParse("read x; print x + 1; skip;")
+	if _, ok := p.Stmts[0].(*ast.ReadStmt); !ok {
+		t.Errorf("stmt 0 type %T", p.Stmts[0])
+	}
+	if _, ok := p.Stmts[1].(*ast.PrintStmt); !ok {
+		t.Errorf("stmt 1 type %T", p.Stmts[1])
+	}
+	if _, ok := p.Stmts[2].(*ast.SkipStmt); !ok {
+		t.Errorf("stmt 2 type %T", p.Stmts[2])
+	}
+}
+
+func TestParseErrorUndefinedLabel(t *testing.T) {
+	_, err := Parse("goto nowhere;")
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestParseErrorDuplicateLabel(t *testing.T) {
+	_, err := Parse("label L: label L:")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestParseErrorNestedLabel(t *testing.T) {
+	_, err := Parse("if (p) { label L: } goto L;")
+	if err == nil || !strings.Contains(err.Error(), "top-level") {
+		t.Errorf("expected nested-label error, got %v", err)
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	// Two syntax errors; both should be reported.
+	_, err := Parse("x := ; y := @;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := strings.Count(err.Error(), "\n") + 1; n < 2 {
+		t.Errorf("expected >=2 errors, got %d: %v", n, err)
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if len(p.Stmts) != 0 {
+		t.Errorf("got %d stmts", len(p.Stmts))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	// Parsing a program's String() must yield a structurally equal AST.
+	srcs := []string{
+		"x := 1; y := x + 2; print y;",
+		"if (a < b) { x := 1; } else { x := 2; } print x;",
+		"while (i < 10) { i := i + 1; if (i == 5) { print i; } }",
+		"read n; label top: if (n > 0) { n := n - 1; goto top; } print n;",
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2 := MustParse(p1.String())
+		if p1.String() != p2.String() {
+			t.Errorf("round trip mismatch:\n%s\nvs\n%s", p1, p2)
+		}
+	}
+}
+
+func TestProgramVars(t *testing.T) {
+	p := MustParse("x := 1; if (p) { y := x; } print z;")
+	got := p.Vars()
+	want := []string{"x", "p", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Vars()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExprEquality(t *testing.T) {
+	e1 := MustParse("x := a + b;").Stmts[0].(*ast.AssignStmt).RHS
+	e2 := MustParse("y := a + b;").Stmts[0].(*ast.AssignStmt).RHS
+	e3 := MustParse("z := a + c;").Stmts[0].(*ast.AssignStmt).RHS
+	if !ast.EqualExpr(e1, e2) {
+		t.Error("a+b != a+b")
+	}
+	if ast.EqualExpr(e1, e3) {
+		t.Error("a+b == a+c")
+	}
+	clone := ast.CloneExpr(e1)
+	if !ast.EqualExpr(e1, clone) {
+		t.Error("clone not equal")
+	}
+	// Mutating the clone must not affect the original.
+	clone.(*ast.BinaryExpr).Op = token.MINUS
+	if ast.EqualExpr(e1, clone) {
+		t.Error("mutating clone affected original")
+	}
+}

@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: arbitrary byte soup must produce errors, not
+// panics.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup: sequences of valid token spellings in
+// random order.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	pieces := []string{
+		"if", "else", "while", "goto", "label", "print", "read", "skip",
+		"x", "y", "42", "0", "true", "false",
+		":=", "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+		"&&", "||", "!", "(", ")", "{", "}", ";", ":", ",",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(30)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += pieces[rng.Intn(len(pieces))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestDeeplyNestedDoesNotOverflow: pathological nesting depth parses (or
+// errors) without blowing the stack at reasonable sizes.
+func TestDeeplyNested(t *testing.T) {
+	src := ""
+	for i := 0; i < 2000; i++ {
+		src += "if (p) { "
+	}
+	src += "x := 1;"
+	for i := 0; i < 2000; i++ {
+		src += " }"
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep nesting should parse: %v", err)
+	}
+	// Deep expressions too.
+	expr := "x := "
+	for i := 0; i < 2000; i++ {
+		expr += "("
+	}
+	expr += "1"
+	for i := 0; i < 2000; i++ {
+		expr += ")"
+	}
+	if _, err := Parse(expr + ";"); err != nil {
+		t.Fatalf("deep parens should parse: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package token defines the lexical tokens of the small imperative language
+// used throughout this repository as the substrate for dependence-based
+// program analysis. The language is deliberately minimal — assignments,
+// structured control flow (if/while), unstructured control flow
+// (goto/label), and integer/boolean expressions — which is sufficient to
+// express every example in Johnson & Pingali (PLDI 1993) as well as
+// arbitrary reducible and irreducible control flow graphs.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The order groups literals, identifiers, keywords, operators
+// and punctuation; IsKeyword/IsOperator rely on these ranges.
+const (
+	// Special tokens.
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT // x, foo
+	INT   // 123
+	TRUE  // true
+	FALSE // false
+
+	keywordBeg
+	// Keywords.
+	IF    // if
+	ELSE  // else
+	WHILE // while
+	GOTO  // goto
+	LABEL // label
+	PRINT // print
+	READ  // read
+	SKIP  // skip
+	keywordEnd
+
+	operatorBeg
+	// Operators.
+	ASSIGN  // :=
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	AND     // &&
+	OR      // ||
+	NOT     // !
+	operatorEnd
+
+	// Punctuation.
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	SEMI   // ;
+	COLON  // :
+	COMMA  // ,
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	TRUE:    "true",
+	FALSE:   "false",
+	IF:      "if",
+	ELSE:    "else",
+	WHILE:   "while",
+	GOTO:    "goto",
+	LABEL:   "label",
+	PRINT:   "print",
+	READ:    "read",
+	SKIP:    "skip",
+	ASSIGN:  ":=",
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	PERCENT: "%",
+	EQ:      "==",
+	NEQ:     "!=",
+	LT:      "<",
+	LE:      "<=",
+	GT:      ">",
+	GE:      ">=",
+	AND:     "&&",
+	OR:      "||",
+	NOT:     "!",
+	LPAREN:  "(",
+	RPAREN:  ")",
+	LBRACE:  "{",
+	RBRACE:  "}",
+	SEMI:    ";",
+	COLON:   ":",
+	COMMA:   ",",
+}
+
+// String returns the canonical spelling of the token kind, or a numeric
+// fallback for kinds without one (which should not occur in practice).
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word of the language.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsOperator reports whether k is an operator token.
+func (k Kind) IsOperator() bool { return operatorBeg < k && k < operatorEnd }
+
+var keywords = map[string]Kind{
+	"if":    IF,
+	"else":  ELSE,
+	"while": WHILE,
+	"goto":  GOTO,
+	"label": LABEL,
+	"print": PRINT,
+	"read":  READ,
+	"skip":  SKIP,
+	"true":  TRUE,
+	"false": FALSE,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not reserved.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a byte-oriented source position (1-based line and column).
+type Pos struct {
+	Offset int // byte offset, 0-based
+	Line   int // line number, 1-based
+	Col    int // column number, 1-based (in bytes)
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT and INT; empty otherwise
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Lit != "" {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of k, higher binding
+// tighter, or 0 if k is not a binary operator. The grammar is conventional:
+//
+//	1: ||
+//	2: &&
+//	3: == != < <= > >=
+//	4: + -
+//	5: * / %
+func (k Kind) Precedence() int {
+	switch k {
+	case OR:
+		return 1
+	case AND:
+		return 2
+	case EQ, NEQ, LT, LE, GT, GE:
+		return 3
+	case PLUS, MINUS:
+		return 4
+	case STAR, SLASH, PERCENT:
+		return 5
+	}
+	return 0
+}

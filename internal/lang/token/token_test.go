@@ -1,0 +1,87 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"if":    IF,
+		"while": WHILE,
+		"true":  TRUE,
+		"x":     IDENT,
+		"If":    IDENT, // case-sensitive
+		"":      IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	for _, k := range []Kind{IF, ELSE, WHILE, GOTO, LABEL, PRINT, READ, SKIP} {
+		if !k.IsKeyword() {
+			t.Errorf("%v should be a keyword", k)
+		}
+		if k.IsOperator() {
+			t.Errorf("%v should not be an operator", k)
+		}
+	}
+	for _, k := range []Kind{PLUS, MINUS, STAR, SLASH, EQ, NEQ, LT, LE, GT, GE, AND, OR, NOT, ASSIGN} {
+		if !k.IsOperator() {
+			t.Errorf("%v should be an operator", k)
+		}
+		if k.IsKeyword() {
+			t.Errorf("%v should not be a keyword", k)
+		}
+	}
+	for _, k := range []Kind{IDENT, INT, LPAREN, SEMI, EOF} {
+		if k.IsKeyword() || k.IsOperator() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// * binds tighter than +, + tighter than <, < tighter than &&, &&
+	// tighter than ||.
+	chain := []Kind{OR, AND, EQ, PLUS, STAR}
+	for i := 0; i+1 < len(chain); i++ {
+		if !(chain[i].Precedence() < chain[i+1].Precedence()) {
+			t.Errorf("%v should bind looser than %v", chain[i], chain[i+1])
+		}
+	}
+	// Non-binary tokens have precedence 0.
+	for _, k := range []Kind{NOT, ASSIGN, LPAREN, IDENT, IF} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v precedence = %d, want 0", k, k.Precedence())
+		}
+	}
+	// Same-level groups.
+	if PLUS.Precedence() != MINUS.Precedence() {
+		t.Error("+ and - must share precedence")
+	}
+	if STAR.Precedence() != SLASH.Precedence() || STAR.Precedence() != PERCENT.Precedence() {
+		t.Error("*, /, % must share precedence")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if PLUS.String() != "+" || ASSIGN.String() != ":=" || IF.String() != "if" {
+		t.Error("canonical spellings wrong")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	tok := Token{Kind: IDENT, Lit: "x", Pos: Pos{Line: 3, Col: 7}}
+	if tok.String() != `IDENT("x")` {
+		t.Errorf("Token.String() = %q", tok.String())
+	}
+	if tok.Pos.String() != "3:7" {
+		t.Errorf("Pos.String() = %q", tok.Pos)
+	}
+	bare := Token{Kind: SEMI}
+	if bare.String() != ";" {
+		t.Errorf("bare token String() = %q", bare.String())
+	}
+}

@@ -1,0 +1,191 @@
+package regions
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/graph"
+)
+
+// BruteControlDepClasses groups the live edges of g by their control
+// dependence sets, computed directly from Definition 2 via edge
+// postdominance: edge x is control dependent on branch edge b iff x
+// postdominates b and x does not postdominate src(b). It is the O(E²)
+// oracle against which the O(E) cycle-equivalence classes are validated
+// (Claim 1 states the two partitions coincide).
+func BruteControlDepClasses(g *cfg.Graph) map[cfg.EdgeID]int {
+	dom := cfg.NewDominance(g)
+	live := g.LiveEdges()
+
+	// Branch edges: out-edges of switch nodes (the only nodes with >1
+	// successor).
+	var branches []cfg.EdgeID
+	for _, n := range g.Nodes {
+		if len(g.OutEdges(n.ID)) > 1 {
+			branches = append(branches, g.OutEdges(n.ID)...)
+		}
+	}
+
+	sig := map[cfg.EdgeID]string{}
+	for _, x := range live {
+		var deps []string
+		for _, b := range branches {
+			if dom.EdgePostdominatesEdge(x, b) && !dom.EdgePostdominatesNode(x, g.Edge(b).Src) {
+				deps = append(deps, fmt.Sprintf("e%d", b))
+			}
+		}
+		// The virtual ENTRY branch (ENTRY→start / ENTRY→end in the FOW
+		// augmentation, equivalently the end→start edge of Claim 1): an
+		// edge executed on every run is control dependent on program entry.
+		// Without this marker, a loop's pre-header spine would wrongly
+		// coincide with the loop body's class.
+		if dom.EdgePostdominatesNode(x, g.Start) {
+			deps = append(deps, "ENTRY")
+		}
+		sort.Strings(deps)
+		sig[x] = strings.Join(deps, ",")
+	}
+	return classesFromSignatures(live, sig)
+}
+
+// BruteCycleEquivClasses groups live edges by directed cycle equivalence of
+// their dummy nodes in the end→start-augmented split graph, computed from
+// first principles: dummies a and b are equivalent iff there is no directed
+// cycle through a avoiding b nor one through b avoiding a. A cycle through
+// a avoiding b exists iff a lies on a cycle of the graph with b removed.
+// O(V·E); for tests only.
+func BruteCycleEquivClasses(g *cfg.Graph) map[cfg.EdgeID]int {
+	live := g.LiveEdges()
+	n := g.NumNodes()
+	dummy := make(map[cfg.EdgeID]int, len(live))
+	for i, e := range live {
+		dummy[e] = n + i
+	}
+	total := n + len(live) + 1
+	endStart := total - 1
+
+	d := graph.NewDirected(total)
+	for i, eid := range live {
+		e := g.Edge(eid)
+		d.AddEdge(int(e.Src), n+i)
+		d.AddEdge(n+i, int(e.Dst))
+	}
+	d.AddEdge(int(g.End), endStart)
+	d.AddEdge(endStart, int(g.Start))
+
+	// onCycleWithout[b][a]: a lies on a directed cycle avoiding node b.
+	onCycleAvoiding := func(b int) []bool {
+		sub := graph.NewDirected(total)
+		for u, ss := range d.Succ {
+			if u == b {
+				continue
+			}
+			for _, v := range ss {
+				if v != b {
+					sub.AddEdge(u, v)
+				}
+			}
+		}
+		comp, _ := graph.SCC(sub)
+		size := map[int]int{}
+		for u := 0; u < total; u++ {
+			size[comp[u]]++
+		}
+		out := make([]bool, total)
+		for u := 0; u < total; u++ {
+			if u == b {
+				continue
+			}
+			if size[comp[u]] > 1 {
+				out[u] = true
+			}
+			for _, v := range sub.Succ[u] {
+				if v == u {
+					out[u] = true // self loop
+				}
+			}
+		}
+		return out
+	}
+
+	// For each pair of dummies, decide equivalence.
+	avoid := map[int][]bool{}
+	for _, eid := range live {
+		avoid[dummy[eid]] = onCycleAvoiding(dummy[eid])
+	}
+
+	// Union-find over live edges.
+	parent := map[cfg.EdgeID]cfg.EdgeID{}
+	var find func(x cfg.EdgeID) cfg.EdgeID
+	find = func(x cfg.EdgeID) cfg.EdgeID {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, e := range live {
+		parent[e] = e
+	}
+	for i, a := range live {
+		for _, b := range live[i+1:] {
+			da, db := dummy[a], dummy[b]
+			if !avoid[db][da] && !avoid[da][db] {
+				parent[find(a)] = find(b)
+			}
+		}
+	}
+	sig := map[cfg.EdgeID]string{}
+	for _, e := range live {
+		sig[e] = fmt.Sprintf("%d", find(e))
+	}
+	return classesFromSignatures(live, sig)
+}
+
+// classesFromSignatures densely renumbers a signature map into class ids.
+func classesFromSignatures(live []cfg.EdgeID, sig map[cfg.EdgeID]string) map[cfg.EdgeID]int {
+	renum := map[string]int{}
+	out := map[cfg.EdgeID]int{}
+	for _, e := range live {
+		c, ok := renum[sig[e]]
+		if !ok {
+			c = len(renum)
+			renum[sig[e]] = c
+		}
+		out[e] = c
+	}
+	return out
+}
+
+// SamePartition reports whether two edge→class maps induce the same
+// partition of the keys (class ids need not match).
+func SamePartition(a, b map[cfg.EdgeID]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for e, ca := range a {
+		cb, ok := b[e]
+		if !ok {
+			return false
+		}
+		if mapped, ok := fwd[ca]; ok {
+			if mapped != cb {
+				return false
+			}
+		} else {
+			fwd[ca] = cb
+		}
+		if mapped, ok := bwd[cb]; ok {
+			if mapped != ca {
+				return false
+			}
+		} else {
+			bwd[cb] = ca
+		}
+	}
+	return true
+}

@@ -1,0 +1,355 @@
+// Package regions implements Section 3.1 of Johnson & Pingali (PLDI 1993):
+// finding the sets of CFG edges that have the same control dependence, in
+// O(E) time, by reduction to cycle equivalence.
+//
+// The reduction chain is exactly the paper's:
+//
+//	Claim 1: CFG edges a and b have the same control dependence iff their
+//	  dummy nodes are cycle equivalent in the strongly connected graph
+//	  formed by adding the edge end→start.
+//
+//	Claim 2: nodes a and b are cycle equivalent in a strongly connected
+//	  directed graph S iff they are cycle equivalent in the undirected
+//	  graph G' formed by splitting every node n of S into n_in, n, n_out
+//	  (in-edges attach to n_in, out-edges leave n_out, plus n_in→n→n_out)
+//	  and undirecting all edges.
+//
+// Undirected cycle equivalence is computed by the bracket-set depth-first
+// search that the paper sketches ("our algorithm for finding undirected
+// cycle equivalence is based on depth-first search and runs in O(E) time;
+// the details are omitted") and that the same authors published in full as
+// the Program Structure Tree paper (Johnson, Pearson & Pingali, PLDI 1994).
+// Notably, the construction requires neither dominators nor postdominators.
+//
+// On top of the equivalence classes, the package derives canonical
+// single-entry single-exit (SESE) regions — consecutive same-class edges in
+// dominance order — and the program structure tree that nests them.
+package regions
+
+import (
+	"fmt"
+
+	"dfg/internal/graph"
+)
+
+// bracket is an entry in a bracket list: a real backedge or a capping
+// backedge of the cycle-equivalence DFS. Brackets live in doubly-linked
+// lists that support O(1) concatenation and deletion.
+type bracket struct {
+	prev, next *bracket
+
+	capping bool
+	edge    int // undirected edge index (real backedges only)
+
+	// recentSize/recentClass memoize the (top bracket, set size) → class
+	// assignment rule.
+	recentSize  int
+	recentClass int
+
+	// class is the equivalence class of the backedge itself, assigned when
+	// it is the sole bracket of some tree edge, or fresh on retirement.
+	class int
+}
+
+// bracketList is a doubly-linked list with O(1) push, delete and concat.
+type bracketList struct {
+	head, tail *bracket
+	size       int
+}
+
+func (l *bracketList) push(b *bracket) {
+	b.prev = nil
+	b.next = l.head
+	if l.head != nil {
+		l.head.prev = b
+	}
+	l.head = b
+	if l.tail == nil {
+		l.tail = b
+	}
+	l.size++
+}
+
+func (l *bracketList) delete(b *bracket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+	l.size--
+}
+
+// concat moves all elements of other onto the bottom of l, emptying other.
+func (l *bracketList) concat(other *bracketList) {
+	if other.size == 0 {
+		return
+	}
+	if l.size == 0 {
+		l.head, l.tail, l.size = other.head, other.tail, other.size
+	} else {
+		l.tail.next = other.head
+		other.head.prev = l.tail
+		l.tail = other.tail
+		l.size += other.size
+	}
+	other.head, other.tail, other.size = nil, nil, 0
+}
+
+// UndirectedCycleEquiv computes cycle-equivalence classes for the edges of a
+// connected undirected multigraph: edges a and b are in the same class iff
+// every cycle containing a also contains b and vice versa. Bridge edges
+// (edges on no cycle) all share one class, matching the definition
+// vacuously. The result maps edge index → class id, and the number of
+// classes. Runs in O(N+M).
+func UndirectedCycleEquiv(u *graph.Undirected) ([]int, int) {
+	n := u.N
+	if n == 0 {
+		return nil, 0
+	}
+
+	// --- undirected DFS from node 0, recording tree structure -----------
+	const none = -1
+	dfsnum := make([]int, n)
+	parent := make([]int, n)     // DFS tree parent
+	parentEdge := make([]int, n) // edge index used to reach the node
+	order := make([]int, 0, n)   // nodes in preorder
+	for i := range dfsnum {
+		dfsnum[i] = none
+		parent[i] = none
+		parentEdge[i] = none
+	}
+	type frame struct {
+		node int
+		iter int
+	}
+	stack := []frame{{0, 0}}
+	dfsnum[0] = 0
+	order = append(order, 0)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		adj := u.Adj[f.node]
+		if f.iter < len(adj) {
+			h := adj[f.iter]
+			f.iter++
+			if dfsnum[h.To] == none {
+				dfsnum[h.To] = len(order)
+				order = append(order, h.To)
+				parent[h.To] = f.node
+				parentEdge[h.To] = h.Edge
+				stack = append(stack, frame{h.To, 0})
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+	}
+	if len(order) != n {
+		panic("regions: undirected graph not connected")
+	}
+
+	isTree := make([]bool, u.M)
+	for v := 0; v < n; v++ {
+		if parentEdge[v] != none {
+			isTree[parentEdge[v]] = true
+		}
+	}
+
+	// Classify non-tree edges as backedges (descendant, ancestor) and index
+	// them by both endpoints. In an undirected DFS every non-tree edge
+	// joins an ancestor/descendant pair; with a multigraph a parallel copy
+	// of a tree edge is a backedge bracketing that tree edge, and a self
+	// loop brackets nothing.
+	children := make([][]int, n) // tree children
+	for v := 0; v < n; v++ {
+		if parent[v] != none {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+
+	backsFrom := make([][]*bracket, n) // backedges (d,a) indexed by d
+	backsTo := make([][]*bracket, n)   // indexed by a
+	brackets := make([]*bracket, u.M)  // edge index → bracket (backedges only)
+	selfLoop := make([]bool, u.M)
+
+	// Enumerate each undirected edge once via adjacency of the endpoint
+	// with smaller dfsnum (ancestor side stores it too; dedupe by edge id).
+	seenEdge := make([]bool, u.M)
+	for v := 0; v < n; v++ {
+		for _, h := range u.Adj[v] {
+			if seenEdge[h.Edge] {
+				continue
+			}
+			seenEdge[h.Edge] = true
+			if isTree[h.Edge] {
+				continue
+			}
+			a, b := v, h.To
+			if a == b {
+				selfLoop[h.Edge] = true
+				continue
+			}
+			// descendant is the endpoint with larger dfsnum
+			d, anc := a, b
+			if dfsnum[d] < dfsnum[anc] {
+				d, anc = anc, d
+			}
+			br := &bracket{edge: h.Edge, recentSize: -1, class: -1}
+			brackets[h.Edge] = br
+			backsFrom[d] = append(backsFrom[d], br)
+			backsTo[anc] = append(backsTo[anc], br)
+		}
+	}
+	// Record endpoints per edge for hi computation.
+	endA := make([]int, u.M)
+	endB := make([]int, u.M)
+	for i := range endA {
+		endA[i], endB[i] = none, none
+	}
+	for v := 0; v < n; v++ {
+		for _, h := range u.Adj[v] {
+			if endA[h.Edge] == none {
+				endA[h.Edge] = v
+				endB[h.Edge] = h.To
+			}
+		}
+	}
+
+	nextClass := 0
+	newClass := func() int { c := nextClass; nextClass++; return c }
+
+	classOf := make([]int, u.M)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+
+	hi := make([]int, n)
+	blist := make([]*bracketList, n)
+	cappingTo := make([][]*bracket, n) // capping backedges ending at node
+
+	bridgeClass := -1 // shared class for all bridge (bracket-less) tree edges
+
+	// --- main pass: nodes in reverse preorder (children before parents) --
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+
+		// hi0: highest (smallest dfsnum) destination of backedges from v.
+		hi0 := int(^uint(0) >> 1) // maxint
+		for _, br := range backsFrom[v] {
+			a, b := endA[br.edge], endB[br.edge]
+			anc := a
+			if b != v {
+				anc = b
+			}
+			// For a backedge with both endpoints v (impossible here since
+			// self loops were filtered), anc stays a.
+			if dfsnum[anc] < hi0 {
+				hi0 = dfsnum[anc]
+			}
+		}
+		// hi1: min hi over children; hi2: second min.
+		hi1, hi2 := int(^uint(0)>>1), int(^uint(0)>>1)
+		for _, c := range children[v] {
+			if hi[c] < hi1 {
+				hi1, hi2 = hi[c], hi1
+			} else if hi[c] < hi2 {
+				hi2 = hi[c]
+			}
+		}
+		if hi0 < hi1 {
+			hi[v] = hi0
+		} else {
+			hi[v] = hi1
+		}
+
+		// Build bracket list: concat children, delete brackets ending here,
+		// push brackets starting here, maybe push a capping bracket.
+		bl := &bracketList{}
+		for _, c := range children[v] {
+			bl.concat(blist[c])
+		}
+		blist[v] = bl
+
+		for _, br := range cappingTo[v] {
+			bl.delete(br)
+		}
+		for _, br := range backsTo[v] {
+			bl.delete(br)
+			if br.class == -1 {
+				br.class = newClass()
+			}
+			classOf[br.edge] = br.class
+		}
+		for _, br := range backsFrom[v] {
+			bl.push(br)
+		}
+		if hi2 < dfsnum[v] {
+			// Two children reach above v: cap with a virtual backedge from
+			// v to the node at dfsnum hi2.
+			d := &bracket{capping: true, recentSize: -1, class: -1}
+			target := order[hi2]
+			cappingTo[target] = append(cappingTo[target], d)
+			bl.push(d)
+		}
+
+		// Assign class to the tree edge (parent(v), v).
+		if parent[v] == none {
+			continue
+		}
+		e := parentEdge[v]
+		if bl.size == 0 {
+			// Bridge edge: on no cycle; all bridges are (vacuously)
+			// mutually cycle equivalent.
+			if bridgeClass == -1 {
+				bridgeClass = newClass()
+			}
+			classOf[e] = bridgeClass
+			continue
+		}
+		b := bl.head
+		if b.recentSize != bl.size {
+			b.recentSize = bl.size
+			b.recentClass = newClass()
+		}
+		classOf[e] = b.recentClass
+		if b.recentSize == 1 {
+			// Tree edge and its sole bracket are cycle equivalent.
+			b.class = classOf[e]
+		}
+	}
+
+	// Self loops: each forms exactly the one cycle consisting of itself, so
+	// each is alone in its class.
+	for e := 0; e < u.M; e++ {
+		if selfLoop[e] {
+			classOf[e] = newClass()
+		}
+	}
+
+	// Any backedge never retired (cannot happen in a connected graph, but
+	// keep the invariant that all edges are classified).
+	for e := 0; e < u.M; e++ {
+		if classOf[e] == -1 {
+			if brackets[e] != nil && brackets[e].class != -1 {
+				classOf[e] = brackets[e].class
+			} else {
+				classOf[e] = newClass()
+			}
+		}
+	}
+	return classOf, nextClass
+}
+
+// sanity check helper exposed for tests.
+func validateClasses(classOf []int, numClasses int) error {
+	for e, c := range classOf {
+		if c < 0 || c >= numClasses {
+			return fmt.Errorf("edge %d has invalid class %d (num=%d)", e, c, numClasses)
+		}
+	}
+	return nil
+}

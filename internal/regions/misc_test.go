@@ -1,0 +1,112 @@
+package regions
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/parser"
+)
+
+func TestInfoString(t *testing.T) {
+	g := build(t, `read p; if (p > 0) { i := 0; while (i < 5) { i := i + 1; } } print p;`)
+	info := MustAnalyze(g)
+	s := info.String()
+	if !strings.Contains(s, "edge classes") || !strings.Contains(s, "R0:") {
+		t.Errorf("unexpected String():\n%s", s)
+	}
+	// Nested regions indent.
+	if !strings.Contains(s, "  R") {
+		t.Errorf("expected indented nested region:\n%s", s)
+	}
+}
+
+func TestInRegion(t *testing.T) {
+	g := build(t, "read p; if (p > 0) { x := 1; } else { x := 2; } print x;")
+	info := MustAnalyze(g)
+
+	var thenN, printN cfg.NodeID
+	for _, nd := range g.Nodes {
+		switch {
+		case nd.Kind == cfg.KindAssign && nd.Expr.String() == "1":
+			thenN = nd.ID
+		case nd.Kind == cfg.KindPrint:
+			printN = nd.ID
+		}
+	}
+	// Find the region whose boundary is the true branch: then node's class.
+	tRegion := -1
+	for _, r := range info.Regions {
+		if info.G.Edge(r.Entry).Dst == thenN || info.G.Edge(r.Exit).Src == thenN {
+			tRegion = r.ID
+		}
+	}
+	if tRegion == -1 {
+		t.Skip("no single-statement region for the then branch (bypass structure)")
+	}
+	if !info.InRegion(thenN, tRegion) {
+		t.Errorf("then node should be in region %d", tRegion)
+	}
+	if info.InRegion(printN, tRegion) {
+		t.Errorf("print node should not be in the branch region")
+	}
+}
+
+func TestValidateClassesHelper(t *testing.T) {
+	if err := validateClasses([]int{0, 1, 0}, 2); err != nil {
+		t.Errorf("valid classes rejected: %v", err)
+	}
+	if err := validateClasses([]int{0, 5}, 2); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if err := validateClasses([]int{-1}, 2); err == nil {
+		t.Error("negative class accepted")
+	}
+}
+
+func TestAnalyzeEmptyProgram(t *testing.T) {
+	g, err := cfg.Build(parser.MustParse(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumClasses != 1 || len(info.Regions) != 0 {
+		t.Errorf("empty program: %d classes, %d regions", info.NumClasses, len(info.Regions))
+	}
+}
+
+func TestBasicBlockClassesChains(t *testing.T) {
+	g := build(t, "a := 1; b := 2; read p; if (p > 0) { c := 3; d := 4; } print a;")
+	classOf, n := BasicBlockClasses(g)
+	if n < 3 {
+		t.Fatalf("too few basic-block classes: %d", n)
+	}
+	// Edges around the straight-line prefix share a class.
+	var aN, bN cfg.NodeID = cfg.NoNode, cfg.NoNode
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindAssign && nd.Var == "a" {
+			aN = nd.ID
+		}
+		if nd.Kind == cfg.KindAssign && nd.Var == "b" {
+			bN = nd.ID
+		}
+	}
+	if classOf[g.InEdges(aN)[0]] != classOf[g.InEdges(bN)[0]] {
+		t.Error("prefix chain edges should share a basic-block class")
+	}
+	// Singleton classes: every edge distinct.
+	single, m := SingletonClasses(g)
+	if m != len(g.LiveEdges()) {
+		t.Fatalf("singleton classes = %d, want %d", m, len(g.LiveEdges()))
+	}
+	seen := map[int]bool{}
+	for _, c := range single {
+		if seen[c] {
+			t.Fatal("duplicate singleton class")
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,348 @@
+package regions
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/graph"
+)
+
+// EdgeClasses computes, for every live edge of g, its control dependence
+// equivalence class (Claim 1 + Claim 2 + the bracket-set DFS), in O(E)
+// time. Dead edges map to -1. Two edges receive the same class iff they
+// have the same control dependence, which by Theorem 1 holds iff each
+// dominance-consecutive pair of them bounds a single-entry single-exit
+// region.
+func EdgeClasses(g *cfg.Graph) (classOf map[cfg.EdgeID]int, numClasses int) {
+	live := g.LiveEdges()
+	classOf = make(map[cfg.EdgeID]int, len(live))
+	if len(live) == 0 {
+		return classOf, 0
+	}
+
+	// Step 1 (Claim 1): form the strongly connected graph S by taking the
+	// split graph (a dummy node per CFG edge) plus dummies' chain for the
+	// augmenting edge end→start.
+	//
+	// S's positional layout:
+	//   0..N-1                the CFG nodes
+	//   N+i (i = live index)  the dummy node for live edge live[i]
+	//   N+len(live)           the dummy node for the end→start edge
+	n := g.NumNodes()
+	dummyIndex := make(map[cfg.EdgeID]int, len(live))
+	for i, e := range live {
+		dummyIndex[e] = n + i
+	}
+	sN := n + len(live) + 1
+	endStartDummy := sN - 1
+
+	type dedge struct{ u, v int }
+	var sEdges []dedge
+	for i, eid := range live {
+		e := g.Edge(eid)
+		sEdges = append(sEdges,
+			dedge{int(e.Src), n + i},
+			dedge{n + i, int(e.Dst)})
+	}
+	sEdges = append(sEdges,
+		dedge{int(g.End), endStartDummy},
+		dedge{endStartDummy, int(g.Start)})
+
+	// Step 2 (Claim 2): split every node x of S into x_in, x, x_out with
+	// directed edges x_in→x→x_out, re-route S's edges u→v as u_out→v_in,
+	// then undirect. Layout: x_in = 3x, x = 3x+1, x_out = 3x+2.
+	und := graph.NewUndirected(3 * sN)
+	inEdgeOf := make([]int, sN) // undirected index of (x_in — x)
+	for x := 0; x < sN; x++ {
+		inEdgeOf[x] = und.AddEdge(3*x, 3*x+1)
+		und.AddEdge(3*x+1, 3*x+2)
+	}
+	for _, e := range sEdges {
+		und.AddEdge(3*e.u+2, 3*e.v)
+	}
+
+	// Step 3: undirected cycle equivalence; a CFG edge's class is the class
+	// of the (dummy_in — dummy) edge, since the dummy has degree 2 and so
+	// node cycle equivalence of dummies equals edge cycle equivalence of
+	// their in-halves.
+	classes, _ := UndirectedCycleEquiv(und)
+
+	// Renumber densely over the classes that actually label CFG edges.
+	renum := map[int]int{}
+	for _, eid := range live {
+		c := classes[inEdgeOf[dummyIndex[eid]]]
+		nc, ok := renum[c]
+		if !ok {
+			nc = len(renum)
+			renum[c] = nc
+		}
+		classOf[eid] = nc
+	}
+	return classOf, len(renum)
+}
+
+// Region is a canonical single-entry single-exit region: the subgraph
+// between Entry and Exit, where Entry dominates Exit, Exit postdominates
+// Entry, and the two edges are cycle equivalent (Theorem 1).
+type Region struct {
+	ID       int
+	Entry    cfg.EdgeID
+	Exit     cfg.EdgeID
+	Parent   int // index of the innermost enclosing region, or -1
+	Children []int
+	Depth    int // nesting depth; top-level regions have depth 0
+}
+
+// Info is the full result of SESE analysis: edge equivalence classes, the
+// canonical regions, and the program structure tree (PST) that nests them.
+type Info struct {
+	G          *cfg.Graph
+	ClassOf    map[cfg.EdgeID]int
+	NumClasses int
+	Regions    []*Region
+	// EdgeRegion maps each live edge to the innermost region that strictly
+	// contains it (boundary edges belong to the enclosing region), or -1.
+	EdgeRegion map[cfg.EdgeID]int
+	// NodeRegion maps each node to the innermost region containing it, or
+	// -1 for nodes outside every region (start, end, top-level spine).
+	NodeRegion map[cfg.NodeID]int
+	// EntryOf maps an edge to the canonical region it is the entry of, and
+	// ExitOf to the region it is the exit of (at most one each); absent
+	// keys mean the edge bounds no canonical region on that side.
+	EntryOf map[cfg.EdgeID]int
+	ExitOf  map[cfg.EdgeID]int
+}
+
+// Analyze computes edge classes, canonical SESE regions, and the PST.
+//
+// Canonical regions are derived per the paper: within one equivalence
+// class, edges are totally ordered by dominance; each consecutive pair is
+// the (entry, exit) of a canonical SESE region. Nesting is recovered with a
+// single forward propagation of open-region contexts over the CFG.
+func Analyze(g *cfg.Graph) (*Info, error) {
+	classOf, num := EdgeClasses(g)
+	return AnalyzeWithClasses(g, classOf, num)
+}
+
+// AnalyzeWithClasses derives regions and the PST from a caller-supplied
+// edge partition, which must be *finer than or equal to* control dependence
+// equivalence (§3.3 "Region Bypassing": "any equivalence relation on CFG
+// edges that is finer than control dependence equivalence can be used to
+// construct the DFG"). Finer partitions yield fewer and smaller regions,
+// hence less bypassing — see BasicBlockClasses and SingletonClasses.
+func AnalyzeWithClasses(g *cfg.Graph, classOf map[cfg.EdgeID]int, num int) (*Info, error) {
+	info := &Info{
+		G: g, ClassOf: classOf, NumClasses: num,
+		EdgeRegion: map[cfg.EdgeID]int{},
+		NodeRegion: map[cfg.NodeID]int{},
+		EntryOf:    map[cfg.EdgeID]int{},
+		ExitOf:     map[cfg.EdgeID]int{},
+	}
+
+	// Order the members of each class by dominance. In any DFS from start,
+	// a dominator is visited before everything it dominates, and class
+	// members are totally ordered by dominance, so sorting members by DFS
+	// preorder of their dummy (here: preorder of discovery of the edge in a
+	// CFG DFS) yields the dominance order.
+	pre := g.EdgePreorder()
+	byClass := make([][]cfg.EdgeID, num)
+	for _, eid := range g.LiveEdges() {
+		c := classOf[eid]
+		byClass[c] = append(byClass[c], eid)
+	}
+	for _, members := range byClass {
+		sort.Slice(members, func(i, j int) bool { return pre[members[i]] < pre[members[j]] })
+	}
+
+	regionWithEntry := info.EntryOf
+	regionWithExit := info.ExitOf
+	for _, members := range byClass {
+		for i := 0; i+1 < len(members); i++ {
+			r := &Region{ID: len(info.Regions), Entry: members[i], Exit: members[i+1], Parent: -1}
+			info.Regions = append(info.Regions, r)
+			regionWithEntry[r.Entry] = r.ID
+			regionWithExit[r.Exit] = r.ID
+		}
+	}
+
+	// Propagate open-region context over the CFG. ctx(node) = innermost
+	// region open at that node. Crossing edge e: first close the region
+	// whose exit is e, then open the region whose entry is e. Each region
+	// is opened exactly once (its entry edge is unique), so context cells
+	// are physically shared and contexts are equal iff the head pointers
+	// are equal.
+	nodeCtx := make([]*ctxCell, g.NumNodes())
+	visited := make([]bool, g.NumNodes())
+	visited[g.Start] = true
+	info.NodeRegion[g.Start] = -1
+	queue := []cfg.NodeID{g.Start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.OutEdges(u) {
+			e := g.Edge(eid)
+			c := nodeCtx[u]
+			if rid, ok := regionWithExit[eid]; ok {
+				if c == nil || c.region != rid {
+					return nil, fmt.Errorf("regions: inconsistent nesting closing region %d at edge %d", rid, eid)
+				}
+				c = c.parent
+			}
+			// The edge belongs to the region open after closing, before
+			// opening (boundary edges belong to the parent of the region
+			// they bound; interior edges to the innermost open region).
+			if c != nil {
+				info.EdgeRegion[eid] = c.region
+			} else {
+				info.EdgeRegion[eid] = -1
+			}
+			if rid, ok := regionWithEntry[eid]; ok {
+				r := info.Regions[rid]
+				if c != nil {
+					r.Parent = c.region
+				} else {
+					r.Parent = -1
+				}
+				c = &ctxCell{region: rid, parent: c}
+			}
+			v := e.Dst
+			if visited[v] {
+				if nodeCtx[v] != c {
+					return nil, fmt.Errorf("regions: inconsistent context at node %d", v)
+				}
+				continue
+			}
+			visited[v] = true
+			nodeCtx[v] = c
+			if c != nil {
+				info.NodeRegion[v] = c.region
+			} else {
+				info.NodeRegion[v] = -1
+			}
+			queue = append(queue, v)
+		}
+	}
+
+	// Parent links → children and depth.
+	for _, r := range info.Regions {
+		if r.Parent >= 0 {
+			info.Regions[r.Parent].Children = append(info.Regions[r.Parent].Children, r.ID)
+		}
+	}
+	var setDepth func(r *Region, d int)
+	setDepth = func(r *Region, d int) {
+		r.Depth = d
+		for _, c := range r.Children {
+			setDepth(info.Regions[c], d+1)
+		}
+	}
+	for _, r := range info.Regions {
+		if r.Parent == -1 {
+			setDepth(r, 0)
+		}
+	}
+	return info, nil
+}
+
+// MustAnalyze is Analyze, panicking on error; for fixed test inputs.
+func MustAnalyze(g *cfg.Graph) *Info {
+	info, err := Analyze(g)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+// BasicBlockClasses partitions live edges by basic block: two edges are
+// equivalent iff they are separated only by non-branching, non-merging
+// computation. This is strictly finer than control dependence equivalence,
+// so it is a valid (coarser-bypassing) basis for DFG construction — the
+// paper's example of a relation that "will permit bypassing of assignment
+// statements but not of control structures".
+func BasicBlockClasses(g *cfg.Graph) (map[cfg.EdgeID]int, int) {
+	classOf := map[cfg.EdgeID]int{}
+	next := 0
+	for _, eid := range g.LiveEdges() {
+		if _, done := classOf[eid]; done {
+			continue
+		}
+		// Walk back to the head of the straight-line chain.
+		cur := eid
+		for {
+			src := g.Edge(cur).Src
+			if len(g.InEdges(src)) != 1 || len(g.OutEdges(src)) != 1 {
+				break
+			}
+			cur = g.InEdges(src)[0]
+		}
+		// Sweep forward, labelling the chain.
+		class := next
+		next++
+		for {
+			classOf[cur] = class
+			dst := g.Edge(cur).Dst
+			if len(g.InEdges(dst)) != 1 || len(g.OutEdges(dst)) != 1 {
+				break
+			}
+			cur = g.OutEdges(dst)[0]
+		}
+	}
+	return classOf, next
+}
+
+// SingletonClasses places every live edge in its own class: the finest
+// partition, yielding no regions and therefore no bypassing at all — the
+// base-level DFG of §3.2 (after dead-edge removal).
+func SingletonClasses(g *cfg.Graph) (map[cfg.EdgeID]int, int) {
+	classOf := map[cfg.EdgeID]int{}
+	for i, eid := range g.LiveEdges() {
+		classOf[eid] = i
+	}
+	return classOf, len(classOf)
+}
+
+// ctxCell is one frame of the persistent open-region stack used by Analyze.
+type ctxCell struct {
+	region int
+	parent *ctxCell
+}
+
+// InRegion reports whether node n lies inside region r (between its entry
+// and exit edges): n's innermost region must be r or a PST descendant of r.
+func (info *Info) InRegion(n cfg.NodeID, r int) bool {
+	rid, ok := info.NodeRegion[n]
+	if !ok {
+		return false
+	}
+	for rid != -1 {
+		if rid == r {
+			return true
+		}
+		rid = info.Regions[rid].Parent
+	}
+	return false
+}
+
+// String renders the PST with one region per line, indented by depth.
+func (info *Info) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d edge classes, %d canonical regions\n", info.NumClasses, len(info.Regions))
+	var walk func(ids []int)
+	walk = func(ids []int) {
+		for _, id := range ids {
+			r := info.Regions[id]
+			fmt.Fprintf(&b, "%sR%d: entry e%d, exit e%d\n", strings.Repeat("  ", r.Depth), r.ID, r.Entry, r.Exit)
+			walk(r.Children)
+		}
+	}
+	var roots []int
+	for _, r := range info.Regions {
+		if r.Parent == -1 {
+			roots = append(roots, r.ID)
+		}
+	}
+	walk(roots)
+	return b.String()
+}

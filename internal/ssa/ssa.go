@@ -1,0 +1,497 @@
+// Package ssa builds static single assignment form two ways and proves
+// them equivalent:
+//
+//   - Cytron: the classic construction (Cytron, Ferrante, Rosen, Wegman &
+//     Zadeck) — φ placement at iterated dominance frontiers of definition
+//     sites, then renaming along the dominator tree. This is the baseline.
+//
+//   - FromDFG: the paper's §3.3 construction — "if the SSA representation
+//     of a program is desired, we can construct it in O(EV) time by first
+//     building the DFG representation and then eliding switches and
+//     converting merges to φ-functions. Unlike the standard algorithm, our
+//     algorithm does not require computation of the dominance relation or
+//     dominance frontiers."
+//
+// Both produce the same Form: a map from every use site to its unique
+// reaching SSA value, plus φ-functions at merge nodes with one argument per
+// incoming CFG edge. Cytron's result is minimal SSA; the DFG-derived form
+// is pruned (dead φs removed by the DFG's dead-edge removal), so
+// equivalence is checked on the value graph reachable from real uses —
+// where minimal and pruned SSA provably coincide.
+package ssa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/graph"
+)
+
+// ValueKind discriminates SSA values.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValInit ValueKind = iota // implicit definition at start (uninitialized)
+	ValDef                   // an assign/read node's definition
+	ValPhi                   // a φ-function at a merge node
+)
+
+// String returns the kind name.
+func (k ValueKind) String() string {
+	switch k {
+	case ValInit:
+		return "init"
+	case ValDef:
+		return "def"
+	case ValPhi:
+		return "phi"
+	}
+	return fmt.Sprintf("ValueKind(%d)", int(k))
+}
+
+// Value is an SSA value: where a variable's current version was born.
+type Value struct {
+	Kind ValueKind
+	Node cfg.NodeID // def node, φ's merge node, or start for init
+	Var  string
+}
+
+// String renders the value.
+func (v Value) String() string {
+	return fmt.Sprintf("%s(%s@n%d)", v.Kind, v.Var, v.Node)
+}
+
+// PhiKey identifies a φ-function.
+type PhiKey struct {
+	Node cfg.NodeID
+	Var  string
+}
+
+// Phi is a φ-function with one argument per incoming CFG edge.
+type Phi struct {
+	Node cfg.NodeID
+	Var  string
+	Args map[cfg.EdgeID]Value
+}
+
+// UseKey identifies a variable use site.
+type UseKey struct {
+	Node cfg.NodeID
+	Var  string
+}
+
+// Form is an SSA program form over a CFG.
+type Form struct {
+	G      *cfg.Graph
+	Phis   map[PhiKey]*Phi
+	UseDef map[UseKey]Value
+}
+
+// NumPhis returns the number of φ-functions (one of E9/E10's size metrics).
+func (f *Form) NumPhis() int { return len(f.Phis) }
+
+// Size returns the SSA edge count: one edge per use plus one per φ
+// argument. This is the O(EV) quantity of §2.3.
+func (f *Form) Size() int {
+	n := len(f.UseDef)
+	for _, p := range f.Phis {
+		n += len(p.Args)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Cytron et al. baseline
+
+// Cytron builds minimal SSA with the standard two-phase algorithm.
+func Cytron(g *cfg.Graph) *Form {
+	f := &Form{G: g, Phis: map[PhiKey]*Phi{}, UseDef: map[UseKey]Value{}}
+
+	pos := g.Positional()
+	idom := graph.Dominators(pos, int(g.Start))
+	df := graph.DominanceFrontiers(pos, idom)
+
+	// Dominator tree children.
+	children := make([][]int, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		if idom[n] != -1 && idom[n] != n {
+			children[idom[n]] = append(children[idom[n]], n)
+		}
+	}
+
+	// Phase 1: φ placement at iterated dominance frontiers. Every variable
+	// has an implicit definition at start (so one def site is always
+	// present and uses before any real def resolve to init).
+	for _, v := range g.VarNames {
+		var work []int
+		inWork := make([]bool, g.NumNodes())
+		hasPhi := make([]bool, g.NumNodes())
+		push := func(n int) {
+			if !inWork[n] {
+				inWork[n] = true
+				work = append(work, n)
+			}
+		}
+		push(int(g.Start))
+		for _, nd := range g.Nodes {
+			if g.Defs(nd.ID) == v {
+				push(int(nd.ID))
+			}
+		}
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range df[n] {
+				if !hasPhi[y] {
+					hasPhi[y] = true
+					key := PhiKey{cfg.NodeID(y), v}
+					f.Phis[key] = &Phi{Node: cfg.NodeID(y), Var: v, Args: map[cfg.EdgeID]Value{}}
+					push(y)
+				}
+			}
+		}
+	}
+
+	// Phase 2: renaming along the dominator tree.
+	stacks := map[string][]Value{}
+	for _, v := range g.VarNames {
+		stacks[v] = []Value{{Kind: ValInit, Node: g.Start, Var: v}}
+	}
+	top := func(v string) Value { s := stacks[v]; return s[len(s)-1] }
+
+	var rename func(n int)
+	rename = func(n int) {
+		id := cfg.NodeID(n)
+		pushed := map[string]int{}
+
+		// φs at this node define new versions before any use in the node.
+		for _, v := range g.VarNames {
+			if _, ok := f.Phis[PhiKey{id, v}]; ok {
+				stacks[v] = append(stacks[v], Value{Kind: ValPhi, Node: id, Var: v})
+				pushed[v]++
+			}
+		}
+		// Uses at this node see the current versions.
+		for _, v := range g.Uses(id) {
+			f.UseDef[UseKey{id, v}] = top(v)
+		}
+		// A definition at this node pushes a new version.
+		if v := g.Defs(id); v != "" {
+			stacks[v] = append(stacks[v], Value{Kind: ValDef, Node: id, Var: v})
+			pushed[v]++
+		}
+		// Fill φ arguments of successors for the edges out of this node.
+		for _, eid := range g.OutEdges(id) {
+			succ := g.Edge(eid).Dst
+			for _, v := range g.VarNames {
+				if phi, ok := f.Phis[PhiKey{succ, v}]; ok {
+					phi.Args[eid] = top(v)
+				}
+			}
+		}
+		for _, c := range children[n] {
+			rename(c)
+		}
+		for v, k := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-k]
+		}
+	}
+	rename(int(g.Start))
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// DFG-derived SSA (§3.3)
+
+// FromDFG derives SSA from a dependence flow graph by eliding switch
+// operators and converting merge operators to φ-functions. No dominance
+// information is used.
+func FromDFG(d *dfg.Graph) *Form {
+	f := &Form{G: d.G, Phis: map[PhiKey]*Phi{}, UseDef: map[UseKey]Value{}}
+
+	// resolve follows a dependence source through (elided) switch operators
+	// to the def, init, or merge that produced it.
+	var resolve func(s dfg.Src) Value
+	memo := map[dfg.Src]Value{}
+	resolve = func(s dfg.Src) Value {
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		op := d.Ops[s.Op]
+		var val Value
+		switch op.Kind {
+		case dfg.OpInit:
+			val = Value{Kind: ValInit, Node: d.G.Start, Var: op.Var}
+		case dfg.OpDef:
+			val = Value{Kind: ValDef, Node: op.Node, Var: op.Var}
+		case dfg.OpMerge:
+			val = Value{Kind: ValPhi, Node: op.Node, Var: op.Var}
+		case dfg.OpSwitch:
+			val = resolve(op.In[0]) // elide
+		}
+		memo[s] = val
+		return val
+	}
+
+	// Materialize φs from merge operators (reachable ones only: the DFG is
+	// pruned, so this yields pruned SSA).
+	for _, op := range d.Ops {
+		if op.Kind != dfg.OpMerge || op.Var == dfg.CtlVar || !op.LiveOut[0] {
+			continue
+		}
+		phi := &Phi{Node: op.Node, Var: op.Var, Args: map[cfg.EdgeID]Value{}}
+		for i, in := range op.In {
+			phi.Args[op.InEdges[i]] = resolve(in)
+		}
+		f.Phis[PhiKey{op.Node, op.Var}] = phi
+	}
+
+	// The DFG intercepts dependences at merges whenever a region merely
+	// *uses* a variable, so some merge operators are trivial as
+	// φ-functions: φ(v, …, v, φ_self) ≡ v. Minimal SSA has no such φs;
+	// eliminate them by fixpoint (the standard trivial-φ rule).
+	canon := map[PhiKey]Value{}
+	for k := range f.Phis {
+		canon[k] = Value{Kind: ValPhi, Node: k.Node, Var: k.Var}
+	}
+	var canonical func(v Value) Value
+	canonical = func(v Value) Value {
+		for v.Kind == ValPhi {
+			c := canon[PhiKey{v.Node, v.Var}]
+			if c == v {
+				return v
+			}
+			v = c
+		}
+		return v
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, phi := range f.Phis {
+			self := canon[k]
+			if self.Kind != ValPhi || self.Node != k.Node {
+				continue // already resolved away
+			}
+			var uniq Value
+			trivial := true
+			seen := false
+			for _, a := range phi.Args {
+				ca := canonical(a)
+				if ca == self {
+					continue // self-reference through the loop
+				}
+				if !seen {
+					uniq, seen = ca, true
+				} else if ca != uniq {
+					trivial = false
+					break
+				}
+			}
+			if trivial && seen {
+				canon[k] = uniq
+				changed = true
+			}
+		}
+	}
+
+	// On irreducible graphs, *webs* of mutually-referencing φs can be
+	// collectively trivial even though no single φ is: a strongly
+	// connected set of φs whose only external input is one value v is
+	// equivalent to v (the redundant-φ-web rule of Braun et al.). The
+	// simple fixpoint above cannot see this, so collapse φ-SCCs
+	// explicitly, innermost first.
+	collapsePhiWebs(f, canon, canonical)
+
+	// Emit the surviving φs with canonicalized arguments, and uses mapped
+	// through the canonical values.
+	phis := map[PhiKey]*Phi{}
+	for k, phi := range f.Phis {
+		if canonical(Value{Kind: ValPhi, Node: k.Node, Var: k.Var}) != (Value{Kind: ValPhi, Node: k.Node, Var: k.Var}) {
+			continue // eliminated as trivial
+		}
+		np := &Phi{Node: phi.Node, Var: phi.Var, Args: map[cfg.EdgeID]Value{}}
+		for e, a := range phi.Args {
+			np.Args[e] = canonical(a)
+		}
+		phis[k] = np
+	}
+	f.Phis = phis
+
+	for _, u := range d.Uses {
+		if u.Var == dfg.CtlVar {
+			continue
+		}
+		f.UseDef[UseKey{u.Node, u.Var}] = canonical(resolve(u.Src))
+	}
+	return f
+}
+
+// collapsePhiWebs resolves strongly connected components of φ-functions
+// whose arguments, outside the component, are all one value: the whole web
+// canonicalizes to that value. Components are processed in dependency
+// order (arguments before the φs that use them), so chained webs collapse
+// in one pass.
+func collapsePhiWebs(f *Form, canon map[PhiKey]Value, canonical func(Value) Value) {
+	// Index the φs still canonical to themselves.
+	var keys []PhiKey
+	idx := map[PhiKey]int{}
+	for k := range f.Phis {
+		self := Value{Kind: ValPhi, Node: k.Node, Var: k.Var}
+		if canonical(self) == self {
+			idx[k] = len(keys)
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	// Argument graph among live φs.
+	d := graph.NewDirected(len(keys))
+	for _, k := range keys {
+		for _, a := range f.Phis[k].Args {
+			ca := canonical(a)
+			if ca.Kind == ValPhi {
+				if j, ok := idx[PhiKey{ca.Node, ca.Var}]; ok {
+					d.AddEdge(idx[k], j)
+				}
+			}
+		}
+	}
+	comp, n := graph.SCC(d)
+	members := make([][]int, n)
+	for i, c := range comp {
+		members[c] = append(members[c], i)
+	}
+	// SCC numbering has successors (arguments) in lower-numbered
+	// components; process them first.
+	for c := 0; c < n; c++ {
+		inSCC := map[PhiKey]bool{}
+		for _, i := range members[c] {
+			inSCC[keys[i]] = true
+		}
+		var external Value
+		seen, uniform := false, true
+		for _, i := range members[c] {
+			for _, a := range f.Phis[keys[i]].Args {
+				ca := canonical(a)
+				if ca.Kind == ValPhi && inSCC[PhiKey{ca.Node, ca.Var}] {
+					continue // internal reference
+				}
+				if !seen {
+					external, seen = ca, true
+				} else if ca != external {
+					uniform = false
+				}
+			}
+		}
+		if seen && uniform {
+			for _, i := range members[c] {
+				canon[keys[i]] = external
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence
+
+// EquivalentOnUses reports whether two SSA forms resolve every real use to
+// the same value graph: identical use→value mapping, and for every φ
+// reachable from a use (transitively), identical arguments. Unreachable
+// (dead) φs are ignored, which makes minimal and pruned SSA comparable.
+// A non-nil error describes the first difference.
+func EquivalentOnUses(a, b *Form) error {
+	if len(a.UseDef) != len(b.UseDef) {
+		return fmt.Errorf("ssa: use counts differ: %d vs %d", len(a.UseDef), len(b.UseDef))
+	}
+	var queue []PhiKey
+	seen := map[PhiKey]bool{}
+	enqueue := func(v Value) {
+		if v.Kind == ValPhi {
+			k := PhiKey{v.Node, v.Var}
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, k)
+			}
+		}
+	}
+	for k, va := range a.UseDef {
+		vb, ok := b.UseDef[k]
+		if !ok {
+			return fmt.Errorf("ssa: use %v missing in second form", k)
+		}
+		if va != vb {
+			return fmt.Errorf("ssa: use %v resolves to %v vs %v", k, va, vb)
+		}
+		enqueue(va)
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		pa, oka := a.Phis[k]
+		pb, okb := b.Phis[k]
+		if !oka || !okb {
+			return fmt.Errorf("ssa: φ %v present=%v/%v", k, oka, okb)
+		}
+		if len(pa.Args) != len(pb.Args) {
+			return fmt.Errorf("ssa: φ %v arg counts differ: %d vs %d", k, len(pa.Args), len(pb.Args))
+		}
+		for e, va := range pa.Args {
+			vb, ok := pb.Args[e]
+			if !ok {
+				return fmt.Errorf("ssa: φ %v missing arg for edge e%d", k, e)
+			}
+			if va != vb {
+				return fmt.Errorf("ssa: φ %v arg e%d: %v vs %v", k, e, va, vb)
+			}
+			enqueue(va)
+		}
+	}
+	return nil
+}
+
+// String renders the SSA form: φs then use→def bindings, sorted.
+func (f *Form) String() string {
+	var b strings.Builder
+	var phiKeys []PhiKey
+	for k := range f.Phis {
+		phiKeys = append(phiKeys, k)
+	}
+	sort.Slice(phiKeys, func(i, j int) bool {
+		if phiKeys[i].Node != phiKeys[j].Node {
+			return phiKeys[i].Node < phiKeys[j].Node
+		}
+		return phiKeys[i].Var < phiKeys[j].Var
+	})
+	for _, k := range phiKeys {
+		phi := f.Phis[k]
+		var es []cfg.EdgeID
+		for e := range phi.Args {
+			es = append(es, e)
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+		parts := make([]string, len(es))
+		for i, e := range es {
+			parts[i] = fmt.Sprintf("e%d:%s", e, phi.Args[e])
+		}
+		fmt.Fprintf(&b, "phi %s @n%d = φ(%s)\n", k.Var, k.Node, strings.Join(parts, ", "))
+	}
+	var useKeys []UseKey
+	for k := range f.UseDef {
+		useKeys = append(useKeys, k)
+	}
+	sort.Slice(useKeys, func(i, j int) bool {
+		if useKeys[i].Node != useKeys[j].Node {
+			return useKeys[i].Node < useKeys[j].Node
+		}
+		return useKeys[i].Var < useKeys[j].Var
+	})
+	for _, k := range useKeys {
+		fmt.Fprintf(&b, "use %s @n%d <- %s\n", k.Var, k.Node, f.UseDef[k])
+	}
+	return b.String()
+}

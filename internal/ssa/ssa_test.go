@@ -1,0 +1,230 @@
+package ssa
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestCytronStraightLine(t *testing.T) {
+	g := build(t, "x := 1; y := x; x := 2; z := x;")
+	f := Cytron(g)
+	if f.NumPhis() != 0 {
+		t.Errorf("straight line has %d φs, want 0", f.NumPhis())
+	}
+	// Each use resolves to the def just above it.
+	for k, v := range f.UseDef {
+		if v.Kind != ValDef {
+			t.Errorf("use %v resolves to %v, want a def", k, v)
+		}
+	}
+}
+
+func TestCytronDiamondPhi(t *testing.T) {
+	g := build(t, "read p; if (p) { x := 1; } else { x := 2; } y := x;")
+	f := Cytron(g)
+	var mg cfg.NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindMerge {
+			mg = nd.ID
+		}
+	}
+	phi, ok := f.Phis[PhiKey{mg, "x"}]
+	if !ok {
+		t.Fatalf("no φ for x at merge; φs: %v", f.Phis)
+	}
+	if len(phi.Args) != 2 {
+		t.Errorf("φ args = %v, want 2", phi.Args)
+	}
+	for _, v := range phi.Args {
+		if v.Kind != ValDef || v.Var != "x" {
+			t.Errorf("φ arg %v, want x defs", v)
+		}
+	}
+	// The use of x at y := x sees the φ.
+	for k, v := range f.UseDef {
+		if k.Var == "x" {
+			if v.Kind != ValPhi || v.Node != mg {
+				t.Errorf("use %v resolves to %v, want the φ", k, v)
+			}
+		}
+	}
+}
+
+func TestCytronLoopPhi(t *testing.T) {
+	g := build(t, "i := 0; while (i < 10) { i := i + 1; } print i;")
+	f := Cytron(g)
+	var hdr cfg.NodeID
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindMerge {
+			hdr = nd.ID
+		}
+	}
+	phi, ok := f.Phis[PhiKey{hdr, "i"}]
+	if !ok {
+		t.Fatal("no φ for i at loop header")
+	}
+	if len(phi.Args) != 2 {
+		t.Errorf("loop φ args = %v, want 2", phi.Args)
+	}
+	// The body use of i sees the φ; so does the condition.
+	for k, v := range f.UseDef {
+		if k.Var == "i" && v.Kind == ValInit {
+			t.Errorf("use %v resolves to init, want φ or def", k)
+		}
+	}
+}
+
+func TestUseBeforeDefResolvesToInit(t *testing.T) {
+	g := build(t, "print x; x := 1; print x;")
+	f := Cytron(g)
+	inits, defs := 0, 0
+	for _, v := range f.UseDef {
+		switch v.Kind {
+		case ValInit:
+			inits++
+		case ValDef:
+			defs++
+		}
+	}
+	if inits != 1 || defs != 1 {
+		t.Errorf("inits=%d defs=%d, want 1/1", inits, defs)
+	}
+}
+
+func equivalentForms(t *testing.T, g *cfg.Graph, label string) {
+	t.Helper()
+	base := Cytron(g)
+	d, err := dfg.Build(g)
+	if err != nil {
+		t.Fatalf("%s: dfg: %v", label, err)
+	}
+	derived := FromDFG(d)
+	if err := EquivalentOnUses(base, derived); err != nil {
+		t.Errorf("%s: Cytron and DFG-derived SSA differ: %v\ncytron:\n%s\ndfg-derived:\n%s\ncfg:\n%s",
+			label, err, base, derived, g)
+	}
+}
+
+func TestFromDFGMatchesCytronExamples(t *testing.T) {
+	srcs := []string{
+		"x := 1; y := x; x := 2; z := x;",
+		"read p; if (p) { x := 1; } else { x := 2; } y := x;",
+		"i := 0; while (i < 10) { i := i + 1; } print i;",
+		"print x; x := 1; print x;",
+		`read a; x := 1; if (x == 1) { y := 2; } else { y := 3; a := y; } print y; print a;`,
+		`read p; y := 2; if (p > 0) { x := 1; y := 1; } else { x := 2; } print x; print y;`,
+		`read p; if (p > 0) { i := 0; while (i < 5) { i := i + p; } print i; } print p;`,
+		`read n; i := 0; s := 0; while (i < n) { j := 0; while (j < i) { s := s + j; j := j + 1; } i := i + 1; } print s;`,
+	}
+	for _, src := range srcs {
+		equivalentForms(t, build(t, src), src)
+	}
+}
+
+func TestFromDFGMatchesCytronRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g, err := cfg.Build(workload.Mixed(35, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		equivalentForms(t, g, "mixed")
+	}
+}
+
+func TestFromDFGMatchesCytronGoto(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g, err := cfg.Build(workload.GotoMess(8, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		equivalentForms(t, g, "goto")
+	}
+}
+
+func TestIrreduciblePhiWebCollapses(t *testing.T) {
+	// p is read once and used inside an irreducible loop entered at two
+	// points. The DFG intercepts p at both entry merges, producing a web
+	// of mutually-referencing φs whose only external input is the read —
+	// the φ-SCC rule must collapse it so uses resolve to the def directly,
+	// as in minimal SSA.
+	g := build(t, `
+		read p;
+		if (p > 0) { goto B; }
+		label A:
+		x := 1;
+		label B:
+		x := x + 1;
+		if (x < p) { goto A; }
+		print x;`)
+	equivalentForms(t, g, "irreducible-phi-web")
+
+	d, err := dfg.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := FromDFG(d)
+	for k := range derived.Phis {
+		if k.Var == "p" {
+			t.Errorf("trivial φ web for p survived at n%d", k.Node)
+		}
+	}
+}
+
+func TestPrunedVsMinimalPhiCounts(t *testing.T) {
+	// A dead φ: x merges but is never used afterwards. Minimal SSA places
+	// it; the DFG-derived (pruned) form must not.
+	g := build(t, "read p; if (p) { x := 1; } else { x := 2; } print p;")
+	minimal := Cytron(g)
+	d, err := dfg.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := FromDFG(d)
+	if minimal.NumPhis() == 0 {
+		t.Fatal("expected a (dead) φ in minimal SSA")
+	}
+	if pruned.NumPhis() != 0 {
+		t.Errorf("pruned SSA has %d φs, want 0 (x never used)", pruned.NumPhis())
+	}
+	// They are still equivalent on uses.
+	if err := EquivalentOnUses(minimal, pruned); err != nil {
+		t.Errorf("forms differ on uses: %v", err)
+	}
+}
+
+func TestSizeLinearOnDiamondLadder(t *testing.T) {
+	// SSA size must grow linearly in the ladder length (contrast with
+	// def-use chains, which grow quadratically — experiment E10).
+	size := func(k int) int {
+		g, err := cfg.Build(workload.DiamondLadder(k, 2, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Cytron(g).Size()
+	}
+	s4, s8, s16 := size(4), size(8), size(16)
+	// Ratios should be roughly 2x (allow slack for boundary effects).
+	if s8 > 3*s4 || s16 > 3*s8 {
+		t.Errorf("SSA size growing super-linearly: %d, %d, %d", s4, s8, s16)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	g := build(t, "read p; if (p) { x := 1; } else { x := 2; } y := x;")
+	if s := Cytron(g).String(); s == "" {
+		t.Error("empty String()")
+	}
+}

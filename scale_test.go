@@ -1,0 +1,93 @@
+// Scale tests: the whole pipeline on large programs, guarding against
+// stack overflows in the recursive constructions and quadratic blow-ups in
+// the supposedly linear passes.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"dfg/internal/cdg"
+	"dfg/internal/cfg"
+	"dfg/internal/constprop"
+	"dfg/internal/dfg"
+	"dfg/internal/regions"
+	"dfg/internal/ssa"
+	"dfg/internal/workload"
+)
+
+func TestPipelineAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const n = 4000
+	start := time.Now()
+	g, err := cfg.Build(workload.Mixed(n, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CFG: %d nodes, %d edges (%.1fs)", g.NumNodes(), len(g.LiveEdges()), time.Since(start).Seconds())
+
+	info, err := regions.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regions: %d classes, %d regions", info.NumClasses, len(info.Regions))
+
+	d, err := dfg.BuildWithInfo(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.ComputeStats()
+	t.Logf("DFG: %d ops, %d dependences", st.Ops, st.Dependences)
+
+	// SSA equivalence at scale.
+	if err := ssa.EquivalentOnUses(ssa.Cytron(g), ssa.FromDFG(d)); err != nil {
+		t.Fatalf("SSA forms differ at scale: %v", err)
+	}
+
+	// Constant propagation agreement at scale.
+	a, b := constprop.CFG(g), constprop.DFG(d)
+	for k, va := range a.UseVals {
+		if b.UseVals[k] != va {
+			t.Fatalf("constprop mismatch at %v", k)
+		}
+	}
+
+	// Factored CDG partition matches FOW signatures at scale (spot check:
+	// counts of classes must be sane).
+	fact := cdg.BuildFactored(g)
+	if fact.NumClasses < 2 || fact.NumClasses > g.NumNodes() {
+		t.Fatalf("implausible class count %d", fact.NumClasses)
+	}
+
+	if el := time.Since(start); el > 5*time.Minute {
+		t.Errorf("pipeline too slow at n=%d: %v", n, el)
+	}
+}
+
+func TestDeepStraightLineNoOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	// 30k sequential statements: one giant equivalence class, deep
+	// region chains, long multiedges.
+	g, err := cfg.Build(workload.StraightLine(15000, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := regions.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumClasses != 1 {
+		t.Errorf("straight line should have 1 class, got %d", info.NumClasses)
+	}
+	d, err := dfg.BuildWithInfo(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.EquivalentOnUses(ssa.Cytron(g), ssa.FromDFG(d)); err != nil {
+		t.Fatal(err)
+	}
+}
