@@ -1,14 +1,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"text/tabwriter"
 	"time"
 
 	"dfg/internal/cfg"
-	"dfg/internal/lang/parser"
+	"dfg/internal/pipeline"
 )
+
+// eng is the process-wide analysis engine the experiments build their
+// inputs through — the same code path as cmd/dfg and cmd/dfg-serve.
+// Experiments that re-lower a source they already used (the fig1 running
+// example appears in several) get the cached CFG back.
+var eng = pipeline.New(pipeline.Config{})
 
 // reporter accumulates a pass/fail verdict and provides table helpers.
 type reporter struct {
@@ -59,12 +66,15 @@ func (r *reporter) table(header []string, rows [][]string) {
 // mustBuild parses and lowers src, exiting on error (experiment inputs are
 // fixed programs).
 func mustBuild(src string) *cfg.Graph {
-	g, err := cfg.Build(parser.MustParse(src))
+	res, err := eng.Analyze(context.Background(), pipeline.Request{
+		Source: src,
+		Stages: []pipeline.Stage{pipeline.StageCFG},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfg-bench:", err)
 		os.Exit(2)
 	}
-	return g
+	return res.CFG
 }
 
 // timeIt measures fn over enough repetitions to be stable, returning the

@@ -1,0 +1,78 @@
+// Command dfg-serve exposes the analysis pipeline as a JSON HTTP service:
+// clients POST a program in the analysis language plus a list of requested
+// stages and get per-stage results back. Stage artifacts are memoized in
+// the engine's content-addressed cache, so repeated analyses of the same
+// program are served from memory.
+//
+// Endpoints:
+//
+//	POST /analyze     {"program": "...", "stages": ["cfg","constprop"],
+//	                   "predicates": false, "dot": ["cfg"]}
+//	GET  /healthz     liveness probe
+//	GET  /statsz      per-stage hit/miss/latency counters
+//	GET  /debug/vars  expvar (includes the same counters under "pipeline")
+//
+// Flags:
+//
+//	-addr     listen address (default :8344)
+//	-workers  engine worker-pool size (default GOMAXPROCS)
+//	-cache    stage-artifact cache capacity (default 1024)
+//	-timeout  per-request analysis timeout (default 10s)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dfg/internal/pipeline"
+)
+
+var (
+	flagAddr    = flag.String("addr", ":8344", "listen address")
+	flagWorkers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flagCache   = flag.Int("cache", 1024, "stage-artifact cache capacity")
+	flagTimeout = flag.Duration("timeout", 10*time.Second, "per-request analysis timeout")
+)
+
+func main() {
+	flag.Parse()
+	eng := pipeline.New(pipeline.Config{
+		Workers:        *flagWorkers,
+		CacheEntries:   *flagCache,
+		DefaultTimeout: *flagTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *flagAddr,
+		Handler:           newMux(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("dfg-serve: listening on %s (workers=%d cache=%d)", *flagAddr, eng.Workers(), *flagCache)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("dfg-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("dfg-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dfg-serve: shutdown: %v", err)
+	}
+}

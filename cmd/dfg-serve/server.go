@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"dfg/internal/pipeline"
+)
+
+// analyzeRequest is the POST /analyze body.
+type analyzeRequest struct {
+	// Program is the source text in the analysis language.
+	Program string `json:"program"`
+	// Stages lists the stages to run; empty means all of them.
+	Stages []string `json:"stages,omitempty"`
+	// Predicates enables the x == c refinement in constprop.
+	Predicates bool `json:"predicates,omitempty"`
+	// DOT requests Graphviz renderings: any of "cfg", "dfg".
+	DOT []string `json:"dot,omitempty"`
+}
+
+// stageMeta reports how one stage of the request was satisfied.
+type stageMeta struct {
+	CacheHit bool  `json:"cache_hit"`
+	NS       int64 `json:"ns"`
+}
+
+// analyzeResponse is the POST /analyze reply.
+type analyzeResponse struct {
+	OK     bool                 `json:"ok"`
+	Key    string               `json:"key,omitempty"`
+	Report *pipeline.Report     `json:"report,omitempty"`
+	Meta   map[string]stageMeta `json:"meta,omitempty"`
+	DOT    map[string]string    `json:"dot,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+// server routes HTTP traffic to a pipeline engine.
+type server struct {
+	eng *pipeline.Engine
+}
+
+// newMux builds the service's routing table around eng.
+func newMux(eng *pipeline.Engine) *http.ServeMux {
+	s := &server{eng: eng}
+	eng.PublishExpvar("pipeline")
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Program) == "" {
+		writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: "empty program"})
+		return
+	}
+	stages := make([]pipeline.Stage, 0, len(req.Stages))
+	for _, st := range req.Stages {
+		stage := pipeline.Stage(st)
+		if !pipeline.ValidStage(stage) {
+			writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: fmt.Sprintf("unknown stage %q", st)})
+			return
+		}
+		stages = append(stages, stage)
+	}
+	for _, d := range req.DOT {
+		if d != "cfg" && d != "dfg" {
+			writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: fmt.Sprintf("unknown dot target %q (want cfg or dfg)", d)})
+			return
+		}
+		// DOT needs the corresponding artifact even if its stage was not
+		// requested explicitly.
+		stages = append(stages, pipeline.Stage(d))
+	}
+
+	res, err := s.eng.Analyze(r.Context(), pipeline.Request{
+		Source:  req.Program,
+		Stages:  stages,
+		Options: pipeline.Options{Predicates: req.Predicates},
+	})
+	if err != nil {
+		// Analysis failures — parse errors, malformed control flow, and
+		// recovered stage panics alike — are the request's fault, not the
+		// server's: 422, and the engine keeps serving.
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			code = http.StatusRequestTimeout
+		}
+		writeJSON(w, code, analyzeResponse{Error: err.Error()})
+		return
+	}
+
+	resp := analyzeResponse{OK: true, Key: res.Key, Meta: map[string]stageMeta{}}
+	rep := res.Report()
+	resp.Report = &rep
+	for st, info := range res.Stages {
+		resp.Meta[string(st)] = stageMeta{CacheHit: info.CacheHit, NS: info.Duration.Nanoseconds()}
+	}
+	for _, d := range req.DOT {
+		if resp.DOT == nil {
+			resp.DOT = map[string]string{}
+		}
+		switch d {
+		case "cfg":
+			resp.DOT["cfg"] = res.CFG.DOT("cfg", false)
+		case "dfg":
+			resp.DOT["dfg"] = res.DFG.DOT("dfg")
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "time": time.Now().UTC().Format(time.RFC3339)})
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Snapshot())
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dfg/internal/pipeline"
+)
+
+// panicMarker makes the injected StageHook blow up the dfg stage, proving
+// the engine's panic isolation reaches the HTTP layer as a 422.
+const panicMarker = "v__panic__"
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := pipeline.New(pipeline.Config{
+		StageHook: func(st pipeline.Stage, src string) {
+			if st == pipeline.StageDFG && strings.Contains(src, panicMarker) {
+				panic("injected stage fault")
+			}
+		},
+	})
+	ts := httptest.NewServer(newMux(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postAnalyze(t *testing.T, ts *httptest.Server, body string) (int, analyzeResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatalf("POST /analyze: %v", err)
+	}
+	defer resp.Body.Close()
+	var out analyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func reqBody(t *testing.T, req analyzeRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAnalyzeEveryExample POSTs each paper example from examples/programs
+// through every stage, per the acceptance criteria.
+func TestAnalyzeEveryExample(t *testing.T) {
+	ts := newTestServer(t)
+	files, err := filepath.Glob("../../examples/programs/*.dfg")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, out := postAnalyze(t, ts, reqBody(t, analyzeRequest{Program: string(src)}))
+			if code != http.StatusOK || !out.OK {
+				t.Fatalf("status=%d ok=%v error=%q", code, out.OK, out.Error)
+			}
+			if out.Report == nil || out.Report.CFG == nil || out.Report.DFG == nil ||
+				out.Report.Constprop == nil || out.Report.EPR == nil {
+				t.Fatalf("incomplete report: %+v", out.Report)
+			}
+			if len(out.Meta) == 0 {
+				t.Error("missing per-stage metadata")
+			}
+		})
+	}
+}
+
+func TestAnalyzeSelectedStagesAndDOT(t *testing.T) {
+	ts := newTestServer(t)
+	code, out := postAnalyze(t, ts, reqBody(t, analyzeRequest{
+		Program: "read a; b := a + 1; print b;",
+		Stages:  []string{"constprop"},
+		DOT:     []string{"cfg", "dfg"},
+	}))
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("status=%d error=%q", code, out.Error)
+	}
+	if out.Report.Constprop == nil {
+		t.Error("constprop stage missing from report")
+	}
+	if out.Report.SSA != nil {
+		t.Error("unrequested ssa stage present in report")
+	}
+	for _, target := range []string{"cfg", "dfg"} {
+		if !strings.HasPrefix(out.DOT[target], "digraph") {
+			t.Errorf("dot %s: not Graphviz output: %.40q", target, out.DOT[target])
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"malformed json", "{", http.StatusBadRequest},
+		{"empty program", `{"program":"  "}`, http.StatusBadRequest},
+		{"unknown stage", `{"program":"read a;","stages":["nope"]}`, http.StatusBadRequest},
+		{"unknown dot", `{"program":"read a;","dot":["ast"]}`, http.StatusBadRequest},
+		{"parse error", `{"program":"x := ;"}`, http.StatusUnprocessableEntity},
+		{"undefined label", `{"program":"goto nowhere;"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := postAnalyze(t, ts, tc.body)
+			if code != tc.code {
+				t.Fatalf("status=%d want %d (error=%q)", code, tc.code, out.Error)
+			}
+			if out.OK || out.Error == "" {
+				t.Errorf("error responses must carry ok=false and a message: %+v", out)
+			}
+		})
+	}
+}
+
+// TestStagePanicReturns422 is the acceptance criterion: a request that
+// panics a stage gets a 422, and the server keeps serving afterwards.
+func TestStagePanicReturns422(t *testing.T) {
+	ts := newTestServer(t)
+	code, out := postAnalyze(t, ts, reqBody(t, analyzeRequest{
+		Program: "read " + panicMarker + "; print " + panicMarker + ";",
+	}))
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status=%d want 422 (error=%q)", code, out.Error)
+	}
+	if !strings.Contains(out.Error, "panicked") {
+		t.Errorf("error should mention the panic: %q", out.Error)
+	}
+	// The same server must still answer ordinary requests.
+	code, out = postAnalyze(t, ts, reqBody(t, analyzeRequest{Program: "read a; print a;"}))
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("server stopped serving after a stage panic: status=%d error=%q", code, out.Error)
+	}
+}
+
+func TestHealthzStatszDebugVars(t *testing.T) {
+	ts := newTestServer(t)
+	// Generate one miss and one hit so /statsz has signal.
+	body := reqBody(t, analyzeRequest{Program: "read a; print a + 2;"})
+	postAnalyze(t, ts, body)
+	postAnalyze(t, ts, body)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %v status=%v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap pipeline.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/statsz decode: %v", err)
+	}
+	resp.Body.Close()
+	st := snap.Stages[pipeline.StageCFG]
+	if st.Misses < 1 || st.Hits < 1 {
+		t.Errorf("/statsz: cfg stage hits=%d misses=%d, want >=1 each", st.Hits, st.Misses)
+	}
+	if st.TotalNS <= 0 {
+		t.Errorf("/statsz: cfg stage reports no latency")
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars decode: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["pipeline"]; !ok {
+		t.Error("/debug/vars missing the pipeline export")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze: status=%d want 405", resp.StatusCode)
+	}
+}

@@ -1,7 +1,9 @@
 // Command dfg is the front door to the dependence-based program analysis
 // toolkit: it parses a program in the analysis language, builds its control
 // flow graph and dependence flow graph, and runs the paper's analyses and
-// optimizations on it.
+// optimizations on it. All analyses route through the shared pipeline
+// engine (internal/pipeline), the same code path cmd/dfg-bench and
+// cmd/dfg-serve use.
 //
 // Usage:
 //
@@ -26,9 +28,14 @@
 //
 //	-input  comma-separated integers consumed by read statements
 //	-pred   enable predicate analysis (x == c refinement) in -constprop
+//
+// Exit status is 0 on success, 1 on analysis errors (a parse error prints a
+// one-line file:line:col diagnostic), and 2 on usage errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,17 +43,11 @@ import (
 	"strconv"
 	"strings"
 
-	"dfg/internal/cdg"
-	"dfg/internal/cfg"
 	"dfg/internal/constprop"
 	"dfg/internal/defuse"
 	"dfg/internal/deps"
-	"dfg/internal/dfg"
-	"dfg/internal/epr"
 	"dfg/internal/interp"
-	"dfg/internal/lang/parser"
-	"dfg/internal/regions"
-	"dfg/internal/ssa"
+	"dfg/internal/pipeline"
 )
 
 var (
@@ -81,13 +82,14 @@ type options struct {
 	pred      bool
 }
 
+// eng is the process-wide analysis engine. The CLI makes one request per
+// invocation, so the cache matters only for tests that drive runTool
+// repeatedly — but sharing the engine keeps the CLI on the same code path
+// as dfg-serve and dfg-bench.
+var eng = pipeline.New(pipeline.Config{})
+
 func main() {
 	flag.Parse()
-	src, err := readSource()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfg:", err)
-		os.Exit(1)
-	}
 	opts := options{
 		dot:       *flagDot,
 		regions:   *flagRegions,
@@ -102,92 +104,132 @@ func main() {
 		inputs:    parseInputs(*flagInput),
 		pred:      *flagPred,
 	}
-	if err := runTool(opts, src, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dfg:", err)
-		os.Exit(1)
+	os.Exit(realMain(opts, flag.Args(), os.Stdin, os.Stdout, os.Stderr))
+}
+
+// realMain is main minus globals: it returns the exit code instead of
+// calling os.Exit, so tests can cover the failure paths.
+func realMain(opts options, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	src, name, err := readSource(args, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "dfg:", err)
+		return 2
 	}
+	if err := runTool(opts, src, stdout); err != nil {
+		fmt.Fprintln(stderr, diagnose(name, err))
+		return 1
+	}
+	return 0
+}
+
+// diagnose renders err as a single diagnostic line. Parse errors become
+// "dfg: file:line:col: message" (plus a count of any further errors); other
+// errors keep their first line.
+func diagnose(name string, err error) string {
+	msg := err.Error()
+	var se *pipeline.StageError
+	prefix := ""
+	if errors.As(err, &se) && se.Stage == pipeline.StageParse && !se.Panicked {
+		msg = se.Err.Error()
+		prefix = name + ":"
+	}
+	lines := strings.Split(msg, "\n")
+	out := "dfg: " + prefix + lines[0]
+	if extra := len(lines) - 1; extra > 0 {
+		out += fmt.Sprintf(" (and %d more error(s))", extra)
+	}
+	return out
 }
 
 // runTool executes one tool invocation, writing human-readable output to w.
 func runTool(opts options, src []byte, w io.Writer) error {
-	prog, err := parser.Parse(string(src))
-	if err != nil {
-		return err
-	}
-	g, err := cfg.Build(prog)
-	if err != nil {
-		return err
+	analyze := func(stages ...pipeline.Stage) (*pipeline.Result, error) {
+		return eng.Analyze(context.Background(), pipeline.Request{
+			Source:  string(src),
+			Stages:  stages,
+			Options: pipeline.Options{Predicates: opts.pred},
+		})
 	}
 
 	switch {
 	case opts.dot == "cfg":
-		fmt.Fprint(w, g.DOT("cfg", false))
-		return nil
-	case opts.dot == "dfg":
-		d, err := dfg.Build(g)
+		res, err := analyze(pipeline.StageCFG)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, d.DOT("dfg"))
+		fmt.Fprint(w, res.CFG.DOT("cfg", false))
+		return nil
+	case opts.dot == "dfg":
+		res, err := analyze(pipeline.StageDFG)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.DFG.DOT("dfg"))
 		return nil
 	case opts.dot != "":
 		return fmt.Errorf("unknown -dot target %q (want cfg or dfg)", opts.dot)
 
 	case opts.regions:
-		info, err := regions.Analyze(g)
+		res, err := analyze(pipeline.StageRegions)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, info)
+		fmt.Fprint(w, res.Regions)
 		return nil
 
 	case opts.chains:
-		fmt.Fprint(w, defuse.Compute(g))
-		return nil
-
-	case opts.deps:
-		fmt.Fprint(w, deps.Compute(g))
-		return nil
-
-	case opts.ssa:
-		base := ssa.Cytron(g)
-		d, err := dfg.Build(g)
+		res, err := analyze(pipeline.StageCFG)
 		if err != nil {
 			return err
 		}
-		derived := ssa.FromDFG(d)
+		fmt.Fprint(w, defuse.Compute(res.CFG))
+		return nil
+
+	case opts.deps:
+		res, err := analyze(pipeline.StageCFG)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, deps.Compute(res.CFG))
+		return nil
+
+	case opts.ssa:
+		res, err := analyze(pipeline.StageSSA)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(w, "== Cytron (minimal SSA) ==")
-		fmt.Fprint(w, base)
+		fmt.Fprint(w, res.SSA.Base)
 		fmt.Fprintln(w, "== DFG-derived (pruned SSA) ==")
-		fmt.Fprint(w, derived)
-		if err := ssa.EquivalentOnUses(base, derived); err != nil {
-			return fmt.Errorf("forms disagree: %v", err)
+		fmt.Fprint(w, res.SSA.Derived)
+		if !res.SSA.Equivalent {
+			return fmt.Errorf("forms disagree: %s", res.SSA.Mismatch)
 		}
 		fmt.Fprintln(w, "equivalent on all uses: yes")
 		return nil
 
 	case opts.cdg:
-		fmt.Fprint(w, cdg.BuildFactored(g))
-		return nil
-
-	case opts.constprop:
-		opts := constprop.Options{Predicates: opts.pred}
-		d, err := dfg.Build(g)
+		res, err := analyze(pipeline.StageCDG)
 		if err != nil {
 			return err
 		}
-		cfgRes := constprop.CFGOpt(g, opts)
-		dfgRes := constprop.DFGOpt(d, opts)
-		agree := true
-		for k, va := range cfgRes.UseVals {
-			if vb := dfgRes.UseVals[k]; va != vb {
-				agree = false
+		fmt.Fprint(w, res.CDG)
+		return nil
+
+	case opts.constprop:
+		res, err := analyze(pipeline.StageConstprop)
+		if err != nil {
+			return err
+		}
+		cp := res.Cprop
+		for k, va := range cp.CFG.UseVals {
+			if vb := cp.DFG.UseVals[k]; va != vb {
 				fmt.Fprintf(w, "DISAGREEMENT at %v: cfg=%s dfg=%s\n", k, va, vb)
 			}
 		}
 		fmt.Fprintf(w, "constant uses: %d (CFG algorithm cost %v; DFG algorithm cost %v; agree: %v)\n",
-			cfgRes.ConstUses(), cfgRes.Cost, dfgRes.Cost, agree)
-		opt, err := constprop.Apply(cfgRes)
+			cp.ConstUses, cp.CFG.Cost, cp.DFG.Cost, cp.Agree)
+		opt, err := constprop.Apply(cp.CFG)
 		if err != nil {
 			return err
 		}
@@ -196,68 +238,71 @@ func runTool(opts options, src []byte, w io.Writer) error {
 		return nil
 
 	case opts.epr:
-		opt, st, err := epr.Apply(g, epr.DriverDFG)
+		res, err := analyze(pipeline.StageEPR)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "epr: %v\n== optimized ==\n", st)
-		fmt.Fprint(w, opt)
+		fmt.Fprintf(w, "epr: %v\n== optimized ==\n", res.EPR.Stats)
+		fmt.Fprint(w, res.EPR.Optimized)
 		return nil
 
 	case opts.run:
-		res, err := interp.Run(g, opts.inputs, 0)
+		res, err := analyze(pipeline.StageCFG)
 		if err != nil {
 			return err
 		}
-		for _, v := range res.Output {
+		ir, err := interp.Run(res.CFG, opts.inputs, 0)
+		if err != nil {
+			return err
+		}
+		for _, v := range ir.Output {
 			fmt.Fprintln(w, v)
 		}
-		fmt.Fprintf(os.Stderr, "steps=%d binops=%d reads=%d\n", res.Steps, res.BinOps, res.Reads)
+		fmt.Fprintf(os.Stderr, "steps=%d binops=%d reads=%d\n", ir.Steps, ir.BinOps, ir.Reads)
 		return nil
 
 	case opts.verify:
-		d, err := dfg.Build(g)
+		res, err := analyze(pipeline.StageDFG)
 		if err != nil {
 			return err
 		}
-		if err := d.VerifyDefinition6(); err != nil {
+		if err := res.DFG.VerifyDefinition6(); err != nil {
 			return err
 		}
-		if err := d.VerifyMultiedgeOrder(); err != nil {
+		if err := res.DFG.VerifyMultiedgeOrder(); err != nil {
 			return err
 		}
-		st := d.ComputeStats()
+		st := res.DFG.ComputeStats()
 		fmt.Fprintf(w, "ok: %d dependences across %d multiedges satisfy Definition 6\n", st.Dependences, st.Multiedges)
 		return nil
 	}
 
 	// Default summary.
+	res, err := analyze(pipeline.StageRegions, pipeline.StageDFG)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "== CFG ==")
-	fmt.Fprint(w, g)
-	info, err := regions.Analyze(g)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "== regions: %d classes, %d canonical SESE regions ==\n", info.NumClasses, len(info.Regions))
-	d, err := dfg.BuildWithInfo(g, info)
-	if err != nil {
-		return err
-	}
-	st := d.ComputeStats()
+	fmt.Fprint(w, res.CFG)
+	fmt.Fprintf(w, "== regions: %d classes, %d canonical SESE regions ==\n",
+		res.Regions.NumClasses, len(res.Regions.Regions))
+	st := res.DFG.ComputeStats()
 	fmt.Fprintf(w, "== DFG: %d operators (%d merges, %d switches), %d dependences, %d dead links removed ==\n",
 		st.Ops, st.Merges, st.Switches, st.Dependences, st.DeadRemoved)
-	fmt.Fprint(w, d)
+	fmt.Fprint(w, res.DFG)
 	return nil
 }
 
-func readSource() ([]byte, error) {
-	if flag.NArg() > 1 {
-		return nil, fmt.Errorf("at most one input file expected")
+func readSource(args []string, stdin io.Reader) (src []byte, name string, err error) {
+	if len(args) > 1 {
+		return nil, "", fmt.Errorf("at most one input file expected")
 	}
-	if flag.NArg() == 1 {
-		return os.ReadFile(flag.Arg(0))
+	if len(args) == 1 {
+		b, err := os.ReadFile(args[0])
+		return b, args[0], err
 	}
-	return io.ReadAll(os.Stdin)
+	b, err := io.ReadAll(stdin)
+	return b, "<stdin>", err
 }
 
 func parseInputs(s string) []int64 {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -137,6 +140,48 @@ func TestParseErrorsSurface(t *testing.T) {
 	}
 	if err := runTool(options{}, []byte("label spin: goto spin;"), &b); err == nil {
 		t.Error("no-path-to-end program should be rejected")
+	}
+}
+
+// TestParseErrorDiagnostic covers the CLI failure contract: a parse error
+// exits non-zero with a one-line file:line:col diagnostic rather than a raw
+// multi-line Go error dump.
+func TestParseErrorDiagnostic(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "bad.dfg")
+	if err := os.WriteFile(file, []byte("x := 1;\ny := ;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := realMain(options{}, []string{file}, strings.NewReader(""), &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("parse error must exit non-zero (stderr: %q)", stderr.String())
+	}
+	diag := strings.TrimSpace(stderr.String())
+	if strings.Count(diag, "\n") != 0 {
+		t.Errorf("diagnostic must be one line, got:\n%s", diag)
+	}
+	if !regexp.MustCompile(`^dfg: ` + regexp.QuoteMeta(file) + `:2:\d+: `).MatchString(diag) {
+		t.Errorf("diagnostic missing file:line:col prefix: %q", diag)
+	}
+}
+
+func TestMissingFileExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := realMain(options{}, []string{"/nonexistent/prog.dfg"}, strings.NewReader(""), &stdout, &stderr)
+	if code != 2 {
+		t.Errorf("missing file: exit code %d, want 2", code)
+	}
+}
+
+func TestStdinSourceName(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := realMain(options{}, nil, strings.NewReader("x := ;"), &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("parse error on stdin must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "<stdin>:") {
+		t.Errorf("stdin diagnostics should use <stdin>: %q", stderr.String())
 	}
 }
 

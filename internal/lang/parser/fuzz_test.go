@@ -1,0 +1,44 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the invariant the pipeline engine depends on: Parse
+// never panics, whatever the input — malformed programs come back as
+// errors. Seeds combine the paper examples in examples/programs with
+// hand-picked syntax-error shapes.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"x := 1;",
+		"read a; print a + 1;",
+		"if (x == 1) { y := 2; } else { y := 3; }",
+		"while (i < n) { i := i + 1; }",
+		"label L: goto L;",
+		"x := ;",
+		"if (", "}", "label :", "goto ;",
+		"x := 9223372036854775808;", // int64 overflow
+		"x := ((((1))));",
+		"x := -!-!1;",
+		"if (true) { label L: skip; }",
+		"print 1 print 2",
+	} {
+		f.Add(seed)
+	}
+	if files, err := filepath.Glob("../../../examples/programs/*.dfg"); err == nil {
+		for _, file := range files {
+			if b, err := os.ReadFile(file); err == nil {
+				f.Add(string(b))
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Error("nil program without error")
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// BatchResult pairs one request of a batch with its outcome. Exactly one of
+// Result/Err is non-nil.
+type BatchResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// AnalyzeBatch fans reqs across the engine's worker pool and returns one
+// BatchResult per request, index-aligned with reqs. Each request gets its
+// own timeout (Request.Timeout or the engine default) and its own panic
+// isolation: a malformed program fails its own slot and never the batch or
+// the process. Cancelling ctx abandons requests that have not started and
+// interrupts running ones at their next stage boundary.
+func (e *Engine) AnalyzeBatch(ctx context.Context, reqs []Request) []BatchResult {
+	e.metrics.batches.Add(1)
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := e.cfg.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = e.analyzeSlot(ctx, i, reqs[i])
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case <-ctx.Done():
+			// Mark every unfed request cancelled; fed ones observe ctx
+			// themselves.
+			for j := i; j < len(reqs); j++ {
+				out[j] = BatchResult{Index: j, Err: ctx.Err()}
+			}
+			break feed
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// analyzeSlot runs one batch slot with a recover backstop. Analyze already
+// isolates stage panics; this guards the slot against panics anywhere else
+// so one poisoned request can never take down the pool.
+func (e *Engine) analyzeSlot(ctx context.Context, i int, req Request) (br BatchResult) {
+	br.Index = i
+	defer func() {
+		if r := recover(); r != nil {
+			br.Result = nil
+			br.Err = fmt.Errorf("request %d panicked: %v", i, r)
+		}
+	}()
+	br.Result, br.Err = e.Analyze(ctx, req)
+	return br
+}

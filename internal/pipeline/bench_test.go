@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"dfg/internal/workload"
+)
+
+// benchCorpus is the BENCH_pipeline.json workload: 100 mixed programs, the
+// same family the parallel-safety tests use.
+func benchCorpus() []Request {
+	reqs := make([]Request, 100)
+	for i := range reqs {
+		reqs[i] = Request{Source: workload.Mixed(15, int64(i+1)).String()}
+	}
+	return reqs
+}
+
+// BenchmarkPipelineBatch measures engine throughput (programs/sec) across
+// the axes recorded in BENCH_pipeline.json: serial cold path vs worker-pool
+// batches, cold vs warm cache, 1 vs GOMAXPROCS workers.
+func BenchmarkPipelineBatch(b *testing.B) {
+	reqs := benchCorpus()
+	ctx := context.Background()
+	progsPerSec := func(b *testing.B) {
+		b.ReportMetric(float64(len(reqs)*b.N)/b.Elapsed().Seconds(), "programs/sec")
+	}
+
+	b.Run("serial-cold", func(b *testing.B) {
+		// The pre-engine baseline: every program recomputed from scratch,
+		// one at a time.
+		for i := 0; i < b.N; i++ {
+			e := New(Config{Workers: 1, DisableCache: true})
+			for _, r := range reqs {
+				if _, err := e.Analyze(ctx, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		progsPerSec(b)
+	})
+
+	b.Run("batch-cold-1worker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := New(Config{Workers: 1, DisableCache: true})
+			for _, br := range e.AnalyzeBatch(ctx, reqs) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+		progsPerSec(b)
+	})
+
+	b.Run("batch-cold-maxworkers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := New(Config{DisableCache: true})
+			for _, br := range e.AnalyzeBatch(ctx, reqs) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+		progsPerSec(b)
+	})
+
+	b.Run("batch-warm-maxworkers", func(b *testing.B) {
+		e := New(Config{})
+		e.AnalyzeBatch(ctx, reqs) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, br := range e.AnalyzeBatch(ctx, reqs) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+		progsPerSec(b)
+	})
+
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+}

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// stageCounters accumulates per-stage observability counters. All fields
+// are atomics so stage execution never serializes on metrics.
+type stageCounters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	errors atomic.Int64
+	panics atomic.Int64
+	nanos  atomic.Int64 // total compute time across misses
+}
+
+// metrics is the engine-wide counter set. Stage slots are pre-allocated so
+// lookup is lock-free.
+type metrics struct {
+	requests atomic.Int64
+	batches  atomic.Int64
+	stages   map[Stage]*stageCounters
+}
+
+func newMetrics() *metrics {
+	m := &metrics{stages: make(map[Stage]*stageCounters, len(stageOrder))}
+	for _, s := range stageOrder {
+		m.stages[s] = &stageCounters{}
+	}
+	return m
+}
+
+func (m *metrics) stage(s Stage) *stageCounters { return m.stages[s] }
+
+// StageStats is the exported snapshot of one stage's counters.
+type StageStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Errors   int64   `json:"errors"`
+	Panics   int64   `json:"panics"`
+	TotalNS  int64   `json:"total_ns"` // compute time summed over misses
+	AvgNS    int64   `json:"avg_ns"`   // TotalNS / Misses
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// CacheStats is the exported snapshot of the artifact cache.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+	Disabled  bool  `json:"disabled"`
+}
+
+// Snapshot is a point-in-time copy of every engine counter, for /statsz
+// and for tests.
+type Snapshot struct {
+	Requests int64                `json:"requests"`
+	Batches  int64                `json:"batches"`
+	Stages   map[Stage]StageStats `json:"stages"`
+	Cache    CacheStats           `json:"cache"`
+}
+
+// Snapshot returns a consistent-enough copy of the engine's counters.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests: e.metrics.requests.Load(),
+		Batches:  e.metrics.batches.Load(),
+		Stages:   make(map[Stage]StageStats, len(stageOrder)),
+	}
+	for _, st := range stageOrder {
+		c := e.metrics.stage(st)
+		ss := StageStats{
+			Hits:    c.hits.Load(),
+			Misses:  c.misses.Load(),
+			Errors:  c.errors.Load(),
+			Panics:  c.panics.Load(),
+			TotalNS: c.nanos.Load(),
+		}
+		if ss.Misses > 0 {
+			ss.AvgNS = ss.TotalNS / ss.Misses
+		}
+		if total := ss.Hits + ss.Misses; total > 0 {
+			ss.HitRatio = float64(ss.Hits) / float64(total)
+		}
+		s.Stages[st] = ss
+	}
+	if e.cache != nil {
+		entries, evictions := e.cache.stats()
+		s.Cache = CacheStats{Entries: entries, Capacity: e.cfg.CacheEntries, Evictions: evictions}
+	} else {
+		s.Cache = CacheStats{Disabled: true}
+	}
+	return s
+}
+
+// PublishExpvar exports the engine's snapshot under the given expvar name
+// (conventionally "pipeline"), making it visible at GET /debug/vars. It is
+// a no-op if the name is already published, so repeated engines in one
+// process (e.g. tests) never panic the expvar registry.
+func (e *Engine) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return e.Snapshot() }))
+}

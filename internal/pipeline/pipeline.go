@@ -1,0 +1,476 @@
+// Package pipeline wraps the repository's analysis packages behind a single
+// staged engine. An Engine memoizes per-program stage results in a bounded,
+// content-addressed cache, fans batches of requests across a worker pool,
+// and exposes per-stage hit/miss/latency counters. The CLI (cmd/dfg), the
+// bench harness (cmd/dfg-bench), and the HTTP service (cmd/dfg-serve) all
+// route through it, so there is exactly one code path from source text to
+// analysis results.
+//
+// Stages form a fixed DAG:
+//
+//	parse ─ cfg ─┬─ regions ─ dfg ─┬─ ssa
+//	             ├─ cdg            ├─ constprop
+//	             │                 ├─ anticip
+//	             │                 └─ epr
+//
+// Requesting a stage implies its dependencies. Every stage result is
+// immutable once computed: downstream consumers that need to transform a
+// graph (constprop.Apply, epr.Apply) clone it first, which is what makes
+// sharing cached artifacts across concurrent requests safe.
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"dfg/internal/anticip"
+	"dfg/internal/cdg"
+	"dfg/internal/cfg"
+	"dfg/internal/constprop"
+	"dfg/internal/dfg"
+	"dfg/internal/epr"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/regions"
+	"dfg/internal/ssa"
+)
+
+// Stage names one step of the analysis pipeline.
+type Stage string
+
+// The stages, in canonical (topological) order.
+const (
+	StageParse     Stage = "parse"
+	StageCFG       Stage = "cfg"
+	StageRegions   Stage = "regions"
+	StageCDG       Stage = "cdg"
+	StageDFG       Stage = "dfg"
+	StageSSA       Stage = "ssa"
+	StageConstprop Stage = "constprop"
+	StageAnticip   Stage = "anticip"
+	StageEPR       Stage = "epr"
+)
+
+// stageOrder fixes the canonical execution order; stageDeps records direct
+// dependencies (transitively closed by expandStages).
+var stageOrder = []Stage{
+	StageParse, StageCFG, StageRegions, StageCDG, StageDFG,
+	StageSSA, StageConstprop, StageAnticip, StageEPR,
+}
+
+var stageDeps = map[Stage][]Stage{
+	StageParse:     nil,
+	StageCFG:       {StageParse},
+	StageRegions:   {StageCFG},
+	StageCDG:       {StageCFG},
+	StageDFG:       {StageCFG, StageRegions},
+	StageSSA:       {StageCFG, StageDFG},
+	StageConstprop: {StageCFG, StageDFG},
+	StageAnticip:   {StageCFG, StageDFG},
+	StageEPR:       {StageCFG, StageDFG},
+}
+
+// AllStages returns every stage in canonical order.
+func AllStages() []Stage { return append([]Stage(nil), stageOrder...) }
+
+// ValidStage reports whether s names a known stage.
+func ValidStage(s Stage) bool {
+	_, ok := stageDeps[s]
+	return ok
+}
+
+// expandStages closes req over dependencies and returns the result in
+// canonical order. Unknown stages are reported as an error.
+func expandStages(req []Stage) ([]Stage, error) {
+	want := map[Stage]bool{}
+	var add func(s Stage) error
+	add = func(s Stage) error {
+		deps, ok := stageDeps[s]
+		if !ok {
+			return fmt.Errorf("unknown stage %q", s)
+		}
+		if want[s] {
+			return nil
+		}
+		want[s] = true
+		for _, d := range deps {
+			if err := add(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range req {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+	var out []Stage
+	for _, s := range stageOrder {
+		if want[s] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Options parameterize the analyses of one request. The zero value is the
+// default configuration.
+type Options struct {
+	// Predicates enables the §4-extension predicate analysis (x == c
+	// refinement) in the constprop stage.
+	Predicates bool
+}
+
+// fingerprint folds the options into the cache key.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("pred=%t", o.Predicates)
+}
+
+// Request is one unit of work for the engine: a program plus the stages to
+// run on it.
+type Request struct {
+	Source  string
+	Stages  []Stage // empty means all stages
+	Options Options
+	Timeout time.Duration // per-request; 0 means the engine default
+}
+
+// StageInfo records how one stage of one request was satisfied.
+type StageInfo struct {
+	CacheHit bool
+	Duration time.Duration // compute time (zero on cache hits)
+}
+
+// SSAResult is the ssa stage artifact: both constructions plus their
+// equivalence verdict.
+type SSAResult struct {
+	Base       *ssa.Form // Cytron's algorithm (minimal SSA)
+	Derived    *ssa.Form // derived from the DFG (pruned SSA)
+	Equivalent bool
+	Mismatch   string // explanation when not equivalent
+}
+
+// ConstpropResult is the constprop stage artifact: both algorithms plus
+// their agreement verdict on shared use sites.
+type ConstpropResult struct {
+	CFG       *constprop.Result
+	DFG       *constprop.Result
+	Agree     bool
+	ConstUses int // use sites proved constant (CFG algorithm)
+}
+
+// ExprAnticip summarizes anticipatability of one candidate expression.
+type ExprAnticip struct {
+	Expr     string `json:"expr"`
+	AntEdges int    `json:"ant_edges"` // CFG edges where the expression is anticipatable
+	PanEdges int    `json:"pan_edges"` // CFG edges where it is partially anticipatable
+}
+
+// EPRExpr is the per-expression outcome of partial redundancy elimination:
+// the INSERT edge set and DELETE node set of the earliest down-safe
+// placement.
+type EPRExpr struct {
+	Expr      string `json:"expr"`
+	Redundant bool   `json:"redundant"`
+	Insert    []int  `json:"insert,omitempty"` // cfg.EdgeID, sorted
+	Delete    []int  `json:"delete,omitempty"` // cfg.NodeID, sorted
+}
+
+// EPRResult is the epr stage artifact.
+type EPRResult struct {
+	Stats     epr.Stats
+	PerExpr   []EPRExpr
+	Optimized *cfg.Graph // the transformed clone (original CFG untouched)
+}
+
+// Result carries the artifacts of one request. Only the stages that were
+// requested (or required as dependencies) are non-nil. All artifacts are
+// shared with the engine's cache and must be treated as read-only; clone
+// before transforming (see epr.Clone).
+type Result struct {
+	Key     string // content address: sha256(source) + options fingerprint
+	src     string // request source, for the parse stage
+	Program *ast.Program
+	CFG     *cfg.Graph
+	Regions *regions.Info
+	CDG     *cdg.Factored
+	DFG     *dfg.Graph
+	SSA     *SSAResult
+	Cprop   *ConstpropResult
+	Anticip []ExprAnticip
+	EPR     *EPRResult
+
+	Stages map[Stage]StageInfo
+}
+
+// StageError wraps a failure inside one stage, distinguishing recovered
+// panics from ordinary analysis errors.
+type StageError struct {
+	Stage    Stage
+	Panicked bool
+	Err      error
+}
+
+func (e *StageError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("stage %s panicked: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("stage %s: %v", e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Config configures an Engine. The zero value gives GOMAXPROCS workers, a
+// 1024-entry cache, and a 30-second default request timeout.
+type Config struct {
+	Workers        int           // batch worker-pool size; <=0 means GOMAXPROCS
+	CacheEntries   int           // cache capacity in stage artifacts; <=0 means 1024; see DisableCache
+	DisableCache   bool          // bypass memoization entirely (cold-path measurement)
+	DefaultTimeout time.Duration // per-request timeout when Request.Timeout is 0; <=0 means 30s
+
+	// StageHook, when set, runs before each stage computation (cache hits
+	// skip it). It exists for tracing and fault injection in tests: a hook
+	// that panics exercises the engine's panic isolation.
+	StageHook func(Stage, string)
+}
+
+// Engine is a concurrent, memoizing analysis pipeline. It is safe for use
+// by multiple goroutines.
+type Engine struct {
+	cfg     Config
+	cache   *lruCache
+	metrics *metrics
+}
+
+// New returns an Engine with the given configuration.
+func New(c Config) *Engine {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	e := &Engine{cfg: c, metrics: newMetrics()}
+	if !c.DisableCache {
+		e.cache = newLRU(c.CacheEntries)
+	}
+	return e
+}
+
+// Workers reports the engine's batch worker-pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// key returns the content address of (source, options): the cache identity
+// of all stage artifacts for that pair.
+func key(source string, o Options) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:]) + "/" + o.fingerprint()
+}
+
+// Analyze runs the requested stages (plus dependencies) on req.Source,
+// consulting the cache stage by stage. A stage that panics is recovered and
+// reported as a *StageError with Panicked set; the process is never taken
+// down by a malformed program. Cancellation and deadlines on ctx are
+// observed at stage boundaries.
+func (e *Engine) Analyze(ctx context.Context, req Request) (*Result, error) {
+	e.metrics.requests.Add(1)
+	stages := req.Stages
+	if len(stages) == 0 {
+		stages = AllStages()
+	}
+	plan, err := expandStages(stages)
+	if err != nil {
+		return nil, err
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	res := &Result{
+		Key:    key(req.Source, req.Options),
+		src:    req.Source,
+		Stages: make(map[Stage]StageInfo, len(plan)),
+	}
+	for _, st := range plan {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := e.runStage(st, req, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runStage satisfies one stage of one request from the cache or by
+// computing it, updating metrics either way.
+func (e *Engine) runStage(st Stage, req Request, res *Result) error {
+	ck := res.Key + "/" + string(st)
+	if e.cache != nil {
+		if v, ok := e.cache.get(ck); ok {
+			e.metrics.stage(st).hits.Add(1)
+			res.install(st, v)
+			res.Stages[st] = StageInfo{CacheHit: true}
+			return nil
+		}
+	}
+	start := time.Now()
+	v, err := e.computeStage(st, req, res)
+	elapsed := time.Since(start)
+	m := e.metrics.stage(st)
+	m.misses.Add(1)
+	m.nanos.Add(elapsed.Nanoseconds())
+	if err != nil {
+		m.errors.Add(1)
+		if se, ok := err.(*StageError); ok && se.Panicked {
+			m.panics.Add(1)
+		}
+		return err
+	}
+	if e.cache != nil {
+		e.cache.put(ck, v)
+	}
+	res.install(st, v)
+	res.Stages[st] = StageInfo{Duration: elapsed}
+	return nil
+}
+
+// computeStage dispatches to the analysis packages with panic isolation.
+func (e *Engine) computeStage(st Stage, req Request, res *Result) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: st, Panicked: true, Err: fmt.Errorf("%v", r)}
+		}
+	}()
+	if e.cfg.StageHook != nil {
+		e.cfg.StageHook(st, req.Source)
+	}
+	v, cerr := compute(st, req.Options, res)
+	if cerr != nil {
+		return nil, &StageError{Stage: st, Err: cerr}
+	}
+	return v, nil
+}
+
+// compute produces the artifact of one stage from its (already installed)
+// dependencies. It must not mutate anything reachable from res.
+func compute(st Stage, opts Options, res *Result) (any, error) {
+	switch st {
+	case StageParse:
+		return parser.Parse(res.source())
+	case StageCFG:
+		return cfg.Build(res.Program)
+	case StageRegions:
+		return regions.Analyze(res.CFG)
+	case StageCDG:
+		return cdg.BuildFactored(res.CFG), nil
+	case StageDFG:
+		return dfg.BuildWithInfo(res.CFG, res.Regions)
+	case StageSSA:
+		out := &SSAResult{Base: ssa.Cytron(res.CFG), Derived: ssa.FromDFG(res.DFG)}
+		if err := ssa.EquivalentOnUses(out.Base, out.Derived); err != nil {
+			out.Mismatch = err.Error()
+		} else {
+			out.Equivalent = true
+		}
+		return out, nil
+	case StageConstprop:
+		copts := constprop.Options{Predicates: opts.Predicates}
+		out := &ConstpropResult{
+			CFG: constprop.CFGOpt(res.CFG, copts),
+			DFG: constprop.DFGOpt(res.DFG, copts),
+		}
+		out.Agree = true
+		for k, va := range out.CFG.UseVals {
+			if vb := out.DFG.UseVals[k]; va != vb {
+				out.Agree = false
+				break
+			}
+		}
+		out.ConstUses = out.CFG.ConstUses()
+		return out, nil
+	case StageAnticip:
+		var out []ExprAnticip
+		for _, ex := range epr.CandidateExprs(res.CFG) {
+			r := anticip.DFG(res.DFG, ex)
+			ea := ExprAnticip{Expr: ex.String()}
+			for _, v := range r.ANT {
+				if v {
+					ea.AntEdges++
+				}
+			}
+			for _, v := range r.PAN {
+				if v {
+					ea.PanEdges++
+				}
+			}
+			out = append(out, ea)
+		}
+		return out, nil
+	case StageEPR:
+		out := &EPRResult{}
+		for _, ex := range epr.CandidateExprs(res.CFG) {
+			a, err := epr.AnalyzeExpr(res.CFG, ex, epr.DriverDFG, res.DFG)
+			if err != nil {
+				return nil, err
+			}
+			pe := EPRExpr{Expr: ex.String(), Redundant: a.Redundant()}
+			for _, eid := range a.Insert {
+				pe.Insert = append(pe.Insert, int(eid))
+			}
+			for _, nid := range a.Delete {
+				pe.Delete = append(pe.Delete, int(nid))
+			}
+			sort.Ints(pe.Insert)
+			sort.Ints(pe.Delete)
+			out.PerExpr = append(out.PerExpr, pe)
+		}
+		opt, st2, err := epr.Apply(res.CFG, epr.DriverDFG)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats = st2
+		out.Optimized = opt
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown stage %q", st)
+}
+
+// source recovers the request source for the parse stage.
+func (r *Result) source() string { return r.src }
+
+// install records a computed (or cached) stage artifact on the result.
+func (r *Result) install(st Stage, v any) {
+	switch st {
+	case StageParse:
+		r.Program = v.(*ast.Program)
+	case StageCFG:
+		r.CFG = v.(*cfg.Graph)
+	case StageRegions:
+		r.Regions = v.(*regions.Info)
+	case StageCDG:
+		r.CDG = v.(*cdg.Factored)
+	case StageDFG:
+		r.DFG = v.(*dfg.Graph)
+	case StageSSA:
+		r.SSA = v.(*SSAResult)
+	case StageConstprop:
+		r.Cprop = v.(*ConstpropResult)
+	case StageAnticip:
+		r.Anticip = v.([]ExprAnticip)
+	case StageEPR:
+		r.EPR = v.(*EPRResult)
+	}
+}

@@ -1,0 +1,123 @@
+package pipeline
+
+// Report is the wire-format summary of a Result: plain data, deterministic,
+// and cheap to marshal. cmd/dfg-serve returns it from POST /analyze, and
+// the parallel-safety tests compare Reports to prove batch and serial
+// execution agree.
+type Report struct {
+	Parse     *ParseReport     `json:"parse,omitempty"`
+	CFG       *CFGReport       `json:"cfg,omitempty"`
+	Regions   *RegionsReport   `json:"regions,omitempty"`
+	CDG       *CDGReport       `json:"cdg,omitempty"`
+	DFG       *DFGReport       `json:"dfg,omitempty"`
+	SSA       *SSAReport       `json:"ssa,omitempty"`
+	Constprop *ConstpropReport `json:"constprop,omitempty"`
+	Anticip   []ExprAnticip    `json:"anticip,omitempty"`
+	EPR       *EPRReport       `json:"epr,omitempty"`
+}
+
+type ParseReport struct {
+	Stmts int `json:"stmts"`
+}
+
+type CFGReport struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	Vars  int `json:"vars"`
+}
+
+type RegionsReport struct {
+	Classes int `json:"classes"`
+	Regions int `json:"regions"`
+}
+
+type CDGReport struct {
+	Partitions int `json:"partitions"`
+}
+
+type DFGReport struct {
+	Ops         int `json:"ops"`
+	Merges      int `json:"merges"`
+	Switches    int `json:"switches"`
+	Dependences int `json:"dependences"`
+	DeadRemoved int `json:"dead_removed"`
+}
+
+type SSAReport struct {
+	Phis       int    `json:"phis"`
+	Size       int    `json:"size"`
+	Equivalent bool   `json:"equivalent"`
+	Mismatch   string `json:"mismatch,omitempty"`
+}
+
+// ConstpropReport deliberately omits the algorithms' cost counters: worklist
+// visit counts vary with map iteration order run to run, and Report is the
+// deterministic surface batch/serial equality tests compare. Cost lives on
+// Result.Cprop for callers that want it (cmd/dfg prints it).
+type ConstpropReport struct {
+	ConstUses int  `json:"const_uses"`
+	Agree     bool `json:"agree"`
+}
+
+type EPRReport struct {
+	Exprs    int       `json:"exprs"`
+	Inserted int       `json:"inserted"`
+	Replaced int       `json:"replaced"`
+	PerExpr  []EPRExpr `json:"per_expr,omitempty"`
+}
+
+// Report summarizes the result's populated stages. Artifacts absent from
+// the result (stages that were not requested) are omitted.
+func (r *Result) Report() Report {
+	var rep Report
+	if r.Program != nil {
+		rep.Parse = &ParseReport{Stmts: len(r.Program.Stmts)}
+	}
+	if r.CFG != nil {
+		rep.CFG = &CFGReport{
+			Nodes: r.CFG.NumNodes(),
+			Edges: r.CFG.NumEdges(),
+			Vars:  len(r.CFG.VarNames),
+		}
+	}
+	if r.Regions != nil {
+		rep.Regions = &RegionsReport{Classes: r.Regions.NumClasses, Regions: len(r.Regions.Regions)}
+	}
+	if r.CDG != nil {
+		rep.CDG = &CDGReport{Partitions: r.CDG.NumClasses}
+	}
+	if r.DFG != nil {
+		st := r.DFG.ComputeStats()
+		rep.DFG = &DFGReport{
+			Ops:         st.Ops,
+			Merges:      st.Merges,
+			Switches:    st.Switches,
+			Dependences: st.Dependences,
+			DeadRemoved: st.DeadRemoved,
+		}
+	}
+	if r.SSA != nil {
+		rep.SSA = &SSAReport{
+			Phis:       r.SSA.Base.NumPhis(),
+			Size:       r.SSA.Base.Size(),
+			Equivalent: r.SSA.Equivalent,
+			Mismatch:   r.SSA.Mismatch,
+		}
+	}
+	if r.Cprop != nil {
+		rep.Constprop = &ConstpropReport{
+			ConstUses: r.Cprop.ConstUses,
+			Agree:     r.Cprop.Agree,
+		}
+	}
+	rep.Anticip = r.Anticip
+	if r.EPR != nil {
+		rep.EPR = &EPRReport{
+			Exprs:    r.EPR.Stats.Exprs,
+			Inserted: r.EPR.Stats.Inserted,
+			Replaced: r.EPR.Stats.Replaced,
+			PerExpr:  r.EPR.PerExpr,
+		}
+	}
+	return rep
+}
