@@ -6,22 +6,29 @@
 //
 // Usage:
 //
-//	dfg-bench [-exp E1|E2|...|E12|all] [-quick]
+//	dfg-bench [-exp E1|E2|...|E12|all] [-quick] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks the scaling sweeps (used by the repository's tests to keep
-// CI fast); the full sweeps take a few seconds.
+// CI fast); the full sweeps take a few seconds. -cpuprofile and -memprofile
+// write pprof profiles covering the selected experiments, for digging into
+// a regression the pipeline's alloc counters or the bench smoke surfaced.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 )
 
 var (
 	flagExp   = flag.String("exp", "all", "experiment id (E1..E12) or all")
 	flagQuick = flag.Bool("quick", false, "smaller scaling sweeps")
+	flagCPU   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMem   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 // experiment couples an id with its runner. Runners return an error only
@@ -34,7 +41,42 @@ type experiment struct {
 }
 
 func main() {
+	// run does the real work and returns the exit code; main stays a thin
+	// shell so run's deferred profile writers execute before os.Exit.
+	os.Exit(run())
+}
+
+func run() int {
 	flag.Parse()
+	if *flagCPU != "" {
+		f, err := os.Create(*flagCPU)
+		if err != nil {
+			log.Printf("dfg-bench: -cpuprofile: %v", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Printf("dfg-bench: -cpuprofile: %v", err)
+			return 2
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *flagMem == "" {
+			return
+		}
+		f, err := os.Create(*flagMem)
+		if err != nil {
+			log.Printf("dfg-bench: -memprofile: %v", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("dfg-bench: -memprofile: %v", err)
+		}
+	}()
 	exps := []experiment{
 		{"E1", "Figure 1: def-use chains vs SSA vs DFG on the running example", expE1},
 		{"E2", "Figure 2: DFG construction stages (base level, bypassing, dead-edge removal)", expE2},
@@ -71,10 +113,11 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "dfg-bench: unknown experiment %q\n", *flagExp)
-		os.Exit(2)
+		return 2
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "dfg-bench: %d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

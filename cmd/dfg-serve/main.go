@@ -18,6 +18,7 @@
 //	-workers  engine worker-pool size (default GOMAXPROCS)
 //	-cache    stage-artifact cache capacity (default 1024)
 //	-timeout  per-request analysis timeout (default 10s)
+//	-pprof    expose net/http/pprof under /debug/pprof/ (default off)
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window before the listener closes.
@@ -41,6 +42,7 @@ var (
 	flagWorkers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	flagCache   = flag.Int("cache", 1024, "stage-artifact cache capacity")
 	flagTimeout = flag.Duration("timeout", 10*time.Second, "per-request analysis timeout")
+	flagPprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 )
 
 func main() {
@@ -50,9 +52,13 @@ func main() {
 		CacheEntries:   *flagCache,
 		DefaultTimeout: *flagTimeout,
 	})
+	mux := newMux(eng)
+	if *flagPprof {
+		mountPprof(mux)
+	}
 	srv := &http.Server{
 		Addr:              *flagAddr,
-		Handler:           newMux(eng),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -6,6 +6,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -55,6 +56,18 @@ func newMux(eng *pipeline.Engine) *http.ServeMux {
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
+}
+
+// mountPprof adds the net/http/pprof endpoints to mux. They are opt-in
+// (the -pprof flag) because profile handlers expose stack traces and can
+// pause the process for seconds; production deployments should keep them
+// off or behind network policy.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -183,6 +183,14 @@ func TestHealthzStatszDebugVars(t *testing.T) {
 	if st.TotalNS <= 0 {
 		t.Errorf("/statsz: cfg stage reports no latency")
 	}
+	// Allocation counters advance at span-refill granularity, so a single
+	// tiny request may legitimately report zero for one stage; only their
+	// presence (not magnitude) is checked here. The pipeline package tests
+	// them under real load.
+	if st.AllocBytes < 0 || st.AvgAllocBytes < 0 {
+		t.Errorf("/statsz: cfg stage reports negative allocation (alloc_bytes=%d avg=%d)",
+			st.AllocBytes, st.AvgAllocBytes)
+	}
 
 	resp, err = http.Get(ts.URL + "/debug/vars")
 	if err != nil {
@@ -195,6 +203,35 @@ func TestHealthzStatszDebugVars(t *testing.T) {
 	resp.Body.Close()
 	if _, ok := vars["pipeline"]; !ok {
 		t.Error("/debug/vars missing the pipeline export")
+	}
+}
+
+// TestPprofIsOptIn: the profiling endpoints exist only when mounted (the
+// -pprof flag); the default mux must not expose them.
+func TestPprofIsOptIn(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default mux serves /debug/pprof/: status=%d, want 404", resp.StatusCode)
+	}
+
+	mux := newMux(pipeline.New(pipeline.Config{}))
+	mountPprof(mux)
+	tsp := httptest.NewServer(mux)
+	defer tsp.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(tsp.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof mux: GET %s status=%d, want 200", path, resp.StatusCode)
+		}
 	}
 }
 

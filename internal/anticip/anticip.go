@@ -64,24 +64,24 @@ func Kills(g *cfg.Graph, n cfg.NodeID, e ast.Expr) bool {
 	return false
 }
 
-// CFGResult holds the per-edge solution of the classical algorithm.
+// CFGResult holds the per-edge solution of the classical algorithm. ANT and
+// PAN are indexed by EdgeID; dead edges read false.
 type CFGResult struct {
 	G    *cfg.Graph
 	Expr ast.Expr
-	ANT  map[cfg.EdgeID]bool
-	PAN  map[cfg.EdgeID]bool
+	ANT  []bool
+	PAN  []bool
 	Cost dataflow.Counter
 }
 
 // CFG solves ANT and PAN for expression e over the control flow graph with
 // the equations of Figure 5(a).
 func CFG(g *cfg.Graph, e ast.Expr) *CFGResult {
-	res := &CFGResult{G: g, Expr: e, ANT: map[cfg.EdgeID]bool{}, PAN: map[cfg.EdgeID]bool{}}
+	res := &CFGResult{G: g, Expr: e, ANT: make([]bool, g.NumEdges()), PAN: make([]bool, g.NumEdges())}
 
 	// Greatest fixpoint for ANT (init true), least for PAN (init false).
 	for _, eid := range g.LiveEdges() {
 		res.ANT[eid] = true
-		res.PAN[eid] = false
 	}
 
 	wl := dataflow.NewWorklist()
@@ -140,12 +140,15 @@ type DFGResult struct {
 	D    *dfg.Graph
 	Expr ast.Expr
 	// AntPort/PanPort: for each variable of the expression, the value at
-	// each dependence source port (the multiedge-tail values).
-	AntPort map[string]map[dfg.Src]bool
-	PanPort map[string]map[dfg.Src]bool
-	// ANT/PAN: the combined projection onto CFG edges.
-	ANT  map[cfg.EdgeID]bool
-	PAN  map[cfg.EdgeID]bool
+	// each dependence source port (the multiedge-tail values), indexed by
+	// dfg.SrcIndex. Ports lists the live ports of each variable — the
+	// indices that carry meaning; dead ports read false.
+	AntPort map[string][]bool
+	PanPort map[string][]bool
+	Ports   map[string][]dfg.Src
+	// ANT/PAN: the combined projection onto CFG edges, indexed by EdgeID.
+	ANT  []bool
+	PAN  []bool
 	Cost dataflow.Counter
 }
 
@@ -154,14 +157,14 @@ type DFGResult struct {
 func DFG(d *dfg.Graph, e ast.Expr) *DFGResult {
 	res := &DFGResult{
 		D: d, Expr: e,
-		AntPort: map[string]map[dfg.Src]bool{},
-		PanPort: map[string]map[dfg.Src]bool{},
-		ANT:     map[cfg.EdgeID]bool{},
-		PAN:     map[cfg.EdgeID]bool{},
+		AntPort: map[string][]bool{},
+		PanPort: map[string][]bool{},
+		Ports:   map[string][]dfg.Src{},
 	}
 	vars := ast.ExprVars(e)
 	for _, x := range vars {
-		ant, pan := solveVar(d, x, e, &res.Cost)
+		ports, ant, pan := solveVar(d, x, e, &res.Cost)
+		res.Ports[x] = ports
 		res.AntPort[x] = ant
 		res.PanPort[x] = pan
 	}
@@ -170,8 +173,8 @@ func DFG(d *dfg.Graph, e ast.Expr) *DFGResult {
 	// anticipatable at a point iff it is anticipatable relative to every
 	// variable there (§5.1 multivariable rule).
 	for i, x := range vars {
-		antEdges := projectPorts(d, res.AntPort[x], e, true)
-		panEdges := projectPorts(d, res.PanPort[x], e, false)
+		antEdges := projectPorts(d, res.Ports[x], res.AntPort[x], e, true)
+		panEdges := projectPorts(d, res.Ports[x], res.PanPort[x], e, false)
 		if i == 0 {
 			res.ANT, res.PAN = antEdges, panEdges
 			continue
@@ -182,6 +185,10 @@ func DFG(d *dfg.Graph, e ast.Expr) *DFGResult {
 		for eid := range res.PAN {
 			res.PAN[eid] = res.PAN[eid] && panEdges[eid]
 		}
+	}
+	if res.ANT == nil { // expression with no variables
+		res.ANT = make([]bool, d.G.NumEdges())
+		res.PAN = make([]bool, d.G.NumEdges())
 	}
 	return res
 }

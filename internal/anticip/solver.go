@@ -7,33 +7,9 @@ import (
 	"dfg/internal/lang/ast"
 )
 
-// solveVar computes ANT and PAN relative to variable x for expression e on
-// x's dependence edges (Figure 5(b)).
-//
-// The unknowns are the multiedge-tail (source-port) values. The value of a
-// head is:
-//
-//   - use site at node n: true iff n computes e (the boundary rule — uses
-//     of x that do not compute e contribute false);
-//   - merge operator input: the merge output's value (pass-through);
-//   - switch operator input: ∧ of the outputs for ANT, ∨ for PAN; output
-//     ports pruned by dead-edge removal contribute false (the paper's rule
-//     for branch sides where x is dead).
-//
-// A tail's value is the ∨ of its heads' values: heads postdominate the
-// tail with no intervening definition of x, so anticipation at any head
-// lifts to the tail. ANT is the greatest fixpoint (ports start true), PAN
-// the least (ports start false).
-func solveVar(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter) (ant, pan map[dfg.Src]bool) {
-	ant = fixpoint(d, x, e, cost, true)
-	pan = fixpoint(d, x, e, cost, false)
-	return ant, pan
-}
-
-func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total bool) map[dfg.Src]bool {
-	g := d.G
-
-	// Enumerate the live ports of variable x.
+// livePorts enumerates the live source ports of variable x, the unknowns of
+// the sparse fixpoint.
+func livePorts(d *dfg.Graph, x string) []dfg.Src {
 	var ports []dfg.Src
 	for _, op := range d.Ops {
 		if op.Var != x {
@@ -53,10 +29,50 @@ func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total 
 			}
 		}
 	}
+	return ports
+}
 
-	val := make(map[dfg.Src]bool, len(ports))
+// solveVar computes ANT and PAN relative to variable x for expression e on
+// x's dependence edges (Figure 5(b)). The returned tables are indexed by
+// dfg.SrcIndex; ports lists the live ports of x (the indices that carry
+// meaning — dead ports read false, the paper's boundary rule).
+//
+// The unknowns are the multiedge-tail (source-port) values. The value of a
+// head is:
+//
+//   - use site at node n: true iff n computes e (the boundary rule — uses
+//     of x that do not compute e contribute false);
+//   - merge operator input: the merge output's value (pass-through);
+//   - switch operator input: ∧ of the outputs for ANT, ∨ for PAN; output
+//     ports pruned by dead-edge removal contribute false (the paper's rule
+//     for branch sides where x is dead).
+//
+// A tail's value is the ∨ of its heads' values: heads postdominate the
+// tail with no intervening definition of x, so anticipation at any head
+// lifts to the tail. ANT is the greatest fixpoint (ports start true), PAN
+// the least (ports start false).
+func solveVar(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter) (ports []dfg.Src, ant, pan []bool) {
+	ports = livePorts(d, x)
+	// index maps a port's dense SrcIndex to its position in ports (-1 for
+	// ports of other variables); one table serves both fixpoints.
+	index := make([]int, d.NumSrcIndexes())
+	for i := range index {
+		index[i] = -1
+	}
+	for i, p := range ports {
+		index[dfg.SrcIndex(p)] = i
+	}
+	ant = fixpoint(d, ports, index, e, cost, true)
+	pan = fixpoint(d, ports, index, e, cost, false)
+	return ports, ant, pan
+}
+
+func fixpoint(d *dfg.Graph, ports []dfg.Src, index []int, e ast.Expr, cost *dataflow.Counter, total bool) []bool {
+	g := d.G
+
+	val := make([]bool, d.NumSrcIndexes())
 	for _, p := range ports {
-		val[p] = total // ANT: greatest fixpoint; PAN: least fixpoint
+		val[dfg.SrcIndex(p)] = total // ANT: greatest fixpoint; PAN: least
 	}
 
 	// headVal computes the value of one dependence head under the current
@@ -69,10 +85,10 @@ func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total 
 		op := d.Ops[c.Op]
 		switch op.Kind {
 		case dfg.OpMerge:
-			return val[dfg.Src{Op: op.ID, Out: cfg.BranchNone}]
+			return val[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchNone})]
 		case dfg.OpSwitch:
-			t := val[dfg.Src{Op: op.ID, Out: cfg.BranchTrue}]  // false if dead
-			f := val[dfg.Src{Op: op.ID, Out: cfg.BranchFalse}] // false if dead
+			t := val[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchTrue})]  // false if dead
+			f := val[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchFalse})] // false if dead
 			if total {
 				return t && f
 			}
@@ -99,9 +115,7 @@ func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total 
 	// Worklist fixpoint. When a port of operator O changes, the ports
 	// feeding O's inputs must be re-evaluated.
 	wl := dataflow.NewWorklist()
-	index := make(map[dfg.Src]int, len(ports))
-	for i, p := range ports {
-		index[p] = i
+	for i := range ports {
 		wl.Push(i)
 	}
 	for {
@@ -111,13 +125,17 @@ func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total 
 		}
 		cost.Visits++
 		p := ports[i]
+		pi := dfg.SrcIndex(p)
 		nv := recompute(p)
-		if nv == val[p] {
+		if nv == val[pi] {
 			continue
 		}
-		val[p] = nv
+		val[pi] = nv
 		for _, in := range d.Ops[p.Op].In {
-			if j, ok := index[in]; ok {
+			if in.Op == dfg.NoOp {
+				continue
+			}
+			if j := index[dfg.SrcIndex(in)]; j >= 0 {
 				wl.Push(j)
 			}
 		}
@@ -130,12 +148,9 @@ func fixpoint(d *dfg.Graph, x string, e ast.Expr, cost *dataflow.Counter, total 
 // tail and head (inclusive) is anticipatable relative to x. All other
 // edges are false (where x's dependences do not flow, x is dead, and an
 // expression over x cannot be anticipatable).
-func projectPorts(d *dfg.Graph, ports map[dfg.Src]bool, e ast.Expr, total bool) map[cfg.EdgeID]bool {
+func projectPorts(d *dfg.Graph, ports []dfg.Src, val []bool, e ast.Expr, total bool) []bool {
 	g := d.G
-	out := map[cfg.EdgeID]bool{}
-	for _, eid := range g.LiveEdges() {
-		out[eid] = false
-	}
+	out := make([]bool, g.NumEdges())
 
 	headVal := func(c dfg.Consumer) bool {
 		if c.UseIdx >= 0 {
@@ -144,10 +159,10 @@ func projectPorts(d *dfg.Graph, ports map[dfg.Src]bool, e ast.Expr, total bool) 
 		op := d.Ops[c.Op]
 		switch op.Kind {
 		case dfg.OpMerge:
-			return ports[dfg.Src{Op: op.ID, Out: cfg.BranchNone}]
+			return val[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchNone})]
 		case dfg.OpSwitch:
-			t := ports[dfg.Src{Op: op.ID, Out: cfg.BranchTrue}]
-			f := ports[dfg.Src{Op: op.ID, Out: cfg.BranchFalse}]
+			t := val[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchTrue})]
+			f := val[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchFalse})]
 			if total {
 				return t && f
 			}
@@ -156,12 +171,16 @@ func projectPorts(d *dfg.Graph, ports map[dfg.Src]bool, e ast.Expr, total bool) 
 		return false
 	}
 
-	for p := range ports {
+	// Epoch-stamped visited set shared by all markBetween walks.
+	seen := make([]int32, g.NumEdges())
+	epoch := int32(0)
+	for _, p := range ports {
 		for _, c := range d.Consumers(p) {
 			if !d.LiveConsumer(p, c) || !headVal(c) {
 				continue
 			}
-			markBetween(g, d.TailEdge(p), d.HeadEdge(c), out)
+			epoch++
+			markBetween(g, d.TailEdge(p), d.HeadEdge(c), out, seen, epoch)
 		}
 	}
 	return out
@@ -171,7 +190,7 @@ func projectPorts(d *dfg.Graph, ports map[dfg.Src]bool, e ast.Expr, total bool) 
 // backward from head and stopping at tail. Because tail dominates head and
 // head postdominates tail (Definition 6), every edge met this way lies
 // between them.
-func markBetween(g *cfg.Graph, tail, head cfg.EdgeID, out map[cfg.EdgeID]bool) {
+func markBetween(g *cfg.Graph, tail, head cfg.EdgeID, out []bool, seen []int32, epoch int32) {
 	if tail == cfg.NoEdge || head == cfg.NoEdge {
 		return
 	}
@@ -179,16 +198,16 @@ func markBetween(g *cfg.Graph, tail, head cfg.EdgeID, out map[cfg.EdgeID]bool) {
 	if head == tail {
 		return
 	}
-	seen := map[cfg.EdgeID]bool{head: true}
+	seen[head] = epoch
 	stack := []cfg.EdgeID{head}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, pe := range g.InEdges(g.Edge(cur).Src) {
-			if seen[pe] {
+			if seen[pe] == epoch {
 				continue
 			}
-			seen[pe] = true
+			seen[pe] = epoch
 			out[pe] = true
 			if pe != tail {
 				stack = append(stack, pe)

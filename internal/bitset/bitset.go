@@ -1,0 +1,104 @@
+// Package bitset provides dense bit vectors over small integer domains and
+// a bitset-deduplicated FIFO worklist. The analyses in this repository are
+// all keyed by dense IDs (cfg.NodeID, cfg.EdgeID, dfg.OpID and port
+// indices), so visited sets and worklist membership never need hashing:
+// replacing the map-keyed sets of the original implementation with these
+// structures removes the map-assign and GC traffic that dominated cold-path
+// profiles.
+package bitset
+
+import "math/bits"
+
+// Set is a bit vector over the integers [0, n). The zero value is an empty
+// set; it grows on Add.
+type Set struct {
+	words []uint64
+}
+
+// New returns a Set with capacity for n bits, all clear.
+func New(n int) Set { return Set{words: make([]uint64, (n+63)/64)} }
+
+// Grow ensures the set has capacity for bit n without changing contents.
+func (s *Set) Grow(n int) {
+	if need := n>>6 + 1; need > len(s.words) {
+		w := make([]uint64, need+need/2)
+		copy(w, s.words)
+		s.words = w
+	}
+}
+
+// Has reports whether bit i is set. Out-of-range bits read as clear, so a
+// zero Set behaves as the empty set for any index.
+func (s *Set) Has(i int) bool {
+	w := i >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Add sets bit i, growing capacity if needed.
+func (s *Set) Add(i int) {
+	s.Grow(i)
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	if w := i >> 6; w < len(s.words) {
+		s.words[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset clears every bit, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Worklist is a FIFO queue over int keys with bitset-backed membership
+// deduplication: pushing a pending key is a no-op. The zero value is ready
+// to use.
+type Worklist struct {
+	queue []int
+	head  int
+	in    Set
+}
+
+// NewWorklist returns a worklist with capacity hints for n keys.
+func NewWorklist(n int) *Worklist {
+	return &Worklist{queue: make([]int, 0, n), in: New(n)}
+}
+
+// Push enqueues k if it is not already pending.
+func (w *Worklist) Push(k int) {
+	if !w.in.Has(k) {
+		w.in.Add(k)
+		w.queue = append(w.queue, k)
+	}
+}
+
+// Pop dequeues the next key; ok is false when empty.
+func (w *Worklist) Pop() (k int, ok bool) {
+	if w.head == len(w.queue) {
+		return 0, false
+	}
+	k = w.queue[w.head]
+	w.head++
+	if w.head == len(w.queue) {
+		w.queue = w.queue[:0]
+		w.head = 0
+	}
+	w.in.Remove(k)
+	return k, true
+}
+
+// Len returns the number of pending keys.
+func (w *Worklist) Len() int { return len(w.queue) - w.head }

@@ -114,13 +114,17 @@ func (d *Dominance) NodePostdominatesEdge(a NodeID, b EdgeID) bool {
 	return graph.Dominates(d.PostIdom, d.g.SplitIndexNode(a), d.g.SplitIndexEdge(b))
 }
 
-// EdgePreorder returns, for each live edge, its discovery index in a
-// depth-first traversal from start. Within any set of edges that is totally
-// ordered by dominance (e.g. the heads of one DFG multiedge, or a cycle
-// equivalence class), preorder index order equals dominance order, because
-// a dominator is discovered before everything it dominates.
-func (g *Graph) EdgePreorder() map[EdgeID]int {
-	pre := make(map[EdgeID]int)
+// EdgePreorder returns, for each edge ID, its discovery index in a
+// depth-first traversal from start (-1 for dead or unreached edges). Within
+// any set of edges that is totally ordered by dominance (e.g. the heads of
+// one DFG multiedge, or a cycle equivalence class), preorder index order
+// equals dominance order, because a dominator is discovered before
+// everything it dominates.
+func (g *Graph) EdgePreorder() []int {
+	pre := make([]int, g.NumEdges())
+	for i := range pre {
+		pre[i] = -1
+	}
 	visited := make([]bool, g.NumNodes())
 	count := 0
 	type frame struct {
@@ -135,7 +139,7 @@ func (g *Graph) EdgePreorder() map[EdgeID]int {
 		if f.iter < len(outs) {
 			eid := outs[f.iter]
 			f.iter++
-			if _, ok := pre[eid]; !ok {
+			if pre[eid] < 0 {
 				pre[eid] = count
 				count++
 			}

@@ -213,26 +213,33 @@ func (g *Graph) Preds(n NodeID) []NodeID {
 	return out
 }
 
-// OutEdges returns n's live out-edge IDs in order.
+// OutEdges returns n's live out-edge IDs in order. When every out-edge is
+// live (the common case) the node's own slice is returned; callers must not
+// mutate the result.
 func (g *Graph) OutEdges(n NodeID) []EdgeID {
-	var out []EdgeID
-	for _, eid := range g.Nodes[n].Out {
-		if !g.Edges[eid].Dead {
-			out = append(out, eid)
-		}
-	}
-	return out
+	return liveEdgeList(g, g.Nodes[n].Out)
 }
 
-// InEdges returns n's live in-edge IDs in order.
+// InEdges returns n's live in-edge IDs in order. When every in-edge is live
+// the node's own slice is returned; callers must not mutate the result.
 func (g *Graph) InEdges(n NodeID) []EdgeID {
-	var out []EdgeID
-	for _, eid := range g.Nodes[n].In {
-		if !g.Edges[eid].Dead {
-			out = append(out, eid)
+	return liveEdgeList(g, g.Nodes[n].In)
+}
+
+func liveEdgeList(g *Graph, all []EdgeID) []EdgeID {
+	for i, eid := range all {
+		if g.Edges[eid].Dead {
+			out := make([]EdgeID, i, len(all)-1)
+			copy(out, all[:i])
+			for _, eid := range all[i+1:] {
+				if !g.Edges[eid].Dead {
+					out = append(out, eid)
+				}
+			}
+			return out
 		}
 	}
-	return out
+	return all
 }
 
 // SwitchEdge returns the out-edge of switch node n with the given branch

@@ -226,7 +226,8 @@ func DFGOpt(d *dfg.Graph, opts Options) *Result {
 	// Index: use sites by node (operand lookup for def/switch transfers),
 	// and operator lists by node for re-evaluation scheduling.
 	useAt := map[UseKey]*dfg.UseSite{}
-	for _, u := range d.Uses {
+	for i := range d.Uses {
+		u := &d.Uses[i]
 		useAt[UseKey{u.Node, u.Var}] = u
 	}
 	opsAt := map[cfg.NodeID][]dfg.OpID{}
@@ -348,7 +349,7 @@ func DFGOpt(d *dfg.Graph, opts Options) *Result {
 			break
 		}
 		res.Cost.Visits++
-		evalOp(d.Ops[oi])
+		evalOp(&d.Ops[oi])
 	}
 
 	// Extract use values and node reachability (a node is reached iff its

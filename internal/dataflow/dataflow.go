@@ -8,6 +8,7 @@ package dataflow
 import (
 	"fmt"
 
+	"dfg/internal/bitset"
 	"dfg/internal/interp"
 )
 
@@ -108,36 +109,21 @@ func (c Counter) String() string {
 	return fmt.Sprintf("visits=%d transfers=%d joins=%d (total %d)", c.Visits, c.Transfers, c.Joins, c.Total())
 }
 
-// Worklist is a simple FIFO worklist over int keys with membership
-// deduplication — the scheduling structure shared by the iterative solvers.
+// Worklist is a FIFO worklist over int keys with membership deduplication —
+// the scheduling structure shared by the iterative solvers. The keys are
+// dense IDs, so membership is a bit vector rather than a map.
 type Worklist struct {
-	queue []int
-	in    map[int]bool
+	w bitset.Worklist
 }
 
 // NewWorklist returns an empty worklist.
-func NewWorklist() *Worklist {
-	return &Worklist{in: map[int]bool{}}
-}
+func NewWorklist() *Worklist { return &Worklist{} }
 
 // Push enqueues k if not already pending.
-func (w *Worklist) Push(k int) {
-	if !w.in[k] {
-		w.in[k] = true
-		w.queue = append(w.queue, k)
-	}
-}
+func (w *Worklist) Push(k int) { w.w.Push(k) }
 
 // Pop dequeues the next key; ok is false when empty.
-func (w *Worklist) Pop() (k int, ok bool) {
-	if len(w.queue) == 0 {
-		return 0, false
-	}
-	k = w.queue[0]
-	w.queue = w.queue[1:]
-	w.in[k] = false
-	return k, true
-}
+func (w *Worklist) Pop() (k int, ok bool) { return w.w.Pop() }
 
 // Len returns the number of pending keys.
-func (w *Worklist) Len() int { return len(w.queue) }
+func (w *Worklist) Len() int { return w.w.Len() }

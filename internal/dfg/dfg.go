@@ -118,32 +118,75 @@ type Consumer struct {
 	InIdx  int  // input slot of Op
 }
 
-// Graph is a dependence flow graph built over a CFG.
+// Graph is a dependence flow graph built over a CFG. The hot lookup
+// structures are dense slices indexed by the underlying integer IDs
+// (NodeID, OpID, and the source-port index of srcIndex) rather than maps:
+// construction and the solvers that run per candidate expression index them
+// millions of times on the cold analysis path.
 type Graph struct {
 	G    *cfg.Graph
 	Info *regions.Info
 
-	Ops  []*Op
-	Uses []*UseSite
+	Ops  []Op
+	Uses []UseSite
 
-	// DefOf maps an assign/read node to its def operator.
-	DefOf map[cfg.NodeID]OpID
+	// DefOf maps an assign/read node to its def operator (NoOp for nodes
+	// that define nothing), indexed by NodeID.
+	DefOf []OpID
 	// InitOf maps a variable to its init operator at start.
 	InitOf map[string]OpID
 
-	mergeOf  map[nodeVar]OpID
-	switchOf map[nodeVar]OpID
+	// varIdx numbers CtlVar (0) and the program variables (1..) densely;
+	// mergeOf and switchOf are node×variable tables of operator IDs (NoOp
+	// when absent), indexed by nvIndex.
+	varIdx   map[string]int
+	mergeOf  []OpID
+	switchOf []OpID
 
-	// consumers maps a source port to its heads (the multiedge).
-	consumers map[Src][]Consumer
+	// consumers[srcIndex(s)] lists the heads of the multiedge rooted at s;
+	// every operator owns two consecutive slots (single/true output, false
+	// output).
+	consumers [][]Consumer
 
-	// liveSrc marks sources that reach some use (set by removeDeadEdges).
-	liveSrc map[Src]bool
+	// visited/visitEpoch implement a reusable per-edge visited set for
+	// flowVar: one allocation shared by all per-variable passes.
+	visited    []int32
+	visitEpoch int32
 }
 
-type nodeVar struct {
-	node cfg.NodeID
-	v    string
+// srcIndex returns the dense index of a source port: each operator owns two
+// consecutive slots, the second used only for a switch's false output.
+func srcIndex(s Src) int {
+	i := 2 * int(s.Op)
+	if s.Out == cfg.BranchFalse {
+		i++
+	}
+	return i
+}
+
+// NumSrcIndexes returns the size of the source-port index space (two slots
+// per operator); srcIndex values are always below it.
+func (d *Graph) NumSrcIndexes() int { return 2 * len(d.Ops) }
+
+// SrcIndex exposes the dense port index of s for slice-backed per-port
+// tables in the solvers.
+func SrcIndex(s Src) int { return srcIndex(s) }
+
+// srcAt reconstructs the source port stored at dense index i.
+func (d *Graph) srcAt(i int) Src {
+	op := OpID(i / 2)
+	if i%2 == 1 {
+		return Src{Op: op, Out: cfg.BranchFalse}
+	}
+	if d.Ops[op].Kind == OpSwitch {
+		return Src{Op: op, Out: cfg.BranchTrue}
+	}
+	return Src{Op: op, Out: cfg.BranchNone}
+}
+
+// nvIndex flattens a (node, variable) pair into the mergeOf/switchOf tables.
+func (d *Graph) nvIndex(n cfg.NodeID, v string) int {
+	return int(n)*len(d.varIdx) + d.varIdx[v]
 }
 
 // Granularity selects the edge partition used for region bypassing (§3.3
@@ -191,7 +234,7 @@ func Build(g *cfg.Graph) (*Graph, error) {
 // granularities; only the dependence graph's size changes (the ablation of
 // experiment E13).
 func BuildGranularity(g *cfg.Graph, gran Granularity) (*Graph, error) {
-	var classOf map[cfg.EdgeID]int
+	var classOf []int
 	var num int
 	switch gran {
 	case GranBasicBlocks:
@@ -219,15 +262,28 @@ func MustBuild(g *cfg.Graph) *Graph {
 
 // BuildWithInfo constructs the DFG using a precomputed SESE analysis.
 func BuildWithInfo(g *cfg.Graph, info *regions.Info) (*Graph, error) {
+	vars := append([]string{CtlVar}, g.VarNames...)
+	varIdx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
 	d := &Graph{
-		G:         g,
-		Info:      info,
-		DefOf:     map[cfg.NodeID]OpID{},
-		InitOf:    map[string]OpID{},
-		mergeOf:   map[nodeVar]OpID{},
-		switchOf:  map[nodeVar]OpID{},
-		consumers: map[Src][]Consumer{},
-		liveSrc:   map[Src]bool{},
+		G:       g,
+		Info:    info,
+		InitOf:  make(map[string]OpID, len(vars)),
+		varIdx:  varIdx,
+		visited: make([]int32, g.NumEdges()),
+	}
+	d.DefOf = make([]OpID, g.NumNodes())
+	for i := range d.DefOf {
+		d.DefOf[i] = NoOp
+	}
+	nv := g.NumNodes() * len(vars)
+	d.mergeOf = make([]OpID, nv)
+	d.switchOf = make([]OpID, nv)
+	for i := 0; i < nv; i++ {
+		d.mergeOf[i] = NoOp
+		d.switchOf[i] = NoOp
 	}
 
 	// Phase 1: which variables does each region block (define or use)?
@@ -242,7 +298,6 @@ func BuildWithInfo(g *cfg.Graph, info *regions.Info) (*Graph, error) {
 	}
 
 	// Phase 2: per-variable forward flow with region bypassing.
-	vars := append([]string{CtlVar}, g.VarNames...)
 	for _, v := range vars {
 		if err := d.flowVar(v, blocks); err != nil {
 			return nil, err
@@ -256,7 +311,8 @@ func BuildWithInfo(g *cfg.Graph, info *regions.Info) (*Graph, error) {
 
 func (d *Graph) newOp(kind OpKind, v string, node cfg.NodeID) OpID {
 	id := OpID(len(d.Ops))
-	d.Ops = append(d.Ops, &Op{ID: id, Kind: kind, Var: v, Node: node})
+	d.Ops = append(d.Ops, Op{ID: id, Kind: kind, Var: v, Node: node})
+	d.consumers = append(d.consumers, nil, nil)
 	return id
 }
 
@@ -294,11 +350,15 @@ func (d *Graph) defsVar(n cfg.NodeID, v string) bool {
 // region with a def would break condition 3; with a use, conditions 4–6
 // would fail for the inner use's dependence edge, so the flow must descend
 // and be intercepted).
-func (d *Graph) regionBlocks() []map[string]bool {
+// regionBlocks returns per-region variable-blocking tables indexed
+// [region][varIdx].
+func (d *Graph) regionBlocks() [][]bool {
 	n := len(d.Info.Regions)
-	blocks := make([]map[string]bool, n)
+	nvars := len(d.varIdx)
+	blocks := make([][]bool, n)
+	store := make([]bool, n*nvars) // one backing array for all regions
 	for i := range blocks {
-		blocks[i] = map[string]bool{}
+		blocks[i] = store[i*nvars : (i+1)*nvars]
 	}
 	for _, nd := range d.G.Nodes {
 		r := d.Info.NodeRegion[nd.ID]
@@ -306,13 +366,13 @@ func (d *Graph) regionBlocks() []map[string]bool {
 			continue
 		}
 		if v := d.G.Defs(nd.ID); v != "" {
-			blocks[r][v] = true
+			blocks[r][d.varIdx[v]] = true
 		}
 		for _, v := range d.G.Uses(nd.ID) {
-			blocks[r][v] = true
+			blocks[r][d.varIdx[v]] = true
 		}
 		if d.usesVar(nd.ID, CtlVar) {
-			blocks[r][CtlVar] = true
+			blocks[r][0] = true
 		}
 	}
 	// Aggregate children into parents (regions are created before their
@@ -327,8 +387,10 @@ func (d *Graph) regionBlocks() []map[string]bool {
 	for _, id := range order {
 		r := d.Info.Regions[id]
 		if r.Parent >= 0 {
-			for v := range blocks[id] {
-				blocks[r.Parent][v] = true
+			for vi, blocked := range blocks[id] {
+				if blocked {
+					blocks[r.Parent][vi] = true
+				}
 			}
 		}
 	}
@@ -336,12 +398,16 @@ func (d *Graph) regionBlocks() []map[string]bool {
 }
 
 // flowVar propagates dependence sources for variable v across the CFG.
-func (d *Graph) flowVar(v string, blocks []map[string]bool) error {
+func (d *Graph) flowVar(v string, blocks [][]bool) error {
 	g := d.G
 	init := d.newOp(OpInit, v, g.Start)
 	d.InitOf[v] = init
+	vi := d.varIdx[v]
 
-	visited := map[cfg.EdgeID]bool{}
+	// Epoch-stamped visited set: one shared allocation across variables.
+	d.visitEpoch++
+	epoch := d.visitEpoch
+	visited := d.visited
 
 	// deliver hands the current source to the node at the far end of edge
 	// eid; visit transports a source across an edge, bypassing regions.
@@ -360,14 +426,14 @@ func (d *Graph) flowVar(v string, blocks []map[string]bool) error {
 			return nil
 
 		case cfg.KindMerge:
-			key := nodeVar{node, v}
-			mid, ok := d.mergeOf[key]
-			first := !ok
-			if !ok {
+			key := int(node)*len(d.varIdx) + vi
+			mid := d.mergeOf[key]
+			first := mid == NoOp
+			if first {
 				mid = d.newOp(OpMerge, v, node)
 				d.mergeOf[key] = mid
 			}
-			op := d.Ops[mid]
+			op := &d.Ops[mid]
 			op.In = append(op.In, src)
 			op.InEdges = append(op.InEdges, eid)
 			d.addConsumer(src, Consumer{UseIdx: -1, Op: mid, InIdx: len(op.In) - 1})
@@ -377,13 +443,13 @@ func (d *Graph) flowVar(v string, blocks []map[string]bool) error {
 			return nil
 
 		case cfg.KindSwitch:
-			key := nodeVar{node, v}
-			if _, ok := d.switchOf[key]; ok {
+			key := int(node)*len(d.varIdx) + vi
+			if d.switchOf[key] != NoOp {
 				return fmt.Errorf("dfg: switch node %d visited twice for %s", node, v)
 			}
 			sid := d.newOp(OpSwitch, v, node)
 			d.switchOf[key] = sid
-			op := d.Ops[sid]
+			op := &d.Ops[sid]
 			op.In = []Src{src}
 			d.addConsumer(src, Consumer{UseIdx: -1, Op: sid, InIdx: 0})
 			tEdge := g.SwitchEdge(node, cfg.BranchTrue)
@@ -404,14 +470,14 @@ func (d *Graph) flowVar(v string, blocks []map[string]bool) error {
 
 	visit = func(eid cfg.EdgeID, src Src) error {
 		for {
-			if visited[eid] {
+			if visited[eid] == epoch {
 				return fmt.Errorf("dfg: edge %d visited twice for %s", eid, v)
 			}
-			visited[eid] = true
+			visited[eid] = epoch
 			// Region bypassing: while eid is the entry of a canonical
 			// region that does not block v, jump to its exit.
-			rid, ok := d.Info.EntryOf[eid]
-			if !ok || blocks[rid][v] {
+			rid := d.Info.EntryOf[eid]
+			if rid < 0 || blocks[rid][vi] {
 				return deliver(eid, src)
 			}
 			eid = d.Info.Regions[rid].Exit
@@ -422,37 +488,45 @@ func (d *Graph) flowVar(v string, blocks []map[string]bool) error {
 }
 
 func (d *Graph) addUse(node cfg.NodeID, v string, src Src) {
-	d.Uses = append(d.Uses, &UseSite{Node: node, Var: v, Src: src})
+	d.Uses = append(d.Uses, UseSite{Node: node, Var: v, Src: src})
 	d.addConsumer(src, Consumer{UseIdx: len(d.Uses) - 1, Op: NoOp})
 }
 
 func (d *Graph) addConsumer(src Src, c Consumer) {
-	d.consumers[src] = append(d.consumers[src], c)
+	i := srcIndex(src)
+	d.consumers[i] = append(d.consumers[i], c)
 }
 
 // Consumers returns the heads of the multiedge rooted at src, in creation
 // order. The returned slice is shared; do not mutate.
-func (d *Graph) Consumers(src Src) []Consumer { return d.consumers[src] }
+func (d *Graph) Consumers(src Src) []Consumer {
+	if src.Op == NoOp {
+		return nil
+	}
+	return d.consumers[srcIndex(src)]
+}
 
 // removeDeadEdges performs the backward pruning of §3.2 step 4: a source is
 // live iff it reaches a use site through live operators. Merge and switch
 // operators whose outputs are all dead are effectively removed (their
 // LiveOut flags stay false and their input edges are not counted).
 func (d *Graph) removeDeadEdges() {
-	// Work backwards from use sites.
+	// Work backwards from use sites. The LiveOut flags double as the
+	// visited set: a port's flag is set exactly when the port is live.
 	var mark func(src Src)
 	mark = func(src Src) {
-		if src.Op == NoOp || d.liveSrc[src] {
+		if src.Op == NoOp {
 			return
 		}
-		d.liveSrc[src] = true
-		op := d.Ops[src.Op]
-		switch src.Out {
-		case cfg.BranchFalse:
-			op.LiveOut[1] = true
-		default:
-			op.LiveOut[0] = true
+		op := &d.Ops[src.Op]
+		slot := 0
+		if src.Out == cfg.BranchFalse {
+			slot = 1
 		}
+		if op.LiveOut[slot] {
+			return
+		}
+		op.LiveOut[slot] = true
 		switch op.Kind {
 		case OpMerge:
 			for _, in := range op.In {
@@ -469,18 +543,26 @@ func (d *Graph) removeDeadEdges() {
 }
 
 // LiveSrc reports whether the source port survived dead-edge removal.
-func (d *Graph) LiveSrc(src Src) bool { return d.liveSrc[src] }
+func (d *Graph) LiveSrc(src Src) bool {
+	if src.Op == NoOp {
+		return false
+	}
+	if src.Out == cfg.BranchFalse {
+		return d.Ops[src.Op].LiveOut[1]
+	}
+	return d.Ops[src.Op].LiveOut[0]
+}
 
 // LiveConsumer reports whether a particular dependence edge (src → c) is
 // live: the head must itself lead to a use.
 func (d *Graph) LiveConsumer(src Src, c Consumer) bool {
-	if !d.liveSrc[src] {
+	if !d.LiveSrc(src) {
 		return false
 	}
 	if c.UseIdx >= 0 {
 		return true
 	}
-	op := d.Ops[c.Op]
+	op := &d.Ops[c.Op]
 	switch op.Kind {
 	case OpMerge:
 		return op.LiveOut[0]
@@ -549,12 +631,9 @@ type Stats struct {
 // ComputeStats counts live operators and dependences.
 func (d *Graph) ComputeStats() Stats {
 	var s Stats
-	liveOp := map[OpID]bool{}
-	for src := range d.liveSrc {
-		liveOp[src.Op] = true
-	}
-	for _, op := range d.Ops {
-		if !liveOp[op.ID] {
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		if !op.LiveOut[0] && !op.LiveOut[1] {
 			continue
 		}
 		s.Ops++
@@ -565,7 +644,11 @@ func (d *Graph) ComputeStats() Stats {
 			s.Switches++
 		}
 	}
-	for src, cs := range d.consumers {
+	for i, cs := range d.consumers {
+		if len(cs) == 0 {
+			continue
+		}
+		src := d.srcAt(i)
 		liveHere := 0
 		for _, c := range cs {
 			if d.LiveConsumer(src, c) {
@@ -597,7 +680,8 @@ func (d *Graph) String() string {
 		}
 		return fmt.Sprintf("op%d%s", s.Op, suffix)
 	}
-	for _, op := range d.Ops {
+	for i := range d.Ops {
+		op := &d.Ops[i]
 		if !op.LiveOut[0] && !op.LiveOut[1] && op.Kind != OpDef {
 			continue
 		}
@@ -622,12 +706,9 @@ func (d *Graph) String() string {
 func (d *Graph) DOT(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  node [fontname=\"monospace\"];\n", name)
-	liveOp := map[OpID]bool{}
-	for src := range d.liveSrc {
-		liveOp[src.Op] = true
-	}
-	for _, op := range d.Ops {
-		if !liveOp[op.ID] {
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		if !op.LiveOut[0] && !op.LiveOut[1] {
 			continue
 		}
 		shape := "box"
@@ -660,7 +741,11 @@ func (d *Graph) DOT(name string) string {
 		}
 		fmt.Fprintf(&b, "  op%d -> %s%s;\n", src.Op, to, style)
 	}
-	for src, cs := range d.consumers {
+	for i, cs := range d.consumers {
+		if len(cs) == 0 {
+			continue
+		}
+		src := d.srcAt(i)
 		for _, c := range cs {
 			if !d.LiveConsumer(src, c) {
 				continue

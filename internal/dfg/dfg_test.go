@@ -34,8 +34,8 @@ func findNode(g *cfg.Graph, pred func(*cfg.Node) bool) cfg.NodeID {
 
 // useAt returns the use site for variable v at node n, or nil.
 func useAt(d *Graph, n cfg.NodeID, v string) *UseSite {
-	for _, u := range d.Uses {
-		if u.Node == n && u.Var == v {
+	for i := range d.Uses {
+		if u := &d.Uses[i]; u.Node == n && u.Var == v {
 			return u
 		}
 	}
@@ -79,7 +79,7 @@ func TestFigure1DFG(t *testing.T) {
 	}
 	// No live switch operator for x: the region after the predicate is
 	// bypassed for x (no defs or uses of x inside).
-	if id, ok := d.switchOf[nodeVar{sw, "x"}]; ok {
+	if id := d.switchOf[d.nvIndex(sw, "x")]; id != NoOp {
 		if d.Ops[id].LiveOut[0] || d.Ops[id].LiveOut[1] {
 			t.Errorf("unexpected live switch operator for x")
 		}
@@ -115,8 +115,8 @@ func TestFigure2DeadEdgeRemoval(t *testing.T) {
 		print x; print y;`)
 
 	sw := findNode(g, func(n *cfg.Node) bool { return n.Kind == cfg.KindSwitch })
-	sid, ok := d.switchOf[nodeVar{sw, "y"}]
-	if !ok {
+	sid := d.switchOf[d.nvIndex(sw, "y")]
+	if sid == NoOp {
 		t.Fatal("no switch operator for y (region defines y, cannot bypass)")
 	}
 	op := d.Ops[sid]
@@ -128,7 +128,7 @@ func TestFigure2DeadEdgeRemoval(t *testing.T) {
 	}
 	// x is defined on both sides: no bypass; its switch operator is fully
 	// dead since the incoming x (init) is never used before the defs.
-	if xid, ok := d.switchOf[nodeVar{sw, "x"}]; ok {
+	if xid := d.switchOf[d.nvIndex(sw, "x")]; xid != NoOp {
 		xop := d.Ops[xid]
 		if xop.LiveOut[0] || xop.LiveOut[1] {
 			t.Error("x's switch operator should be entirely dead")
@@ -144,8 +144,8 @@ func TestLoopCarriedDependence(t *testing.T) {
 		return n.Kind == cfg.KindAssign && n.Expr != nil && n.Expr.String() == "(i + 1)"
 	})
 
-	mid, ok := d.mergeOf[nodeVar{hdr, "i"}]
-	if !ok {
+	mid := d.mergeOf[d.nvIndex(hdr, "i")]
+	if mid == NoOp {
 		t.Fatal("no merge operator for i at loop header")
 	}
 	mop := d.Ops[mid]

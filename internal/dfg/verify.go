@@ -79,7 +79,11 @@ func (d *Graph) VerifyDefinition6() error {
 		return nil
 	}
 
-	for src, cs := range d.consumers {
+	for i, cs := range d.consumers {
+		if len(cs) == 0 {
+			continue
+		}
+		src := d.srcAt(i)
 		for _, c := range cs {
 			if !d.LiveConsumer(src, c) {
 				continue
@@ -120,7 +124,11 @@ func firstOutEdge(g *cfg.Graph, n cfg.NodeID) cfg.EdgeID {
 // dominance/postdominance.
 func (d *Graph) VerifyMultiedgeOrder() error {
 	dom := cfg.NewDominance(d.G)
-	for src, cs := range d.consumers {
+	for i, cs := range d.consumers {
+		if len(cs) == 0 {
+			continue
+		}
+		src := d.srcAt(i)
 		var heads []cfg.EdgeID
 		for _, c := range cs {
 			if d.LiveConsumer(src, c) {

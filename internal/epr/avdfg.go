@@ -28,61 +28,70 @@ import (
 //     well defined by sorting heads in edge preorder);
 //   - merge operators conjoin their inputs; switch operators copy.
 //
-// Where x's dependences do not flow (x dead), relative availability is left
-// undefined; EPR never consults it there (anticipatability is false at
-// those points, and deletions only happen at computing nodes, where every
-// operand is live).
+// Where x's dependences do not flow (x dead), relative availability reads
+// false; EPR never consults it there (anticipatability is false at those
+// points, and deletions only happen at computing nodes, where every operand
+// is live).
 
 // dfgAV computes AV (total=true) or PAV (total=false) for e per CFG edge
-// using the dependence flow graph. Returned maps contain entries only for
-// edges covered by some variable's dependence flow; absent means unknown
-// (treated as false by EPR's decision rules).
-func dfgAV(d *dfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) map[cfg.EdgeID]bool {
-	vars := ast.ExprVars(e)
-	var combined map[cfg.EdgeID]bool
-	for _, x := range vars {
-		proj := dfgAVVar(d, x, e, total, cost)
-		if combined == nil {
-			combined = proj
-			continue
-		}
-		// Conjoin; edges missing from either projection drop out.
-		for eid := range combined {
-			v, ok := proj[eid]
-			if !ok {
-				delete(combined, eid)
-				continue
-			}
-			combined[eid] = combined[eid] && v
-		}
-	}
-	if combined == nil {
-		combined = map[cfg.EdgeID]bool{}
-	}
-	return combined
+// using the dependence flow graph. The result is indexed by EdgeID; edges
+// not covered by every variable's dependence flow read false (treated as
+// unknown-safe by EPR's decision rules).
+func dfgAV(d *dfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) []bool {
+	av, _ := dfgAVCovered(d, e, total, cost)
+	return av
 }
 
-// avState identifies a position along a multiedge: the value flowing out of
-// port src after the first pos heads have been passed.
-type avState struct {
-	src dfg.Src
-	pos int
+// dfgAVCovered additionally reports which edges carry a defined answer:
+// covered[eid] is true iff every variable's dependence flow reaches eid.
+// Uncovered entries of av are false.
+func dfgAVCovered(d *dfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) (av, covered []bool) {
+	vars := ast.ExprVars(e)
+	var pre []int // edge preorder, shared by the per-variable solves
+	for _, x := range vars {
+		if pre == nil {
+			pre = d.G.EdgePreorder()
+		}
+		proj, cov := dfgAVVar(d, x, e, pre, total, cost)
+		if av == nil {
+			av, covered = proj, cov
+			continue
+		}
+		for eid := range av {
+			av[eid] = av[eid] && proj[eid]
+			covered[eid] = covered[eid] && cov[eid]
+		}
+	}
+	if av == nil {
+		av = make([]bool, d.G.NumEdges())
+		covered = make([]bool, d.G.NumEdges())
+	}
+	// An uncovered edge reads false regardless of a partial projection.
+	for eid := range av {
+		av[eid] = av[eid] && covered[eid]
+	}
+	return av, covered
 }
 
 // dfgAVVar solves relative availability for one variable and projects it
-// onto the CFG edges its dependences cover.
-func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Counter) map[cfg.EdgeID]bool {
+// onto the CFG edges its dependences cover; cov marks the covered edges.
+// pre is the graph's edge preorder (g.EdgePreorder), computed by the caller
+// so one table serves every variable.
+func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, pre []int, total bool, cost *dataflow.Counter) (out, cov []bool) {
 	g := d.G
-	pre := g.EdgePreorder()
 
 	// Live ports of x with their live consumers in dominance (preorder)
-	// order.
+	// order. portIdx maps a port's dense SrcIndex to its position in ports
+	// (-1 elsewhere).
 	type portInfo struct {
 		src   dfg.Src
 		heads []dfg.Consumer
 	}
 	var ports []portInfo
-	portIdx := map[dfg.Src]int{}
+	portIdx := make([]int, d.NumSrcIndexes())
+	for i := range portIdx {
+		portIdx[i] = -1
+	}
 	addPort := func(s dfg.Src) {
 		if !d.LiveSrc(s) {
 			return
@@ -96,7 +105,7 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 		sort.SliceStable(heads, func(i, j int) bool {
 			return pre[d.HeadEdge(heads[i])] < pre[d.HeadEdge(heads[j])]
 		})
-		portIdx[s] = len(ports)
+		portIdx[dfg.SrcIndex(s)] = len(ports)
 		ports = append(ports, portInfo{src: s, heads: heads})
 	}
 	for _, op := range d.Ops {
@@ -127,8 +136,8 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 
 	// posVal(src, k): the value flowing just after the first k heads.
 	posVal := func(src dfg.Src, k int) bool {
-		i, ok := portIdx[src]
-		if !ok {
+		i := portIdx[dfg.SrcIndex(src)]
+		if i < 0 {
 			return false
 		}
 		v := val[i]
@@ -145,8 +154,8 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 	// consumer's position among its ordered heads.
 	inputPos := func(opID dfg.OpID, inIdx int) (dfg.Src, int) {
 		src := d.Ops[opID].In[inIdx]
-		i, ok := portIdx[src]
-		if !ok {
+		i := portIdx[dfg.SrcIndex(src)]
+		if i < 0 {
 			return src, 0
 		}
 		for k, c := range ports[i].heads {
@@ -211,14 +220,14 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 			}
 			op := d.Ops[c.Op]
 			if op.Kind == dfg.OpSwitch {
-				if j, ok := portIdx[dfg.Src{Op: op.ID, Out: cfg.BranchTrue}]; ok {
+				if j := portIdx[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchTrue})]; j >= 0 {
 					wl.Push(j)
 				}
-				if j, ok := portIdx[dfg.Src{Op: op.ID, Out: cfg.BranchFalse}]; ok {
+				if j := portIdx[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchFalse})]; j >= 0 {
 					wl.Push(j)
 				}
 			} else if op.Kind == dfg.OpMerge {
-				if j, ok := portIdx[dfg.Src{Op: op.ID, Out: cfg.BranchNone}]; ok {
+				if j := portIdx[dfg.SrcIndex(dfg.Src{Op: op.ID, Out: cfg.BranchNone})]; j >= 0 {
 					wl.Push(j)
 				}
 			}
@@ -233,14 +242,10 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 	// each span is marked only once. A head at a node redefining x ends
 	// the old value's life there — its out-edge belongs to the def
 	// operator's (false) span.
-	out := map[cfg.EdgeID]bool{}
-	mark := func(tail, head cfg.EdgeID, v bool) {
-		span := map[cfg.EdgeID]bool{}
-		markBetweenEdges(g, tail, head, span)
-		for eid := range span {
-			out[eid] = v
-		}
-	}
+	out = make([]bool, g.NumEdges())
+	cov = make([]bool, g.NumEdges())
+	seen := make([]int32, g.NumEdges())
+	epoch := int32(0)
 	for i, p := range ports {
 		v := val[i]
 		prevEdge := d.TailEdge(p.src)
@@ -248,7 +253,8 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 		for _, c := range p.heads {
 			he := d.HeadEdge(c)
 			if he != lastMarked {
-				mark(prevEdge, he, v)
+				epoch++
+				markBetweenEdges(g, prevEdge, he, v, out, cov, seen, epoch)
 				lastMarked = he
 			}
 			if c.UseIdx < 0 {
@@ -264,34 +270,39 @@ func dfgAVVar(d *dfg.Graph, x string, e ast.Expr, total bool, cost *dataflow.Cou
 			if outs := g.OutEdges(node); len(outs) == 1 {
 				prevEdge = outs[0]
 				out[prevEdge] = v
+				cov[prevEdge] = true
 				lastMarked = cfg.NoEdge
 			}
 		}
 	}
-	return out
+	return out, cov
 }
 
-// markBetweenEdges marks the CFG edges on paths from tail to head,
-// inclusive (same walk as the anticipatability projection).
-func markBetweenEdges(g *cfg.Graph, tail, head cfg.EdgeID, out map[cfg.EdgeID]bool) {
+// markBetweenEdges writes v to the CFG edges on paths from tail to head,
+// inclusive (same walk as the anticipatability projection), and flags them
+// covered. seen/epoch form a reusable visited set shared by consecutive
+// walks.
+func markBetweenEdges(g *cfg.Graph, tail, head cfg.EdgeID, v bool, out, cov []bool, seen []int32, epoch int32) {
 	if tail == cfg.NoEdge || head == cfg.NoEdge {
 		return
 	}
-	out[head] = true
+	out[head] = v
+	cov[head] = true
 	if head == tail {
 		return
 	}
-	seen := map[cfg.EdgeID]bool{head: true}
+	seen[head] = epoch
 	stack := []cfg.EdgeID{head}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, pe := range g.InEdges(g.Edge(cur).Src) {
-			if seen[pe] {
+			if seen[pe] == epoch {
 				continue
 			}
-			seen[pe] = true
-			out[pe] = true
+			seen[pe] = epoch
+			out[pe] = v
+			cov[pe] = true
 			if pe != tail {
 				stack = append(stack, pe)
 			}

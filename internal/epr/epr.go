@@ -50,8 +50,10 @@ type Analysis struct {
 	G    *cfg.Graph
 	Expr ast.Expr
 
-	ANT, PAN map[cfg.EdgeID]bool // anticipatability at each edge
-	AV, PAV  map[cfg.EdgeID]bool // total/partial availability at each edge
+	// Per-edge dataflow solutions, indexed by EdgeID. Dead edges and edges
+	// outside the operands' dependence flow read false.
+	ANT, PAN []bool // anticipatability at each edge
+	AV, PAV  []bool // total/partial availability at each edge
 
 	// Insert lists the edges receiving a new computation (earliest
 	// down-safe placement); Delete lists the nodes whose computation of
@@ -80,9 +82,8 @@ func AnalyzeExpr(g *cfg.Graph, e ast.Expr, driver Driver, d *dfg.Graph) (*Analys
 		a.Cost.Add(r.Cost)
 		// AV and PAV on the dependence flow graph too (Fig 5(b): "AV is a
 		// forward problem"). Edges not covered by the variables' dependence
-		// flow are absent from the maps and read as false, which is safe:
-		// every edge EPR's decision rules consult lies where the operands
-		// are live, hence covered.
+		// flow read false, which is safe: every edge EPR's decision rules
+		// consult lies where the operands are live, hence covered.
 		a.AV = dfgAV(d, e, true, &a.Cost)
 		a.PAV = dfgAV(d, e, false, &a.Cost)
 	default:
@@ -100,10 +101,12 @@ func AnalyzeExpr(g *cfg.Graph, e ast.Expr, driver Driver, d *dfg.Graph) (*Analys
 // availability solves AV (total=true) or PAV (total=false) per edge: the
 // expression has been computed on every/some path from start with no
 // subsequent assignment to its variables.
-func availability(g *cfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) map[cfg.EdgeID]bool {
-	av := map[cfg.EdgeID]bool{}
-	for _, eid := range g.LiveEdges() {
-		av[eid] = total // GFP for AV, LFP for PAV
+func availability(g *cfg.Graph, e ast.Expr, total bool, cost *dataflow.Counter) []bool {
+	av := make([]bool, g.NumEdges())
+	if total {
+		for _, eid := range g.LiveEdges() {
+			av[eid] = true // GFP for AV, LFP for PAV
+		}
 	}
 	av[g.OutEdges(g.Start)[0]] = false
 
@@ -433,18 +436,23 @@ func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, 
 	tmp := 0
 	// Iterate until no expression yields a transformation: replacing an
 	// inner expression can expose an outer redundancy.
+	//
+	// Incremental-rebuild invariant: the shared DFG d always describes the
+	// current state of out. It is built once per round (candidates are
+	// likewise enumerated once per round, over the same graph state) and
+	// rebuilt only after a transformation mutates the graph — never per
+	// candidate expression.
 	for rounds := 0; rounds < 10; rounds++ {
 		changed := false
+		var d *dfg.Graph
+		if driver == DriverDFG {
+			var err error
+			if d, err = dfg.Build(out); err != nil {
+				return nil, st, err
+			}
+		}
 		for _, e := range CandidateExprs(out) {
 			st.Exprs++
-			var d *dfg.Graph
-			if driver == DriverDFG {
-				var err error
-				d, err = dfg.Build(out)
-				if err != nil {
-					return nil, st, err
-				}
-			}
 			a, err := AnalyzeExpr(out, e, driver, d)
 			if err != nil {
 				return nil, st, err
@@ -464,6 +472,11 @@ func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, 
 			st.Inserted += ins
 			st.Replaced += rep
 			changed = true
+			if driver == DriverDFG {
+				if d, err = dfg.Build(out); err != nil {
+					return nil, st, err
+				}
+			}
 		}
 		if !changed {
 			break
@@ -496,7 +509,7 @@ func Clone(g *cfg.Graph) *cfg.Graph {
 func (a *Analysis) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "expr %s\n", a.Expr)
-	row := func(name string, m map[cfg.EdgeID]bool) {
+	row := func(name string, m []bool) {
 		var ids []int
 		for eid, v := range m {
 			if v {

@@ -42,6 +42,27 @@ func BenchmarkPipelineBatch(b *testing.B) {
 		progsPerSec(b)
 	})
 
+	b.Run("serial-cold-retained", func(b *testing.B) {
+		// Like serial-cold but keeping every Result alive, the way
+		// AnalyzeBatch must (it returns all results). This is the fair
+		// baseline for batch-cold-1worker: profiling showed the apparent
+		// batch "dispatch overhead" was entirely GC rescanning the
+		// retained results, not the worker-pool machinery.
+		for i := 0; i < b.N; i++ {
+			e := New(Config{Workers: 1, DisableCache: true})
+			results := make([]*Result, len(reqs))
+			for j, r := range reqs {
+				res, err := e.Analyze(ctx, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				results[j] = res
+			}
+			_ = results
+		}
+		progsPerSec(b)
+	})
+
 	b.Run("batch-cold-1worker", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := New(Config{Workers: 1, DisableCache: true})
@@ -81,4 +102,46 @@ func BenchmarkPipelineBatch(b *testing.B) {
 	})
 
 	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkStageCold measures each pipeline stage in isolation on a cold
+// cache: dependencies are precomputed outside the timed region, so a
+// regression in one stage shows up in exactly one sub-benchmark. The corpus
+// is a slice of the same Mixed(15) family BenchmarkPipelineBatch runs.
+func BenchmarkStageCold(b *testing.B) {
+	srcs := make([]string, 10)
+	for i := range srcs {
+		srcs[i] = workload.Mixed(15, int64(i+1)).String()
+	}
+	for _, st := range AllStages() {
+		b.Run(string(st), func(b *testing.B) {
+			// Precompute the stage's dependencies once per source. The
+			// closure returned by expandStages lists st last.
+			plan, err := expandStages([]Stage{st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			deps := make([]*Result, len(srcs))
+			for i, src := range srcs {
+				res := &Result{src: src, Stages: map[Stage]StageInfo{}}
+				for _, dep := range plan[:len(plan)-1] {
+					v, err := compute(dep, Options{}, res)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res.install(dep, v)
+				}
+				deps[i] = res
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, res := range deps {
+					if _, err := compute(st, Options{}, res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }

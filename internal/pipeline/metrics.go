@@ -2,17 +2,38 @@ package pipeline
 
 import (
 	"expvar"
+	rtmetrics "runtime/metrics"
 	"sync/atomic"
 )
 
 // stageCounters accumulates per-stage observability counters. All fields
 // are atomics so stage execution never serializes on metrics.
 type stageCounters struct {
-	hits   atomic.Int64
-	misses atomic.Int64
-	errors atomic.Int64
-	panics atomic.Int64
-	nanos  atomic.Int64 // total compute time across misses
+	hits       atomic.Int64
+	misses     atomic.Int64
+	errors     atomic.Int64
+	panics     atomic.Int64
+	nanos      atomic.Int64 // total compute time across misses
+	allocBytes atomic.Int64 // heap bytes allocated across misses
+	allocObjs  atomic.Int64 // heap objects allocated across misses
+}
+
+// heapAllocs reads the process-wide cumulative heap allocation counters.
+// Per-stage deltas taken from these are approximate twice over: under
+// concurrent workers, allocations from an overlapping stage land in
+// whichever delta is open; and the runtime only advances the counters
+// when an allocation span is refilled, so a single small stage's delta
+// can read zero. Totals and averages over many misses converge, which is
+// what the snapshot needs to flag an allocation regression without a
+// pprof run. (runtime.ReadMemStats would be exact but stops the world on
+// every call — too heavy for the per-stage hot path.)
+func heapAllocs() (bytes, objects int64) {
+	samples := []rtmetrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	rtmetrics.Read(samples)
+	return int64(samples[0].Value.Uint64()), int64(samples[1].Value.Uint64())
 }
 
 // metrics is the engine-wide counter set. Stage slots are pre-allocated so
@@ -42,6 +63,11 @@ type StageStats struct {
 	TotalNS  int64   `json:"total_ns"` // compute time summed over misses
 	AvgNS    int64   `json:"avg_ns"`   // TotalNS / Misses
 	HitRatio float64 `json:"hit_ratio"`
+	// Heap allocation attributed to this stage's misses (see heapAllocs
+	// for the attribution caveat under concurrency).
+	AllocBytes    int64 `json:"alloc_bytes"`
+	AllocObjects  int64 `json:"alloc_objects"`
+	AvgAllocBytes int64 `json:"avg_alloc_bytes"` // AllocBytes / Misses
 }
 
 // CacheStats is the exported snapshot of the artifact cache.
@@ -71,14 +97,17 @@ func (e *Engine) Snapshot() Snapshot {
 	for _, st := range stageOrder {
 		c := e.metrics.stage(st)
 		ss := StageStats{
-			Hits:    c.hits.Load(),
-			Misses:  c.misses.Load(),
-			Errors:  c.errors.Load(),
-			Panics:  c.panics.Load(),
-			TotalNS: c.nanos.Load(),
+			Hits:         c.hits.Load(),
+			Misses:       c.misses.Load(),
+			Errors:       c.errors.Load(),
+			Panics:       c.panics.Load(),
+			TotalNS:      c.nanos.Load(),
+			AllocBytes:   c.allocBytes.Load(),
+			AllocObjects: c.allocObjs.Load(),
 		}
 		if ss.Misses > 0 {
 			ss.AvgNS = ss.TotalNS / ss.Misses
+			ss.AvgAllocBytes = ss.AllocBytes / ss.Misses
 		}
 		if total := ss.Hits + ss.Misses; total > 0 {
 			ss.HitRatio = float64(ss.Hits) / float64(total)

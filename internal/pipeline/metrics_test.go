@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"dfg/internal/workload"
+)
+
+// TestStageAllocCounters: the per-stage allocation counters must
+// accumulate across a cold corpus of real programs. The underlying
+// runtime counters advance at span-refill granularity, so one stage of
+// one tiny program can legitimately read zero; over a corpus the totals
+// must be positive and the averages populated.
+func TestStageAllocCounters(t *testing.T) {
+	e := New(Config{Workers: 1, DisableCache: true})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := e.Analyze(ctx, Request{Source: workload.Mixed(15, int64(i+1)).String()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Snapshot()
+	var total int64
+	for st, ss := range snap.Stages {
+		if ss.AllocBytes < 0 || ss.AllocObjects < 0 {
+			t.Errorf("stage %s: negative alloc counters (%d bytes, %d objects)",
+				st, ss.AllocBytes, ss.AllocObjects)
+		}
+		if ss.Misses > 0 && ss.AvgAllocBytes != ss.AllocBytes/ss.Misses {
+			t.Errorf("stage %s: avg_alloc_bytes=%d, want %d",
+				st, ss.AvgAllocBytes, ss.AllocBytes/ss.Misses)
+		}
+		total += ss.AllocBytes
+	}
+	if total <= 0 {
+		t.Error("no allocation attributed to any stage across a 10-program cold corpus")
+	}
+}

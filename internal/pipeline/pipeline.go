@@ -326,12 +326,16 @@ func (e *Engine) runStage(st Stage, req Request, res *Result) error {
 			return nil
 		}
 	}
+	ab0, ao0 := heapAllocs()
 	start := time.Now()
 	v, err := e.computeStage(st, req, res)
 	elapsed := time.Since(start)
+	ab1, ao1 := heapAllocs()
 	m := e.metrics.stage(st)
 	m.misses.Add(1)
 	m.nanos.Add(elapsed.Nanoseconds())
+	m.allocBytes.Add(ab1 - ab0)
+	m.allocObjs.Add(ao1 - ao0)
 	if err != nil {
 		m.errors.Add(1)
 		if se, ok := err.(*StageError); ok && se.Panicked {

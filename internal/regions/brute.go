@@ -159,19 +159,26 @@ func classesFromSignatures(live []cfg.EdgeID, sig map[cfg.EdgeID]string) map[cfg
 	return out
 }
 
-// SamePartition reports whether two edge→class maps induce the same
-// partition of the keys (class ids need not match).
-func SamePartition(a, b map[cfg.EdgeID]int) bool {
-	if len(a) != len(b) {
+// SamePartition reports whether a dense edge-class table (as returned by
+// EdgeClasses; -1 for dead edges) and a brute-force edge→class map induce
+// the same partition of the live edges (class ids need not match).
+func SamePartition(a []int, b map[cfg.EdgeID]int) bool {
+	liveA := 0
+	for _, c := range a {
+		if c >= 0 {
+			liveA++
+		}
+	}
+	if liveA != len(b) {
 		return false
 	}
 	fwd := map[int]int{}
 	bwd := map[int]int{}
-	for e, ca := range a {
-		cb, ok := b[e]
-		if !ok {
+	for e, cb := range b {
+		if int(e) >= len(a) || a[e] < 0 {
 			return false
 		}
+		ca := a[e]
 		if mapped, ok := fwd[ca]; ok {
 			if mapped != cb {
 				return false

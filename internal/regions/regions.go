@@ -15,9 +15,9 @@ import (
 // have the same control dependence, which by Theorem 1 holds iff each
 // dominance-consecutive pair of them bounds a single-entry single-exit
 // region.
-func EdgeClasses(g *cfg.Graph) (classOf map[cfg.EdgeID]int, numClasses int) {
+func EdgeClasses(g *cfg.Graph) (classOf []int, numClasses int) {
 	live := g.LiveEdges()
-	classOf = make(map[cfg.EdgeID]int, len(live))
+	classOf = newEdgeTable(g)
 	if len(live) == 0 {
 		return classOf, 0
 	}
@@ -97,22 +97,43 @@ type Region struct {
 
 // Info is the full result of SESE analysis: edge equivalence classes, the
 // canonical regions, and the program structure tree (PST) that nests them.
+// All per-edge and per-node tables are dense slices indexed by ID, with -1
+// marking "no value" (dead edges, nodes outside every region, edges that
+// bound no region).
 type Info struct {
 	G          *cfg.Graph
-	ClassOf    map[cfg.EdgeID]int
+	ClassOf    []int // per edge ID; -1 for dead edges
 	NumClasses int
 	Regions    []*Region
 	// EdgeRegion maps each live edge to the innermost region that strictly
 	// contains it (boundary edges belong to the enclosing region), or -1.
-	EdgeRegion map[cfg.EdgeID]int
+	EdgeRegion []int
 	// NodeRegion maps each node to the innermost region containing it, or
 	// -1 for nodes outside every region (start, end, top-level spine).
-	NodeRegion map[cfg.NodeID]int
+	NodeRegion []int
 	// EntryOf maps an edge to the canonical region it is the entry of, and
-	// ExitOf to the region it is the exit of (at most one each); absent
-	// keys mean the edge bounds no canonical region on that side.
-	EntryOf map[cfg.EdgeID]int
-	ExitOf  map[cfg.EdgeID]int
+	// ExitOf to the region it is the exit of (at most one each); -1 means
+	// the edge bounds no canonical region on that side.
+	EntryOf []int
+	ExitOf  []int
+}
+
+// newEdgeTable returns a per-edge int table initialized to -1.
+func newEdgeTable(g *cfg.Graph) []int {
+	t := make([]int, g.NumEdges())
+	for i := range t {
+		t[i] = -1
+	}
+	return t
+}
+
+// newNodeTable returns a per-node int table initialized to -1.
+func newNodeTable(g *cfg.Graph) []int {
+	t := make([]int, g.NumNodes())
+	for i := range t {
+		t[i] = -1
+	}
+	return t
 }
 
 // Analyze computes edge classes, canonical SESE regions, and the PST.
@@ -132,13 +153,13 @@ func Analyze(g *cfg.Graph) (*Info, error) {
 // edges that is finer than control dependence equivalence can be used to
 // construct the DFG"). Finer partitions yield fewer and smaller regions,
 // hence less bypassing — see BasicBlockClasses and SingletonClasses.
-func AnalyzeWithClasses(g *cfg.Graph, classOf map[cfg.EdgeID]int, num int) (*Info, error) {
+func AnalyzeWithClasses(g *cfg.Graph, classOf []int, num int) (*Info, error) {
 	info := &Info{
 		G: g, ClassOf: classOf, NumClasses: num,
-		EdgeRegion: map[cfg.EdgeID]int{},
-		NodeRegion: map[cfg.NodeID]int{},
-		EntryOf:    map[cfg.EdgeID]int{},
-		ExitOf:     map[cfg.EdgeID]int{},
+		EdgeRegion: newEdgeTable(g),
+		NodeRegion: newNodeTable(g),
+		EntryOf:    newEdgeTable(g),
+		ExitOf:     newEdgeTable(g),
 	}
 
 	// Order the members of each class by dominance. In any DFS from start,
@@ -184,7 +205,7 @@ func AnalyzeWithClasses(g *cfg.Graph, classOf map[cfg.EdgeID]int, num int) (*Inf
 		for _, eid := range g.OutEdges(u) {
 			e := g.Edge(eid)
 			c := nodeCtx[u]
-			if rid, ok := regionWithExit[eid]; ok {
+			if rid := regionWithExit[eid]; rid >= 0 {
 				if c == nil || c.region != rid {
 					return nil, fmt.Errorf("regions: inconsistent nesting closing region %d at edge %d", rid, eid)
 				}
@@ -198,7 +219,7 @@ func AnalyzeWithClasses(g *cfg.Graph, classOf map[cfg.EdgeID]int, num int) (*Inf
 			} else {
 				info.EdgeRegion[eid] = -1
 			}
-			if rid, ok := regionWithEntry[eid]; ok {
+			if rid := regionWithEntry[eid]; rid >= 0 {
 				r := info.Regions[rid]
 				if c != nil {
 					r.Parent = c.region
@@ -261,11 +282,11 @@ func MustAnalyze(g *cfg.Graph) *Info {
 // so it is a valid (coarser-bypassing) basis for DFG construction — the
 // paper's example of a relation that "will permit bypassing of assignment
 // statements but not of control structures".
-func BasicBlockClasses(g *cfg.Graph) (map[cfg.EdgeID]int, int) {
-	classOf := map[cfg.EdgeID]int{}
+func BasicBlockClasses(g *cfg.Graph) ([]int, int) {
+	classOf := newEdgeTable(g)
 	next := 0
 	for _, eid := range g.LiveEdges() {
-		if _, done := classOf[eid]; done {
+		if classOf[eid] >= 0 {
 			continue
 		}
 		// Walk back to the head of the straight-line chain.
@@ -295,12 +316,13 @@ func BasicBlockClasses(g *cfg.Graph) (map[cfg.EdgeID]int, int) {
 // SingletonClasses places every live edge in its own class: the finest
 // partition, yielding no regions and therefore no bypassing at all — the
 // base-level DFG of §3.2 (after dead-edge removal).
-func SingletonClasses(g *cfg.Graph) (map[cfg.EdgeID]int, int) {
-	classOf := map[cfg.EdgeID]int{}
-	for i, eid := range g.LiveEdges() {
+func SingletonClasses(g *cfg.Graph) ([]int, int) {
+	classOf := newEdgeTable(g)
+	live := g.LiveEdges()
+	for i, eid := range live {
 		classOf[eid] = i
 	}
-	return classOf, len(classOf)
+	return classOf, len(live)
 }
 
 // ctxCell is one frame of the persistent open-region stack used by Analyze.
@@ -312,10 +334,10 @@ type ctxCell struct {
 // InRegion reports whether node n lies inside region r (between its entry
 // and exit edges): n's innermost region must be r or a PST descendant of r.
 func (info *Info) InRegion(n cfg.NodeID, r int) bool {
-	rid, ok := info.NodeRegion[n]
-	if !ok {
+	if int(n) >= len(info.NodeRegion) {
 		return false
 	}
+	rid := info.NodeRegion[n]
 	for rid != -1 {
 		if rid == r {
 			return true
