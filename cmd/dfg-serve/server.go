@@ -21,6 +21,10 @@ type analyzeRequest struct {
 	Stages []string `json:"stages,omitempty"`
 	// Predicates enables the x == c refinement in constprop.
 	Predicates bool `json:"predicates,omitempty"`
+	// Inputs is the input stream for the "exec" stage, which runs the
+	// program under the CFG interpreter and the token-driven DFG executor
+	// and reports whether they agree.
+	Inputs []int64 `json:"inputs,omitempty"`
 	// DOT requests Graphviz renderings: any of "cfg", "dfg".
 	DOT []string `json:"dot,omitempty"`
 }
@@ -112,7 +116,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	res, err := s.eng.Analyze(r.Context(), pipeline.Request{
 		Source:  req.Program,
 		Stages:  stages,
-		Options: pipeline.Options{Predicates: req.Predicates},
+		Options: pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs},
 	})
 	if err != nil {
 		// Analysis failures — parse errors, malformed control flow, and

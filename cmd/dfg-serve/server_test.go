@@ -246,3 +246,28 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Errorf("GET /analyze: status=%d want 405", resp.StatusCode)
 	}
 }
+
+func TestAnalyzeExecStage(t *testing.T) {
+	ts := newTestServer(t)
+	code, out := postAnalyze(t, ts, reqBody(t, analyzeRequest{
+		Program: "read n; print n * n;",
+		Stages:  []string{"exec"},
+		Inputs:  []int64{9},
+	}))
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("exec stage failed: code=%d %+v", code, out)
+	}
+	ex := out.Report.Exec
+	if ex == nil {
+		t.Fatal("response missing exec report")
+	}
+	if !ex.Agree {
+		t.Fatalf("oracle disagreement: %+v", ex)
+	}
+	if len(ex.CFGOutput) != 1 || ex.CFGOutput[0] != "81" {
+		t.Fatalf("cfg output %v, want [81]", ex.CFGOutput)
+	}
+	if len(ex.Runs) == 0 || ex.Runs[0].Firings == 0 {
+		t.Fatalf("exec report missing per-granularity runs: %+v", ex.Runs)
+	}
+}

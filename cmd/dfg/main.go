@@ -22,6 +22,9 @@
 //	-constprop      run constant propagation (CFG and DFG algorithms, compared)
 //	-epr            run partial redundancy elimination
 //	-run            interpret the program (inputs from -input)
+//	-run-dfg        execute the program's DFG with the token-driven executor,
+//	                cross-checked against the CFG interpreter (exit 1 with a
+//	                diff on divergence)
 //	-verify         check the DFG against Definition 6 and multiedge ordering
 //
 // Shared flags:
@@ -60,6 +63,7 @@ var (
 	flagConstprop = flag.Bool("constprop", false, "run constant propagation and print the optimized graph")
 	flagEPR       = flag.Bool("epr", false, "run partial redundancy elimination and print the optimized graph")
 	flagRun       = flag.Bool("run", false, "interpret the program")
+	flagRunDFG    = flag.Bool("run-dfg", false, "execute the DFG, cross-checked against the interpreter")
 	flagVerify    = flag.Bool("verify", false, "verify the DFG against Definition 6")
 	flagInput     = flag.String("input", "", "comma-separated integers for read statements")
 	flagPred      = flag.Bool("pred", false, "enable predicate analysis in -constprop")
@@ -77,6 +81,7 @@ type options struct {
 	constprop bool
 	epr       bool
 	run       bool
+	runDFG    bool
 	verify    bool
 	inputs    []int64
 	pred      bool
@@ -100,6 +105,7 @@ func main() {
 		constprop: *flagConstprop,
 		epr:       *flagEPR,
 		run:       *flagRun,
+		runDFG:    *flagRunDFG,
 		verify:    *flagVerify,
 		inputs:    parseInputs(*flagInput),
 		pred:      *flagPred,
@@ -147,7 +153,7 @@ func runTool(opts options, src []byte, w io.Writer) error {
 		return eng.Analyze(context.Background(), pipeline.Request{
 			Source:  string(src),
 			Stages:  stages,
-			Options: pipeline.Options{Predicates: opts.pred},
+			Options: pipeline.Options{Predicates: opts.pred, ExecInputs: opts.inputs},
 		})
 	}
 
@@ -259,6 +265,29 @@ func runTool(opts options, src []byte, w io.Writer) error {
 			fmt.Fprintln(w, v)
 		}
 		fmt.Fprintf(os.Stderr, "steps=%d binops=%d reads=%d\n", ir.Steps, ir.BinOps, ir.Reads)
+		return nil
+
+	case opts.runDFG:
+		res, err := analyze(pipeline.StageExec)
+		if err != nil {
+			return err
+		}
+		rep := res.Exec
+		if !rep.Agree {
+			return fmt.Errorf("DFG execution diverges from the CFG interpreter:\n%s", rep.Diff())
+		}
+		if rep.CFGErr != "" {
+			return fmt.Errorf("execution failed (interpreter and executor agree): %s", rep.CFGErr)
+		}
+		// Agreement proven; print the executor's output (identical to the
+		// interpreter's) and per-granularity firing stats.
+		for _, v := range rep.CFGOutput {
+			fmt.Fprintln(w, v)
+		}
+		for _, run := range rep.Runs {
+			fmt.Fprintf(os.Stderr, "dfg(%s): firings=%d stuck=%d\n", run.Gran, run.Firings, run.Stuck)
+		}
+		fmt.Fprintf(os.Stderr, "agree with interpreter: binops=%d reads=%d\n", rep.BinOps, rep.Reads)
 		return nil
 
 	case opts.verify:

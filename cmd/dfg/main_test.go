@@ -200,3 +200,39 @@ func TestParseInputs(t *testing.T) {
 		t.Error("empty input should be nil")
 	}
 }
+
+func TestRunDFGMode(t *testing.T) {
+	got := out(t, options{runDFG: true, inputs: []int64{3}}, sample)
+	if got != "1\n1\n" {
+		t.Errorf("-run-dfg output = %q, want \"1\\n1\\n\"", got)
+	}
+	got = out(t, options{runDFG: true, inputs: []int64{-3}}, sample)
+	if got != "2\n2\n" {
+		t.Errorf("-run-dfg output = %q, want \"2\\n2\\n\"", got)
+	}
+}
+
+func TestRunDFGMatchesRun(t *testing.T) {
+	src := `
+		read a; read b;
+		s := 0;
+		while (a > 0) { s := s + b; a := a - 1; }
+		print s; print a; print b;
+	`
+	inputs := []int64{4, 9}
+	if run, dfgRun := out(t, options{run: true, inputs: inputs}, src),
+		out(t, options{runDFG: true, inputs: inputs}, src); run != dfgRun {
+		t.Errorf("-run printed %q but -run-dfg printed %q", run, dfgRun)
+	}
+}
+
+func TestRunDFGTrapFails(t *testing.T) {
+	var b strings.Builder
+	err := runTool(options{runDFG: true}, []byte(`print 1 / 0;`), &b)
+	if err == nil {
+		t.Fatal("-run-dfg on a trapping program should fail")
+	}
+	if !strings.Contains(err.Error(), "interpreter and executor agree") {
+		t.Errorf("trap should be reported as agreed failure: %v", err)
+	}
+}

@@ -40,6 +40,19 @@ import (
 // can never collide with a program variable.
 const CtlVar = "$ctl"
 
+// IOVar is the I/O state pseudo-variable threaded through every read and
+// print node by BuildExec. A pure token-driven execution of the DFG fully
+// determines all *values*, but the relative order of observable effects
+// (input consumption, printed output) is not constrained by scalar data
+// dependences alone — two prints of already-available values could fire in
+// either order. Treating the external world as one more piece of state,
+// defined and used by every effectful node, makes effect order an ordinary
+// dependence and is what gives the DFG a sequential observable semantics
+// (§2's executable representation; memory state is threaded the same way
+// in the paper's load/store extension). Like CtlVar, the name cannot
+// collide with a program variable.
+const IOVar = "$io"
+
 // OpID indexes Graph.Ops.
 type OpID int
 
@@ -135,6 +148,12 @@ type Graph struct {
 	DefOf []OpID
 	// InitOf maps a variable to its init operator at start.
 	InitOf map[string]OpID
+
+	// execMode records whether this graph was built by BuildExec; ioDefOf
+	// then maps every read/print node to its IOVar def operator (NoOp
+	// elsewhere), indexed by NodeID.
+	execMode bool
+	ioDefOf  []OpID
 
 	// varIdx numbers CtlVar (0) and the program variables (1..) densely;
 	// mergeOf and switchOf are node×variable tables of operator IDs (NoOp
@@ -234,6 +253,15 @@ func Build(g *cfg.Graph) (*Graph, error) {
 // granularities; only the dependence graph's size changes (the ablation of
 // experiment E13).
 func BuildGranularity(g *cfg.Graph, gran Granularity) (*Graph, error) {
+	info, err := granInfo(g, gran)
+	if err != nil {
+		return nil, err
+	}
+	return buildWithInfo(g, info, false)
+}
+
+// granInfo runs the SESE analysis under the edge partition selected by gran.
+func granInfo(g *cfg.Graph, gran Granularity) (*regions.Info, error) {
 	var classOf []int
 	var num int
 	switch gran {
@@ -244,11 +272,23 @@ func BuildGranularity(g *cfg.Graph, gran Granularity) (*Graph, error) {
 	default:
 		classOf, num = regions.EdgeClasses(g)
 	}
-	info, err := regions.AnalyzeWithClasses(g, classOf, num)
+	return regions.AnalyzeWithClasses(g, classOf, num)
+}
+
+// BuildExec constructs an executable DFG at the given bypass granularity:
+// the ordinary dependence flow graph plus the IOVar state variable threaded
+// through every read and print node. The extra variable reuses the whole
+// construction pipeline unchanged — per-variable forward flow, region
+// bypassing, switch/merge interception, and dead-edge removal — so an
+// executable graph differentially tests the same machinery Build runs on
+// program variables. internal/dfgexec runs the result; internal/oracle
+// compares that run against the CFG interpreter.
+func BuildExec(g *cfg.Graph, gran Granularity) (*Graph, error) {
+	info, err := granInfo(g, gran)
 	if err != nil {
 		return nil, err
 	}
-	return BuildWithInfo(g, info)
+	return buildWithInfo(g, info, true)
 }
 
 // MustBuild builds the DFG and panics on error (fixed inputs only).
@@ -262,17 +302,25 @@ func MustBuild(g *cfg.Graph) *Graph {
 
 // BuildWithInfo constructs the DFG using a precomputed SESE analysis.
 func BuildWithInfo(g *cfg.Graph, info *regions.Info) (*Graph, error) {
+	return buildWithInfo(g, info, false)
+}
+
+func buildWithInfo(g *cfg.Graph, info *regions.Info, exec bool) (*Graph, error) {
 	vars := append([]string{CtlVar}, g.VarNames...)
+	if exec {
+		vars = append(vars, IOVar)
+	}
 	varIdx := make(map[string]int, len(vars))
 	for i, v := range vars {
 		varIdx[v] = i
 	}
 	d := &Graph{
-		G:       g,
-		Info:    info,
-		InitOf:  make(map[string]OpID, len(vars)),
-		varIdx:  varIdx,
-		visited: make([]int32, g.NumEdges()),
+		G:        g,
+		Info:     info,
+		InitOf:   make(map[string]OpID, len(vars)),
+		varIdx:   varIdx,
+		visited:  make([]int32, g.NumEdges()),
+		execMode: exec,
 	}
 	d.DefOf = make([]OpID, g.NumNodes())
 	for i := range d.DefOf {
@@ -294,6 +342,20 @@ func BuildWithInfo(g *cfg.Graph, info *regions.Info) (*Graph, error) {
 	for _, nd := range g.Nodes {
 		if v := g.Defs(nd.ID); v != "" {
 			d.DefOf[nd.ID] = d.newOp(OpDef, v, nd.ID)
+		}
+	}
+
+	// Executable graphs additionally give every effectful node an IOVar def
+	// operator: a read or print both consumes and redefines the I/O state.
+	if exec {
+		d.ioDefOf = make([]OpID, g.NumNodes())
+		for i := range d.ioDefOf {
+			d.ioDefOf[i] = NoOp
+		}
+		for _, nd := range g.Nodes {
+			if nd.Kind == cfg.KindRead || nd.Kind == cfg.KindPrint {
+				d.ioDefOf[nd.ID] = d.newOp(OpDef, IOVar, nd.ID)
+			}
 		}
 	}
 
@@ -320,6 +382,9 @@ func (d *Graph) newOp(kind OpKind, v string, node cfg.NodeID) OpID {
 // used by every computation node that has no variable operands.
 func (d *Graph) usesVar(n cfg.NodeID, v string) bool {
 	nd := d.G.Node(n)
+	if v == IOVar {
+		return d.execMode && (nd.Kind == cfg.KindRead || nd.Kind == cfg.KindPrint)
+	}
 	if v == CtlVar {
 		switch nd.Kind {
 		case cfg.KindAssign, cfg.KindRead, cfg.KindPrint, cfg.KindSwitch, cfg.KindNop:
@@ -336,12 +401,37 @@ func (d *Graph) usesVar(n cfg.NodeID, v string) bool {
 }
 
 // defsVar reports whether CFG node n defines v. CtlVar is defined only at
-// start.
+// start; IOVar at every read/print of an executable graph.
 func (d *Graph) defsVar(n cfg.NodeID, v string) bool {
+	if v == IOVar {
+		nd := d.G.Node(n)
+		return d.execMode && (nd.Kind == cfg.KindRead || nd.Kind == cfg.KindPrint)
+	}
 	if v == CtlVar {
 		return false
 	}
 	return d.G.Defs(n) == v
+}
+
+// defOp returns the operator that redefines v at node n: the node's IOVar
+// def for the I/O state, its ordinary def otherwise.
+func (d *Graph) defOp(n cfg.NodeID, v string) OpID {
+	if v == IOVar {
+		return d.ioDefOf[n]
+	}
+	return d.DefOf[n]
+}
+
+// Exec reports whether the graph was built by BuildExec (IOVar threaded).
+func (d *Graph) Exec() bool { return d.execMode }
+
+// IODef returns the IOVar def operator of read/print node n, or NoOp for
+// other nodes and for graphs not built by BuildExec.
+func (d *Graph) IODef(n cfg.NodeID) OpID {
+	if !d.execMode {
+		return NoOp
+	}
+	return d.ioDefOf[n]
 }
 
 // regionBlocks computes, for every canonical region, the set of variables
@@ -373,6 +463,9 @@ func (d *Graph) regionBlocks() [][]bool {
 		}
 		if d.usesVar(nd.ID, CtlVar) {
 			blocks[r][0] = true
+		}
+		if d.usesVar(nd.ID, IOVar) {
+			blocks[r][d.varIdx[IOVar]] = true
 		}
 	}
 	// Aggregate children into parents (regions are created before their
@@ -462,7 +555,7 @@ func (d *Graph) flowVar(v string, blocks [][]bool) error {
 		default: // assign, read, print, nop, (start cannot be a dst)
 			out := src
 			if d.defsVar(node, v) {
-				out = Src{Op: d.DefOf[node], Out: cfg.BranchNone}
+				out = Src{Op: d.defOp(node, v), Out: cfg.BranchNone}
 			}
 			return visit(g.OutEdges(node)[0], out)
 		}

@@ -1,0 +1,513 @@
+// Package dfgexec executes dependence flow graphs directly, realizing the
+// dataflow operational semantics that makes the DFG of Johnson & Pingali
+// (PLDI 1993, §2) an *executable* representation rather than only a sparse
+// analysis substrate.
+//
+// The machine is token driven. Every dependence edge is a channel: each use
+// site and each operator input port owns a FIFO queue of value tokens, and
+// an entity fires when its firing rule is satisfied:
+//
+//   - an init operator fires once at startup, emitting the variable's
+//     initial value (integer 0, matching the interpreter's uninitialized
+//     reads) to its live consumers;
+//   - a computation node (assign/read/print/switch/nop) fires when every
+//     one of its use-site ports holds a token: it pops one token per port,
+//     evaluates its expression with interp.EvalExpr, and emits the results
+//     from its def operator's port(s);
+//   - a switch operator fires when both its data port and its predicate
+//     port are non-empty, steering the data token to the true or false
+//     output selected by the predicate token (tokens steered to an output
+//     pruned by dead-edge removal are consumed and dropped);
+//   - a merge operator is *gated*: it holds a FIFO queue per input port
+//     plus a stream of port selections, and fires when the port named by
+//     the oldest selection holds a token, forwarding that token. An
+//     arrival-ordered (anarchic) merge would be wrong: dataflow execution
+//     pipelines, so a back-edge token from wave k+1 can overtake a slow
+//     entry token from wave k (see TestRegressionMergeWaveOvertake);
+//   - a switch *node* firing broadcasts the evaluated predicate as a token
+//     to the predicate port of every live switch operator attached to it,
+//     and to the control walker.
+//
+// The merge port selections come from a control walker: a virtual control
+// token that replays the CFG path, consuming the predicate values the
+// dataflow side produces at switch nodes, and appending the in-edge it
+// enters each merge node through to that node's merge operators. This is
+// the classical deterministic gated merge of dataflow machines, driven by
+// the same predicates the graph itself computes — the walker never touches
+// a data value, so construction bugs in the dependence wiring still
+// surface as divergences.
+//
+// Values are fully determined by the dependences (the network is a Kahn
+// process network), but the relative order of observable effects is not
+// constrained by scalar data dependences alone — which is why the executor
+// runs graphs built by dfg.BuildExec, where the $io state variable threads
+// every read and print into a dependence chain. On such graphs, printed
+// output and input consumption replay the CFG interpreter's order exactly;
+// internal/oracle checks that claim differentially. Plain dfg.Build graphs
+// are accepted too (useful for demonstrating *why* the threading is
+// needed), but their effect order is only scheduler-deterministic, not
+// sequentially faithful.
+//
+// Scheduling is deterministic: a FIFO worklist of enabled entities, with
+// token deliveries in multiedge creation order. Two runs on the same graph
+// and inputs perform identical firing sequences, which makes divergence
+// reports reproducible. A firing budget bounds runaway executions the same
+// way the CFG interpreter's step limit does.
+package dfgexec
+
+import (
+	"fmt"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/interp"
+)
+
+// DefaultMaxFirings bounds a run when the caller passes no budget. One CFG
+// step can cost several DFG firings (one per live operator touched), so the
+// default is a few times the interpreter's 1M-step default.
+const DefaultMaxFirings = 8_000_000
+
+// Result is the observable outcome of a DFG execution. Output, BinOps and
+// Reads are directly comparable with the CFG interpreter's Result.
+type Result struct {
+	// Output is the sequence of printed values.
+	Output []interp.Value
+	// Firings counts entity firings (nodes, operators, and init emissions).
+	Firings int
+	// BinOps counts binary/unary operator evaluations, as in interp.
+	BinOps int
+	// Reads is how many inputs were consumed.
+	Reads int
+	// Stuck counts tokens left in input ports at quiescence. A healthy
+	// terminating run consumes every delivered token; a non-zero count
+	// means some entity starved mid-wave — evidence of a construction bug
+	// even when the printed output happens to match.
+	Stuck int
+}
+
+// Outputs renders the output sequence as a comparable string slice.
+func (r *Result) Outputs() []string {
+	out := make([]string, len(r.Output))
+	for i, v := range r.Output {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// RunError describes a runtime failure (type error, division by zero,
+// firing budget exhaustion), mirroring interp.RunError.
+type RunError struct {
+	Node cfg.NodeID
+	Msg  string
+}
+
+// Error implements error.
+func (e *RunError) Error() string { return fmt.Sprintf("dfgexec: at n%d: %s", e.Node, e.Msg) }
+
+// machine is the mutable state of one execution.
+type machine struct {
+	d      *dfg.Graph
+	g      *cfg.Graph
+	res    *Result
+	ev     interp.Result // sink for EvalExpr's operator counting
+	inputs []int64
+
+	numNodes int
+
+	// Token queues. useQ is indexed by use-site index; the operator queues
+	// by OpID. A merge op owns one FIFO per input port (allocated lazily)
+	// and a FIFO of port selections pushed by the control walker; switch
+	// ops use swDataQ/swPredQ.
+	useQ     [][]interp.Value
+	mergeQ   [][][]interp.Value
+	mergeSel [][]int
+	swDataQ  [][]interp.Value
+	swPredQ  [][]bool
+
+	// Control walker: walkNode is the virtual control token's position,
+	// walkPredQ buffers predicate values per switch node for it to consume,
+	// walkSteps counts its moves against the firing budget.
+	walkNode  cfg.NodeID
+	walkDone  bool
+	walkPredQ [][]bool
+	walkSteps int
+	maxWalk   int
+
+	// nodeUses groups use-site indexes by owning CFG node; swOps lists the
+	// live switch operators attached to each switch node, mergeOps the
+	// live merge operators attached to each merge node.
+	nodeUses [][]int
+	swOps    [][]dfg.OpID
+	mergeOps [][]dfg.OpID
+
+	// FIFO worklist of enabled entities: id < numNodes is a CFG node,
+	// otherwise numNodes+OpID. queued dedups entries.
+	queue  []int
+	head   int
+	queued []bool
+
+	env map[string]interp.Value
+}
+
+// Run executes d with the given input stream. Reads beyond the end of
+// inputs yield 0 and uninitialized variables read as 0, matching the CFG
+// interpreter. Execution stops with an error after maxFirings entity
+// firings (maxFirings <= 0 means DefaultMaxFirings). The graph is not
+// mutated; concurrent Runs over one graph are safe.
+func Run(d *dfg.Graph, inputs []int64, maxFirings int) (*Result, error) {
+	if maxFirings <= 0 {
+		maxFirings = DefaultMaxFirings
+	}
+	g := d.G
+	m := &machine{
+		d:         d,
+		g:         g,
+		res:       &Result{},
+		inputs:    inputs,
+		numNodes:  g.NumNodes(),
+		useQ:      make([][]interp.Value, len(d.Uses)),
+		mergeQ:    make([][][]interp.Value, len(d.Ops)),
+		mergeSel:  make([][]int, len(d.Ops)),
+		swDataQ:   make([][]interp.Value, len(d.Ops)),
+		swPredQ:   make([][]bool, len(d.Ops)),
+		nodeUses:  make([][]int, g.NumNodes()),
+		swOps:     make([][]dfg.OpID, g.NumNodes()),
+		mergeOps:  make([][]dfg.OpID, g.NumNodes()),
+		walkNode:  g.Start,
+		walkPredQ: make([][]bool, g.NumNodes()),
+		maxWalk:   maxFirings,
+		queued:    make([]bool, g.NumNodes()+len(d.Ops)),
+		env:       make(map[string]interp.Value, 8),
+	}
+	for i := range d.Uses {
+		n := d.Uses[i].Node
+		m.nodeUses[n] = append(m.nodeUses[n], i)
+	}
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		switch {
+		case op.Kind == dfg.OpSwitch && (op.LiveOut[0] || op.LiveOut[1]):
+			m.swOps[op.Node] = append(m.swOps[op.Node], op.ID)
+		case op.Kind == dfg.OpMerge && op.LiveOut[0]:
+			m.mergeOps[op.Node] = append(m.mergeOps[op.Node], op.ID)
+		}
+	}
+
+	// Initial tokens: every variable's init operator fires once, in the
+	// fixed order CtlVar, program variables, IOVar.
+	vars := append([]string{dfg.CtlVar}, g.VarNames...)
+	if d.Exec() {
+		vars = append(vars, dfg.IOVar)
+	}
+	for _, v := range vars {
+		if op, ok := d.InitOf[v]; ok {
+			m.res.Firings++
+			m.emit(dfg.Src{Op: op, Out: cfg.BranchNone}, interp.IntVal(0))
+		}
+	}
+
+	if err := m.advanceWalker(); err != nil {
+		m.finish()
+		return m.res, err
+	}
+
+	// Main loop: fire enabled entities in FIFO discovery order.
+	for m.head < len(m.queue) {
+		// Compact the drained prefix so long loops run in bounded memory.
+		if m.head > 1024 && m.head*2 >= len(m.queue) {
+			n := copy(m.queue, m.queue[m.head:])
+			m.queue = m.queue[:n]
+			m.head = 0
+		}
+		id := m.queue[m.head]
+		m.head++
+		m.queued[id] = false
+		if !m.enabled(id) {
+			continue
+		}
+		if m.res.Firings >= maxFirings {
+			m.finish()
+			return m.res, &RunError{Node: m.nodeOf(id), Msg: fmt.Sprintf("firing budget %d exceeded", maxFirings)}
+		}
+		m.res.Firings++
+		if err := m.fire(id); err != nil {
+			m.finish()
+			return m.res, err
+		}
+		if err := m.advanceWalker(); err != nil {
+			m.finish()
+			return m.res, err
+		}
+		// The entity may hold further tokens (loop waves queue up); keep it
+		// on the worklist until its ports drain.
+		m.maybeEnqueue(id)
+	}
+	m.finish()
+	return m.res, nil
+}
+
+// finish folds the evaluation counters and leftover-token census into the
+// result.
+func (m *machine) finish() {
+	m.res.BinOps = m.ev.BinOps
+	stuck := 0
+	for _, q := range m.useQ {
+		stuck += len(q)
+	}
+	for _, ports := range m.mergeQ {
+		for _, q := range ports {
+			stuck += len(q)
+		}
+	}
+	// A leftover selection is a wave control committed to that the data
+	// side never delivered — as diagnostic as a leftover value token.
+	for _, sel := range m.mergeSel {
+		stuck += len(sel)
+	}
+	for _, q := range m.swDataQ {
+		stuck += len(q)
+	}
+	for _, q := range m.swPredQ {
+		stuck += len(q)
+	}
+	m.res.Stuck = stuck
+}
+
+// nodeOf maps a work id back to a CFG node for error reporting.
+func (m *machine) nodeOf(id int) cfg.NodeID {
+	if id < m.numNodes {
+		return cfg.NodeID(id)
+	}
+	return m.d.Ops[id-m.numNodes].Node
+}
+
+// enabled applies the firing rule of the entity behind id.
+func (m *machine) enabled(id int) bool {
+	if id < m.numNodes {
+		uses := m.nodeUses[id]
+		if len(uses) == 0 {
+			return false
+		}
+		for _, ui := range uses {
+			if len(m.useQ[ui]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	o := dfg.OpID(id - m.numNodes)
+	switch m.d.Ops[o].Kind {
+	case dfg.OpMerge:
+		sel := m.mergeSel[o]
+		return len(sel) > 0 && m.mergeQ[o] != nil && len(m.mergeQ[o][sel[0]]) > 0
+	case dfg.OpSwitch:
+		return len(m.swDataQ[o]) > 0 && len(m.swPredQ[o]) > 0
+	}
+	return false
+}
+
+func (m *machine) maybeEnqueue(id int) {
+	if !m.queued[id] && m.enabled(id) {
+		m.queued[id] = true
+		m.queue = append(m.queue, id)
+	}
+}
+
+func (m *machine) maybeEnqueueNode(n cfg.NodeID) { m.maybeEnqueue(int(n)) }
+func (m *machine) maybeEnqueueOp(o dfg.OpID)     { m.maybeEnqueue(m.numNodes + int(o)) }
+
+// fire executes one entity firing.
+func (m *machine) fire(id int) error {
+	if id < m.numNodes {
+		return m.fireNode(cfg.NodeID(id))
+	}
+	m.fireOp(dfg.OpID(id - m.numNodes))
+	return nil
+}
+
+// fireNode pops one token from every use-site port of n, evaluates the
+// node, and emits its definitions.
+func (m *machine) fireNode(n cfg.NodeID) error {
+	nd := m.g.Node(n)
+	clear(m.env)
+	for _, ui := range m.nodeUses[n] {
+		q := m.useQ[ui]
+		m.env[m.d.Uses[ui].Var] = q[0]
+		m.useQ[ui] = q[1:]
+	}
+
+	switch nd.Kind {
+	case cfg.KindAssign:
+		v, err := interp.EvalExpr(nd.Expr, m.env, &m.ev)
+		if err != nil {
+			return &RunError{Node: n, Msg: err.Error()}
+		}
+		m.emit(dfg.Src{Op: m.d.DefOf[n], Out: cfg.BranchNone}, v)
+
+	case cfg.KindRead:
+		var v int64
+		if m.res.Reads < len(m.inputs) {
+			v = m.inputs[m.res.Reads]
+		}
+		m.res.Reads++
+		m.emit(dfg.Src{Op: m.d.DefOf[n], Out: cfg.BranchNone}, interp.IntVal(v))
+		m.emitIO(n)
+
+	case cfg.KindPrint:
+		v, err := interp.EvalExpr(nd.Expr, m.env, &m.ev)
+		if err != nil {
+			return &RunError{Node: n, Msg: err.Error()}
+		}
+		m.res.Output = append(m.res.Output, v)
+		m.emitIO(n)
+
+	case cfg.KindSwitch:
+		v, err := interp.EvalExpr(nd.Expr, m.env, &m.ev)
+		if err != nil {
+			return &RunError{Node: n, Msg: err.Error()}
+		}
+		if !v.B {
+			return &RunError{Node: n, Msg: fmt.Sprintf("switch predicate is not boolean: %s", v)}
+		}
+		for _, sop := range m.swOps[n] {
+			m.swPredQ[sop] = append(m.swPredQ[sop], v.Bool)
+			m.maybeEnqueueOp(sop)
+		}
+		m.walkPredQ[n] = append(m.walkPredQ[n], v.Bool)
+
+	case cfg.KindNop:
+		// Consumes its control token, produces nothing.
+	}
+	return nil
+}
+
+// fireOp fires a merge or switch operator.
+func (m *machine) fireOp(o dfg.OpID) {
+	op := &m.d.Ops[o]
+	switch op.Kind {
+	case dfg.OpMerge:
+		// Gated firing: consume from the port the control walker selected
+		// for this wave. Arrival order across ports is NOT wave order —
+		// pipelined execution lets a back-edge token overtake a slow entry
+		// token — so only the selection stream may sequence the merge.
+		sel := m.mergeSel[o]
+		port := sel[0]
+		m.mergeSel[o] = sel[1:]
+		q := m.mergeQ[o][port]
+		v := q[0]
+		m.mergeQ[o][port] = q[1:]
+		m.emit(dfg.Src{Op: o, Out: cfg.BranchNone}, v)
+	case dfg.OpSwitch:
+		dq, pq := m.swDataQ[o], m.swPredQ[o]
+		v, p := dq[0], pq[0]
+		m.swDataQ[o], m.swPredQ[o] = dq[1:], pq[1:]
+		out := cfg.BranchFalse
+		if p {
+			out = cfg.BranchTrue
+		}
+		m.emit(dfg.Src{Op: o, Out: out}, v)
+	}
+}
+
+// emitIO emits the I/O state token of effectful node n (a no-op on graphs
+// not built by BuildExec). The token's value is never inspected; the
+// dependence chain it travels is what sequences effects.
+func (m *machine) emitIO(n cfg.NodeID) {
+	if io := m.d.IODef(n); io != dfg.NoOp {
+		m.emit(dfg.Src{Op: io, Out: cfg.BranchNone}, interp.IntVal(0))
+	}
+}
+
+// emit delivers v from source port src to every live consumer, in multiedge
+// creation order. Dead ports and dead links absorb the token silently —
+// that is dead-edge removal's contract: the value can never reach a use.
+func (m *machine) emit(src dfg.Src, v interp.Value) {
+	if !m.d.LiveSrc(src) {
+		return
+	}
+	for _, c := range m.d.Consumers(src) {
+		if !m.d.LiveConsumer(src, c) {
+			continue
+		}
+		if c.UseIdx >= 0 {
+			m.useQ[c.UseIdx] = append(m.useQ[c.UseIdx], v)
+			m.maybeEnqueueNode(m.d.Uses[c.UseIdx].Node)
+			continue
+		}
+		switch op := &m.d.Ops[c.Op]; op.Kind {
+		case dfg.OpMerge:
+			if m.mergeQ[c.Op] == nil {
+				m.mergeQ[c.Op] = make([][]interp.Value, len(op.In))
+			}
+			m.mergeQ[c.Op][c.InIdx] = append(m.mergeQ[c.Op][c.InIdx], v)
+		case dfg.OpSwitch:
+			m.swDataQ[c.Op] = append(m.swDataQ[c.Op], v)
+		}
+		m.maybeEnqueueOp(c.Op)
+	}
+}
+
+// advanceWalker moves the virtual control token as far as the available
+// predicate values allow. At a switch node it consumes the node's next
+// dataflow-produced predicate (suspending until one exists); entering a
+// merge node through in-edge e, it appends e's port index to every live
+// merge operator at that node, gating them to consume waves in control
+// order. Progress is guaranteed: the walker only blocks on a predicate,
+// and every dependence feeding that predicate's operands crosses merges
+// on the control-path prefix the walker has already walked.
+func (m *machine) advanceWalker() error {
+	if m.walkDone {
+		return nil
+	}
+	g := m.g
+	for {
+		nd := g.Node(m.walkNode)
+		var eid cfg.EdgeID
+		switch nd.Kind {
+		case cfg.KindEnd:
+			m.walkDone = true
+			return nil
+		case cfg.KindSwitch:
+			pq := m.walkPredQ[m.walkNode]
+			if len(pq) == 0 {
+				return nil // suspend until the switch node fires
+			}
+			p := pq[0]
+			m.walkPredQ[m.walkNode] = pq[1:]
+			if p {
+				eid = g.SwitchEdge(m.walkNode, cfg.BranchTrue)
+			} else {
+				eid = g.SwitchEdge(m.walkNode, cfg.BranchFalse)
+			}
+		default:
+			outs := g.OutEdges(m.walkNode)
+			if len(outs) == 0 {
+				m.walkDone = true
+				return nil
+			}
+			eid = outs[0]
+		}
+		// A control cycle with no enabled firings (e.g. a self-goto nop
+		// loop) would spin here forever; bound the walk like the firing
+		// budget bounds the dataflow side.
+		m.walkSteps++
+		if m.walkSteps > m.maxWalk {
+			return &RunError{Node: m.walkNode, Msg: fmt.Sprintf("firing budget %d exceeded", m.maxWalk)}
+		}
+		dst := g.Edge(eid).Dst
+		if g.Node(dst).Kind == cfg.KindMerge {
+			for _, o := range m.mergeOps[dst] {
+				op := &m.d.Ops[o]
+				for port, in := range op.InEdges {
+					if in == eid {
+						m.mergeSel[o] = append(m.mergeSel[o], port)
+						m.maybeEnqueueOp(o)
+						break
+					}
+				}
+			}
+		}
+		m.walkNode = dst
+	}
+}

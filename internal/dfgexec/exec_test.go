@@ -1,0 +1,281 @@
+package dfgexec
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/interp"
+	"dfg/internal/lang/parser"
+)
+
+func buildCFG(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return g
+}
+
+func buildExec(t *testing.T, src string, gran dfg.Granularity) (*cfg.Graph, *dfg.Graph) {
+	t.Helper()
+	g := buildCFG(t, src)
+	d, err := dfg.BuildExec(g, gran)
+	if err != nil {
+		t.Fatalf("dfg build: %v", err)
+	}
+	return g, d
+}
+
+var allGrans = []dfg.Granularity{dfg.GranRegions, dfg.GranBasicBlocks, dfg.GranNone}
+
+// checkAgainstInterp runs src under the CFG interpreter and the DFG
+// executor at every granularity and demands identical observations.
+func checkAgainstInterp(t *testing.T, src string, inputs []int64) {
+	t.Helper()
+	g := buildCFG(t, src)
+	want, werr := interp.Run(g, inputs, 0)
+	for _, gran := range allGrans {
+		d, err := dfg.BuildExec(g, gran)
+		if err != nil {
+			t.Fatalf("%v: build: %v", gran, err)
+		}
+		got, gerr := Run(d, inputs, 0)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%v: interp err=%v, exec err=%v", gran, werr, gerr)
+		}
+		if werr != nil {
+			continue // both trapped: pre-trap output is scheduling-dependent
+		}
+		if w, g := strings.Join(want.Outputs(), " "), strings.Join(got.Outputs(), " "); w != g {
+			t.Fatalf("%v: output mismatch\ninterp: %s\nexec:   %s", gran, w, g)
+		}
+		if want.Reads != got.Reads {
+			t.Fatalf("%v: reads: interp %d, exec %d", gran, want.Reads, got.Reads)
+		}
+		if want.BinOps != got.BinOps {
+			t.Fatalf("%v: binops: interp %d, exec %d", gran, want.BinOps, got.BinOps)
+		}
+		if got.Stuck != 0 {
+			t.Fatalf("%v: %d stuck tokens at quiescence", gran, got.Stuck)
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	checkAgainstInterp(t, `
+		x := 3;
+		y := x * x + 1;
+		print y;
+		print y - x;
+	`, nil)
+}
+
+func TestConstantPrintsKeepOrder(t *testing.T) {
+	src := `print 1; print 2; print 3; print 4;`
+	_, d := buildExec(t, src, dfg.GranRegions)
+	res, err := Run(d, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Outputs(), " "); got != "1 2 3 4" {
+		t.Fatalf("constant prints out of order: %s", got)
+	}
+}
+
+func TestIfElseBothArms(t *testing.T) {
+	src := `
+		read a;
+		if (a > 0) { b := a * 2; } else { b := a - 1; }
+		print b;
+	`
+	checkAgainstInterp(t, src, []int64{5})
+	checkAgainstInterp(t, src, []int64{-5})
+}
+
+func TestWhileLoop(t *testing.T) {
+	checkAgainstInterp(t, `
+		s := 0;
+		i := 0;
+		while (i < 10) {
+			s := s + i;
+			i := i + 1;
+		}
+		print s;
+	`, nil)
+}
+
+func TestGotoLoop(t *testing.T) {
+	checkAgainstInterp(t, `
+		i := 0;
+		label top:
+		print i;
+		i := i + 1;
+		if (i < 4) { goto top; }
+		print 99;
+	`, nil)
+}
+
+// TestReadPrintOrder is the canonical demonstration of why BuildExec
+// threads the $io state variable: both reads are data-independent, so
+// without the threading the executor could consume inputs or emit prints
+// in either order.
+func TestReadPrintOrder(t *testing.T) {
+	checkAgainstInterp(t, `
+		read a;
+		read b;
+		print b;
+		print a;
+	`, []int64{10, 20})
+}
+
+func TestUninitializedReadsZero(t *testing.T) {
+	checkAgainstInterp(t, `print zz + 1;`, nil)
+}
+
+func TestReadPastEndYieldsZero(t *testing.T) {
+	checkAgainstInterp(t, `read a; read b; read c; print a + b + c;`, []int64{7})
+}
+
+func TestTrapDivZero(t *testing.T) {
+	src := `x := 1; print x / (x - 1);`
+	_, d := buildExec(t, src, dfg.GranRegions)
+	_, err := Run(d, nil, 0)
+	if err == nil {
+		t.Fatal("expected division-by-zero trap")
+	}
+	checkAgainstInterp(t, src, nil) // both sides must fail
+}
+
+func TestFiringBudget(t *testing.T) {
+	src := `i := 0; while (i < 1000) { i := i + 1; } print i;`
+	_, d := buildExec(t, src, dfg.GranRegions)
+	if _, err := Run(d, nil, 50); err == nil {
+		t.Fatal("expected firing budget error")
+	} else if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := Run(d, nil, 0); err != nil {
+		t.Fatalf("default budget should suffice: %v", err)
+	}
+}
+
+func TestInfiniteLoopBudget(t *testing.T) {
+	// A constant-predicate loop never quiesces; the interpreter hits its
+	// step limit and the executor must hit its firing budget, not report
+	// success with empty output.
+	src := `while (true) { skip; } print 1;`
+	g, d := buildExec(t, src, dfg.GranRegions)
+	if _, err := interp.Run(g, nil, 10_000); err == nil {
+		t.Fatal("interp should exceed step limit")
+	}
+	if _, err := Run(d, nil, 10_000); err == nil {
+		t.Fatal("exec should exceed firing budget")
+	}
+}
+
+func TestSelfGotoBudget(t *testing.T) {
+	// A goto cycle where only control circulates: the predicate is
+	// constant, so no program variable flows around the loop. (A cycle
+	// with no switch at all is unconstructible — cfg.Build rejects
+	// programs that cannot reach end.)
+	src := `label spin: if (true) { goto spin; } print 1;`
+	g, d := buildExec(t, src, dfg.GranRegions)
+	if _, err := interp.Run(g, nil, 10_000); err == nil {
+		t.Fatal("interp should exceed step limit")
+	}
+	if _, err := Run(d, nil, 10_000); err == nil {
+		t.Fatal("exec should exceed walker budget")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	src := `
+		read n;
+		s := 0;
+		while (n > 0) { s := s + n; n := n - 1; print s; }
+	`
+	_, d := buildExec(t, src, dfg.GranRegions)
+	a, err := Run(d, []int64{6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d, []int64{6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Firings != b.Firings || strings.Join(a.Outputs(), " ") != strings.Join(b.Outputs(), " ") {
+		t.Fatalf("runs diverged: %d/%v vs %d/%v", a.Firings, a.Outputs(), b.Firings, b.Outputs())
+	}
+}
+
+func TestPlainBuildGraphStillRuns(t *testing.T) {
+	// Graphs without $io threading execute too; with a single effect the
+	// output is still well-defined.
+	g := buildCFG(t, `x := 2; y := x * 21; print y;`)
+	d, err := dfg.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rerr := Run(d, nil, 0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got := strings.Join(res.Outputs(), " "); got != "42" {
+		t.Fatalf("got %q, want 42", got)
+	}
+}
+
+// TestRegressionMergeWaveOvertake is the minimized program on which the
+// differential oracle caught the executor's original anarchic-merge rule.
+// The empty diamond delays v4 (and therefore the entry definition
+// v0 := v2 + v4) behind two switch operators, while the loop's control
+// races ahead: n-th-wave v0 := 1 fired before the entry wave's v0 reached
+// the loop merge, so the back-edge token overtook the entry token and the
+// merge forwarded waves out of order, printing -3 instead of -6. Gated
+// merges (port selected by the control walker) restore wave order.
+func TestRegressionMergeWaveOvertake(t *testing.T) {
+	checkAgainstInterp(t, `
+		if (v4 >= 9) {} else { if (v3 <= 4) {} }
+		v0 := v2 + v4;
+		while (c4 < 3) {
+			v7 := v0 * (v7 - 3);
+			v0 := 1;
+			c4 := c4 + 1;
+		}
+		print v7;
+	`, nil)
+}
+
+// TestGotoIntoMergeRegion jumps from outside into a label that is a merge
+// point of structured flow, creating a merge node with three in-edges of
+// very different provenance.
+func TestGotoIntoMergeRegion(t *testing.T) {
+	src := `
+		read a;
+		if (a > 0) { goto join; }
+		a := a * 10;
+		label join:
+		a := a + 1;
+		print a;
+	`
+	checkAgainstInterp(t, src, []int64{3})
+	checkAgainstInterp(t, src, []int64{-3})
+}
+
+// TestPrintUnderDeadBranch executes a print on a branch whose predicate is
+// constant-false at runtime; its operand dependences are steered into the
+// dead arm and must be absorbed, not wedged or emitted.
+func TestPrintUnderDeadBranch(t *testing.T) {
+	checkAgainstInterp(t, `
+		x := 7;
+		if (x < 0) { print x * 1000; }
+		print x;
+	`, nil)
+}

@@ -153,6 +153,15 @@ func firstOut(g *cfg.Graph, n cfg.NodeID) cfg.EdgeID {
 	return outs[0]
 }
 
+// EvalExpr evaluates e in env, counting operator applications in res. It is
+// the single expression semantics of the repository: the CFG interpreter,
+// the constant folder (EvalConst), and the DFG executor (internal/dfgexec)
+// all evaluate through it, so differential tests compare scheduling and
+// dependence construction, never divergent arithmetic.
+func EvalExpr(e ast.Expr, env map[string]Value, res *Result) (Value, error) {
+	return eval(e, env, res)
+}
+
 // eval evaluates an expression in env, counting operator applications.
 func eval(e ast.Expr, env map[string]Value, res *Result) (Value, error) {
 	switch e := e.(type) {

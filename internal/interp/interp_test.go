@@ -184,3 +184,126 @@ func TestSameOutput(t *testing.T) {
 		t.Error("outputs should differ")
 	}
 }
+
+func TestEvalConstEdgeCases(t *testing.T) {
+	prog := parser.MustParse(`
+		a := -(2 + 3);
+		b := !(1 > 2);
+		c := true || (1 / 0 > 0);
+		d := false && (1 % 0 == 1);
+		e := 7 % 0;
+		f := 1 + true;
+		g := -true;
+		h := !3;
+		i := (2 == 2) == (3 == 3);
+		j := false || (4 % 3 == 1);
+	`)
+	rhs := func(i int) ast.Expr { return prog.Stmts[i].(*ast.AssignStmt).RHS }
+
+	if v, ok := EvalConst(rhs(0)); !ok || v.B || v.I != -5 {
+		t.Errorf("EvalConst(-(2+3)) = %v, %v", v, ok)
+	}
+	if v, ok := EvalConst(rhs(1)); !ok || !v.B || !v.Bool {
+		t.Errorf("EvalConst(!(1>2)) = %v, %v", v, ok)
+	}
+	// Short-circuiting hides the trap in the unevaluated operand.
+	if v, ok := EvalConst(rhs(2)); !ok || !v.Bool {
+		t.Errorf("EvalConst(true || trap) = %v, %v", v, ok)
+	}
+	if v, ok := EvalConst(rhs(3)); !ok || v.Bool {
+		t.Errorf("EvalConst(false && trap) = %v, %v", v, ok)
+	}
+	for i, name := range map[int]string{4: "7 % 0", 5: "1 + true", 6: "-true", 7: "!3"} {
+		if _, ok := EvalConst(rhs(i)); ok {
+			t.Errorf("EvalConst(%s) should fail", name)
+		}
+	}
+	if v, ok := EvalConst(rhs(8)); !ok || !v.Bool {
+		t.Errorf("EvalConst((2==2)==(3==3)) = %v, %v", v, ok)
+	}
+	if v, ok := EvalConst(rhs(9)); !ok || !v.Bool {
+		t.Errorf("EvalConst(false || 4%%3==1) = %v, %v", v, ok)
+	}
+}
+
+func TestGotoSkipsForward(t *testing.T) {
+	res := run(t, `
+		x := 1;
+		goto skipit;
+		x := 2;
+		label skipit:
+		print x;
+	`)
+	wantOutput(t, res, "1")
+}
+
+func TestGotoCrossJumps(t *testing.T) {
+	// Two labels with jumps that interleave their regions: the classic
+	// unstructured shape no if/while nesting can express.
+	res := run(t, `
+		n := 0;
+		label a:
+		n := n + 1;
+		if (n < 3) { goto b; }
+		print n;
+		goto done;
+		label b:
+		print 0 - n;
+		goto a;
+		label done:
+		print 99;
+	`)
+	wantOutput(t, res, "-1", "-2", "3", "99")
+}
+
+func TestGotoIntoLoopBody(t *testing.T) {
+	// Enter a counting loop at its midpoint: the first wave skips the
+	// increment of s, so the total differs from a clean run.
+	res := run(t, `
+		i := 0;
+		s := 100;
+		goto mid;
+		label top:
+		s := s + i;
+		label mid:
+		i := i + 1;
+		if (i < 4) { goto top; }
+		print s;
+		print i;
+	`)
+	wantOutput(t, res, "106", "4")
+}
+
+func TestGotoMessDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g, err := cfg.Build(workload.GotoMess(10, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, errA := Run(g, []int64{2, -7, 1}, 200000)
+		b, errB := Run(g, []int64{2, -7, 1}, 200000)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: errors diverge: %v vs %v", seed, errA, errB)
+		}
+		if !SameOutput(a, b) || a.Steps != b.Steps || a.BinOps != b.BinOps {
+			t.Errorf("seed %d: repeated runs diverge", seed)
+		}
+		if errA == nil && a.Steps == 0 {
+			t.Errorf("seed %d: ran zero steps", seed)
+		}
+	}
+}
+
+func TestEvalExprSharedSemantics(t *testing.T) {
+	prog := parser.MustParse("r := (x + y) * (x - y);")
+	rhs := prog.Stmts[0].(*ast.AssignStmt).RHS
+	env := map[string]Value{"x": IntVal(7), "y": IntVal(3)}
+	res := &Result{}
+	v, err := EvalExpr(rhs, env, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 40 || res.BinOps != 3 {
+		t.Errorf("EvalExpr = %v with %d binops, want 40 with 3", v, res.BinOps)
+	}
+}

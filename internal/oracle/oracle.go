@@ -1,0 +1,222 @@
+// Package oracle is the differential correctness harness for the DFG
+// construction: for a program and an input vector it runs the CFG
+// interpreter (the repository's ground-truth semantics) and the token-driven
+// DFG executor — on executable graphs built at several bypass granularities
+// — and demands identical observable behaviour:
+//
+//   - the same printed output, in the same order;
+//   - the same number of inputs consumed;
+//   - the same number of operator evaluations (the executor must evaluate
+//     exactly the expressions the sequential execution evaluates — no more,
+//     no fewer);
+//   - matching termination: both succeed, or both fail (trap or budget);
+//   - no stuck tokens at quiescence.
+//
+// Because every value a program prints flows through the dependence edges,
+// multiedges, switch/merge interception, region bypassing and dead-edge
+// pruning that dfg.BuildExec performs, each agreeing run is an end-to-end
+// proof that construction preserved the program's semantics — a much
+// sharper check than comparing analysis outputs. Divergences render to a
+// report carrying the program source, the inputs, both graphs' DOT, and
+// the first diverging output index.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/dfgexec"
+	"dfg/internal/interp"
+	"dfg/internal/lang/parser"
+)
+
+// Config parameterizes one differential check. The zero value runs with no
+// inputs, default budgets, and the default granularity pair.
+type Config struct {
+	Inputs     []int64
+	MaxSteps   int               // CFG interpreter budget; 0 = interp default
+	MaxFirings int               // DFG executor budget; 0 = dfgexec default
+	Grans      []dfg.Granularity // granularities to execute; nil = DefaultGrans
+}
+
+// DefaultGrans returns the granularities Check runs when none are given:
+// the fully bypassed graph (the paper's DFG) and the base-level graph of
+// §3.2 (no bypassing; dead-edge removal still applied). Disagreement
+// between the two isolates bugs to the bypassing machinery.
+func DefaultGrans() []dfg.Granularity {
+	return []dfg.Granularity{dfg.GranRegions, dfg.GranNone}
+}
+
+// GranReport is the outcome of executing one granularity's DFG.
+type GranReport struct {
+	Gran    string   `json:"granularity"`
+	Output  []string `json:"output,omitempty"`
+	Err     string   `json:"err,omitempty"`
+	Firings int      `json:"firings"`
+	Stuck   int      `json:"stuck"`
+	Agree   bool     `json:"agree"`
+	// Detail describes the first divergence when Agree is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the outcome of one differential check: the CFG reference run
+// plus one executor run per granularity.
+type Report struct {
+	CFGOutput []string     `json:"cfg_output,omitempty"`
+	CFGErr    string       `json:"cfg_err,omitempty"`
+	Steps     int          `json:"steps"`
+	BinOps    int          `json:"binops"`
+	Reads     int          `json:"reads"`
+	Runs      []GranReport `json:"runs"`
+	Agree     bool         `json:"agree"`
+}
+
+// Check runs the differential oracle over g. It never mutates g (both the
+// interpreter and the executor are read-only), so cached pipeline artifacts
+// can be checked in place. Failures to *build* an executable DFG are
+// reported as divergences, not returned as errors — a construction that
+// errors on a valid CFG is exactly what the oracle exists to catch.
+func Check(g *cfg.Graph, c Config) *Report {
+	grans := c.Grans
+	if len(grans) == 0 {
+		grans = DefaultGrans()
+	}
+
+	rep := &Report{Agree: true}
+	ires, ierr := interp.Run(g, c.Inputs, c.MaxSteps)
+	rep.CFGOutput = ires.Outputs()
+	rep.Steps = ires.Steps
+	rep.BinOps = ires.BinOps
+	rep.Reads = ires.Reads
+	if ierr != nil {
+		rep.CFGErr = ierr.Error()
+	}
+
+	for _, gran := range grans {
+		gr := GranReport{Gran: gran.String()}
+		d, err := dfg.BuildExec(g, gran)
+		if err != nil {
+			gr.Err = "build: " + err.Error()
+			gr.Detail = "executable DFG construction failed: " + err.Error()
+			rep.Agree = false
+			rep.Runs = append(rep.Runs, gr)
+			continue
+		}
+		xres, xerr := dfgexec.Run(d, c.Inputs, c.MaxFirings)
+		gr.Output = xres.Outputs()
+		gr.Firings = xres.Firings
+		gr.Stuck = xres.Stuck
+		if xerr != nil {
+			gr.Err = xerr.Error()
+		}
+		gr.Agree, gr.Detail = compare(rep, xres, xerr)
+		if !gr.Agree {
+			rep.Agree = false
+		}
+		rep.Runs = append(rep.Runs, gr)
+	}
+	return rep
+}
+
+// compare judges one executor run against the CFG reference, returning the
+// verdict and a description of the first divergence.
+func compare(rep *Report, xres *dfgexec.Result, xerr error) (bool, string) {
+	xout := xres.Outputs()
+	switch {
+	case rep.CFGErr != "" && xerr != nil:
+		// Both failed (trap or budget). The output prefix before a trap is
+		// scheduling-dependent in a dataflow execution, so termination
+		// behaviour is the only comparable observation.
+		return true, ""
+	case rep.CFGErr != "":
+		return false, fmt.Sprintf("cfg run failed (%s) but dfg run succeeded", rep.CFGErr)
+	case xerr != nil:
+		return false, fmt.Sprintf("dfg run failed (%s) but cfg run succeeded", xerr)
+	}
+	for i := 0; i < len(rep.CFGOutput) && i < len(xout); i++ {
+		if rep.CFGOutput[i] != xout[i] {
+			return false, fmt.Sprintf("first diverging output at index %d: cfg printed %s, dfg printed %s",
+				i, rep.CFGOutput[i], xout[i])
+		}
+	}
+	if len(rep.CFGOutput) != len(xout) {
+		return false, fmt.Sprintf("output length mismatch: cfg printed %d values, dfg printed %d (first missing at index %d)",
+			len(rep.CFGOutput), len(xout), min(len(rep.CFGOutput), len(xout)))
+	}
+	if rep.Reads != xres.Reads {
+		return false, fmt.Sprintf("inputs consumed mismatch: cfg read %d, dfg read %d", rep.Reads, xres.Reads)
+	}
+	if rep.BinOps != xres.BinOps {
+		return false, fmt.Sprintf("operator evaluation mismatch: cfg evaluated %d, dfg evaluated %d", rep.BinOps, xres.BinOps)
+	}
+	if xres.Stuck != 0 {
+		return false, fmt.Sprintf("%d tokens stuck in input ports at quiescence", xres.Stuck)
+	}
+	return true, ""
+}
+
+// Diff renders the divergences of a failed report, one line per disagreeing
+// granularity. Empty when the report agrees.
+func (r *Report) Diff() string {
+	if r.Agree {
+		return ""
+	}
+	var b strings.Builder
+	for _, run := range r.Runs {
+		if run.Agree {
+			continue
+		}
+		fmt.Fprintf(&b, "granularity %s: %s\n", run.Gran, run.Detail)
+		fmt.Fprintf(&b, "  cfg output: %s\n", strings.Join(r.CFGOutput, " "))
+		fmt.Fprintf(&b, "  dfg output: %s\n", strings.Join(run.Output, " "))
+	}
+	return b.String()
+}
+
+// Diagnose builds the full divergence report for a program source: the
+// source itself, the inputs, each disagreeing granularity's first diverging
+// step, and DOT renderings of the CFG and of every disagreeing executable
+// DFG. Intended for test failures and the CLI — expensive, rich, rare.
+func Diagnose(src string, c Config) string {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return fmt.Sprintf("diagnose: parse failed: %v\nsource:\n%s", err, src)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return fmt.Sprintf("diagnose: cfg build failed: %v\nsource:\n%s", err, src)
+	}
+	rep := Check(g, c)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== differential oracle report (agree=%v) ===\n", rep.Agree)
+	fmt.Fprintf(&b, "--- program ---\n%s\n--- inputs: %v ---\n", src, c.Inputs)
+	fmt.Fprintf(&b, "cfg: steps=%d reads=%d binops=%d err=%q\noutput: %s\n",
+		rep.Steps, rep.Reads, rep.BinOps, rep.CFGErr, strings.Join(rep.CFGOutput, " "))
+	for _, run := range rep.Runs {
+		fmt.Fprintf(&b, "--- dfg(%s): firings=%d stuck=%d agree=%v err=%q ---\n",
+			run.Gran, run.Firings, run.Stuck, run.Agree, run.Err)
+		if run.Detail != "" {
+			fmt.Fprintf(&b, "divergence: %s\n", run.Detail)
+		}
+		fmt.Fprintf(&b, "output: %s\n", strings.Join(run.Output, " "))
+	}
+	if !rep.Agree {
+		fmt.Fprintf(&b, "--- cfg dot ---\n%s", g.DOT("cfg", false))
+		for i, run := range rep.Runs {
+			if run.Agree {
+				continue
+			}
+			grans := c.Grans
+			if len(grans) == 0 {
+				grans = DefaultGrans()
+			}
+			if d, err := dfg.BuildExec(g, grans[i]); err == nil {
+				fmt.Fprintf(&b, "--- dfg(%s) dot ---\n%s", run.Gran, d.DOT("dfg"))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/dfgexec"
+	"dfg/internal/interp"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func mustCFG(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return g
+}
+
+// TestOracleSweep is the acceptance sweep: every workload generator, many
+// seeds, several random input vectors each, checked at the paper's
+// granularity, basic-block granularity, and the base level. 540 pairs.
+func TestOracleSweep(t *testing.T) {
+	grans := []dfg.Granularity{dfg.GranRegions, dfg.GranBasicBlocks, dfg.GranNone}
+	pairs := 0
+	for seed := int64(0); seed < 60; seed++ {
+		progs := []struct {
+			name string
+			src  string
+		}{
+			{"mixed", workload.Mixed(20+int(seed%25), seed).String()},
+			{"gotomess", workload.GotoMess(4+int(seed%10), seed).String()},
+			{"wideswitch", workload.WideSwitch(3+int(seed%8), 2+int(seed%5), seed).String()},
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x0dac1e))
+		for _, pc := range progs {
+			g := mustCFG(t, pc.src)
+			for trial := 0; trial < 3; trial++ {
+				inputs := make([]int64, rng.Intn(8))
+				for i := range inputs {
+					inputs[i] = int64(rng.Intn(20) - 10)
+				}
+				cfgOracle := Config{Inputs: inputs, Grans: grans}
+				if rep := Check(g, cfgOracle); !rep.Agree {
+					t.Fatalf("%s seed=%d inputs=%v:\n%s",
+						pc.name, seed, inputs, Diagnose(pc.src, cfgOracle))
+				}
+				pairs++
+			}
+		}
+	}
+	if pairs < 500 {
+		t.Fatalf("sweep covered only %d program/input pairs, want >= 500", pairs)
+	}
+}
+
+func TestCheckAgreesOnExample(t *testing.T) {
+	g := mustCFG(t, `
+		read n;
+		f := 1;
+		while (n > 1) { f := f * n; n := n - 1; }
+		print f;
+	`)
+	rep := Check(g, Config{Inputs: []int64{5}})
+	if !rep.Agree {
+		t.Fatalf("factorial should agree:\n%s", rep.Diff())
+	}
+	if len(rep.Runs) != len(DefaultGrans()) {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), len(DefaultGrans()))
+	}
+	if got := strings.Join(rep.CFGOutput, " "); got != "120" {
+		t.Fatalf("cfg output %q, want 120", got)
+	}
+	for _, run := range rep.Runs {
+		if got := strings.Join(run.Output, " "); got != "120" {
+			t.Fatalf("%s output %q, want 120", run.Gran, got)
+		}
+	}
+}
+
+func TestCheckBothBudgetsAgree(t *testing.T) {
+	// Non-termination: the interpreter exceeds its step limit and the
+	// executor its firing budget; matching failure is agreement because
+	// the pre-trap output prefix is scheduling-dependent.
+	g := mustCFG(t, `while (true) { skip; }`)
+	rep := Check(g, Config{MaxSteps: 5_000, MaxFirings: 50_000})
+	if !rep.Agree {
+		t.Fatalf("matching non-termination should agree:\n%s", rep.Diff())
+	}
+	if rep.CFGErr == "" {
+		t.Fatal("interpreter should have exceeded its step limit")
+	}
+	for _, run := range rep.Runs {
+		if run.Err == "" {
+			t.Fatalf("%s: executor should have exceeded its firing budget", run.Gran)
+		}
+	}
+}
+
+func TestCompareDetectsDivergence(t *testing.T) {
+	rep := &Report{CFGOutput: []string{"1", "2", "3"}}
+	x := &dfgexec.Result{Output: []interp.Value{interp.IntVal(1), interp.IntVal(9), interp.IntVal(3)}}
+	ok, detail := compare(rep, x, nil)
+	if ok {
+		t.Fatal("differing outputs must not agree")
+	}
+	if !strings.Contains(detail, "index 1") {
+		t.Fatalf("detail should name the first diverging index: %s", detail)
+	}
+
+	short := &dfgexec.Result{Output: []interp.Value{interp.IntVal(1), interp.IntVal(2)}}
+	if ok, detail = compare(rep, short, nil); ok || !strings.Contains(detail, "length") {
+		t.Fatalf("missing trailing output must be a length divergence: %v %s", ok, detail)
+	}
+
+	stuck := &dfgexec.Result{
+		Output: []interp.Value{interp.IntVal(1), interp.IntVal(2), interp.IntVal(3)},
+		Stuck:  2,
+	}
+	if ok, detail = compare(rep, stuck, nil); ok || !strings.Contains(detail, "stuck") {
+		t.Fatalf("stuck tokens must be a divergence: %v %s", ok, detail)
+	}
+}
+
+func TestDiffRendersDisagreement(t *testing.T) {
+	rep := &Report{
+		CFGOutput: []string{"7"},
+		Runs: []GranReport{
+			{Gran: "regions", Output: []string{"8"}, Agree: false, Detail: "first diverging output at index 0"},
+			{Gran: "none", Output: []string{"7"}, Agree: true},
+		},
+	}
+	diff := rep.Diff()
+	if !strings.Contains(diff, "regions") || strings.Contains(diff, "none") {
+		t.Fatalf("diff should name only disagreeing granularities:\n%s", diff)
+	}
+	if !strings.Contains(diff, "cfg output: 7") || !strings.Contains(diff, "dfg output: 8") {
+		t.Fatalf("diff should show both outputs:\n%s", diff)
+	}
+	rep.Agree = true
+	if rep.Diff() != "" {
+		t.Fatal("agreeing report must render an empty diff")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	if out := Diagnose(`print ((`, Config{}); !strings.Contains(out, "parse failed") {
+		t.Fatalf("parse failure should be reported:\n%s", out)
+	}
+	out := Diagnose(`x := 2; print x * 3;`, Config{})
+	if !strings.Contains(out, "agree=true") || !strings.Contains(out, "output: 6") {
+		t.Fatalf("agreeing diagnosis malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+package pipeline
+
+import "testing"
+
+func TestExecStage(t *testing.T) {
+	e := New(Config{})
+	src := `read n; s := 0; while (n > 0) { s := s + n; n := n - 1; } print s;`
+	req := Request{
+		Source:  src,
+		Stages:  []Stage{StageExec},
+		Options: Options{ExecInputs: []int64{4}},
+	}
+	res := mustAnalyze(t, e, req)
+	if res.Exec == nil {
+		t.Fatal("exec artifact missing")
+	}
+	if !res.Exec.Agree {
+		t.Fatalf("oracle disagreement on simple program: %s", res.Exec.Diff())
+	}
+	if got := res.Exec.CFGOutput; len(got) != 1 || got[0] != "10" {
+		t.Fatalf("cfg output %v, want [10]", got)
+	}
+	if rep := res.Report(); rep.Exec == nil || !rep.Exec.Agree {
+		t.Fatalf("report should carry the exec artifact: %+v", rep.Exec)
+	}
+
+	// Same source and inputs: the exec artifact is a cache hit.
+	res2 := mustAnalyze(t, e, req)
+	if !res2.Stages[StageExec].CacheHit {
+		t.Fatal("identical exec request should hit the cache")
+	}
+	// Different inputs: exec recomputes but the shared CFG stays cached.
+	req.Options.ExecInputs = []int64{7}
+	res3 := mustAnalyze(t, e, req)
+	if res3.Stages[StageExec].CacheHit {
+		t.Fatal("exec must recompute for a different input vector")
+	}
+	if !res3.Stages[StageCFG].CacheHit {
+		t.Fatal("cfg stage must not be split by exec inputs")
+	}
+	if got := res3.Exec.CFGOutput; len(got) != 1 || got[0] != "28" {
+		t.Fatalf("cfg output %v, want [28]", got)
+	}
+}
+
+func TestExecStageExcludedFromAllStages(t *testing.T) {
+	for _, s := range AllStages() {
+		if s == StageExec {
+			t.Fatal("exec must be on-demand only")
+		}
+	}
+	if !ValidStage(StageExec) {
+		t.Fatal("exec must still be requestable")
+	}
+	e := New(Config{})
+	res := mustAnalyze(t, e, Request{Source: `print 1;`})
+	if res.Exec != nil {
+		t.Fatal("default request must not execute the program")
+	}
+}

@@ -10,10 +10,13 @@
 //
 //	parse ─ cfg ─┬─ regions ─ dfg ─┬─ ssa
 //	             ├─ cdg            ├─ constprop
-//	             │                 ├─ anticip
+//	             ├─ exec           ├─ anticip
 //	             │                 └─ epr
 //
-// Requesting a stage implies its dependencies. Every stage result is
+// Requesting a stage implies its dependencies. The exec stage — the
+// differential execution oracle of internal/oracle — is on-demand only:
+// it is excluded from AllStages because its artifact depends on the
+// request's input vector, not on the program alone. Every stage result is
 // immutable once computed: downstream consumers that need to transform a
 // graph (constprop.Apply, epr.Apply) clone it first, which is what makes
 // sharing cached artifacts across concurrent requests safe.
@@ -36,6 +39,7 @@ import (
 	"dfg/internal/epr"
 	"dfg/internal/lang/ast"
 	"dfg/internal/lang/parser"
+	"dfg/internal/oracle"
 	"dfg/internal/regions"
 	"dfg/internal/ssa"
 )
@@ -54,13 +58,14 @@ const (
 	StageConstprop Stage = "constprop"
 	StageAnticip   Stage = "anticip"
 	StageEPR       Stage = "epr"
+	StageExec      Stage = "exec"
 )
 
 // stageOrder fixes the canonical execution order; stageDeps records direct
 // dependencies (transitively closed by expandStages).
 var stageOrder = []Stage{
 	StageParse, StageCFG, StageRegions, StageCDG, StageDFG,
-	StageSSA, StageConstprop, StageAnticip, StageEPR,
+	StageSSA, StageConstprop, StageAnticip, StageEPR, StageExec,
 }
 
 var stageDeps = map[Stage][]Stage{
@@ -73,10 +78,21 @@ var stageDeps = map[Stage][]Stage{
 	StageConstprop: {StageCFG, StageDFG},
 	StageAnticip:   {StageCFG, StageDFG},
 	StageEPR:       {StageCFG, StageDFG},
+	StageExec:      {StageCFG},
 }
 
-// AllStages returns every stage in canonical order.
-func AllStages() []Stage { return append([]Stage(nil), stageOrder...) }
+// AllStages returns every on-by-default stage in canonical order. StageExec
+// is excluded: executing a program is parameterized by an input vector, so
+// it runs only when requested explicitly.
+func AllStages() []Stage {
+	out := make([]Stage, 0, len(stageOrder)-1)
+	for _, s := range stageOrder {
+		if s != StageExec {
+			out = append(out, s)
+		}
+	}
+	return out
+}
 
 // ValidStage reports whether s names a known stage.
 func ValidStage(s Stage) bool {
@@ -125,6 +141,12 @@ type Options struct {
 	// Predicates enables the §4-extension predicate analysis (x == c
 	// refinement) in the constprop stage.
 	Predicates bool
+
+	// ExecInputs is the input stream for the exec stage's differential
+	// execution oracle. It contributes to the exec artifact's cache key
+	// only, so varying inputs never splits the cache of the pure analysis
+	// stages.
+	ExecInputs []int64
 }
 
 // fingerprint folds the options into the cache key.
@@ -205,6 +227,7 @@ type Result struct {
 	Cprop   *ConstpropResult
 	Anticip []ExprAnticip
 	EPR     *EPRResult
+	Exec    *oracle.Report
 
 	Stages map[Stage]StageInfo
 }
@@ -318,6 +341,9 @@ func (e *Engine) Analyze(ctx context.Context, req Request) (*Result, error) {
 // computing it, updating metrics either way.
 func (e *Engine) runStage(st Stage, req Request, res *Result) error {
 	ck := res.Key + "/" + string(st)
+	if st == StageExec {
+		ck += fmt.Sprintf("/inputs=%v", req.Options.ExecInputs)
+	}
 	if e.cache != nil {
 		if v, ok := e.cache.get(ck); ok {
 			e.metrics.stage(st).hits.Add(1)
@@ -448,6 +474,10 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 		out.Stats = st2
 		out.Optimized = opt
 		return out, nil
+	case StageExec:
+		// Check never mutates the graph, so the shared cached CFG is safe
+		// to execute in place.
+		return oracle.Check(res.CFG, oracle.Config{Inputs: opts.ExecInputs}), nil
 	}
 	return nil, fmt.Errorf("unknown stage %q", st)
 }
@@ -476,5 +506,7 @@ func (r *Result) install(st Stage, v any) {
 		r.Anticip = v.([]ExprAnticip)
 	case StageEPR:
 		r.EPR = v.(*EPRResult)
+	case StageExec:
+		r.Exec = v.(*oracle.Report)
 	}
 }

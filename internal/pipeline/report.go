@@ -1,5 +1,7 @@
 package pipeline
 
+import "dfg/internal/oracle"
+
 // Report is the wire-format summary of a Result: plain data, deterministic,
 // and cheap to marshal. cmd/dfg-serve returns it from POST /analyze, and
 // the parallel-safety tests compare Reports to prove batch and serial
@@ -14,6 +16,7 @@ type Report struct {
 	Constprop *ConstpropReport `json:"constprop,omitempty"`
 	Anticip   []ExprAnticip    `json:"anticip,omitempty"`
 	EPR       *EPRReport       `json:"epr,omitempty"`
+	Exec      *oracle.Report   `json:"exec,omitempty"`
 }
 
 type ParseReport struct {
@@ -111,6 +114,7 @@ func (r *Result) Report() Report {
 		}
 	}
 	rep.Anticip = r.Anticip
+	rep.Exec = r.Exec
 	if r.EPR != nil {
 		rep.EPR = &EPRReport{
 			Exprs:    r.EPR.Stats.Exprs,
