@@ -26,10 +26,16 @@
 //	                cross-checked against the CFG interpreter (exit 1 with a
 //	                diff on divergence)
 //	-verify         check the DFG against Definition 6 and multiedge ordering
+//	-verify-opt     differentially verify the optimizers via internal/xform:
+//	                alone it checks every standard pipeline; combined with
+//	                -constprop or -epr it checks that mode's pipelines before
+//	                printing the optimized program. Exits non-zero with a
+//	                minimized divergence report if a transformation is wrong.
 //
 // Shared flags:
 //
-//	-input  comma-separated integers consumed by read statements
+//	-input  comma-separated integers consumed by read statements (also added
+//	        to the -verify-opt input sweep)
 //	-pred   enable predicate analysis (x == c refinement) in -constprop
 //
 // Exit status is 0 on success, 1 on analysis errors (a parse error prints a
@@ -51,6 +57,7 @@ import (
 	"dfg/internal/deps"
 	"dfg/internal/interp"
 	"dfg/internal/pipeline"
+	"dfg/internal/xform"
 )
 
 var (
@@ -65,6 +72,7 @@ var (
 	flagRun       = flag.Bool("run", false, "interpret the program")
 	flagRunDFG    = flag.Bool("run-dfg", false, "execute the DFG, cross-checked against the interpreter")
 	flagVerify    = flag.Bool("verify", false, "verify the DFG against Definition 6")
+	flagVerifyOpt = flag.Bool("verify-opt", false, "differentially verify the optimizers (with -constprop/-epr: that mode's pipeline; alone: all pipelines)")
 	flagInput     = flag.String("input", "", "comma-separated integers for read statements")
 	flagPred      = flag.Bool("pred", false, "enable predicate analysis in -constprop")
 )
@@ -83,6 +91,7 @@ type options struct {
 	run       bool
 	runDFG    bool
 	verify    bool
+	verifyOpt bool
 	inputs    []int64
 	pred      bool
 }
@@ -107,6 +116,7 @@ func main() {
 		run:       *flagRun,
 		runDFG:    *flagRunDFG,
 		verify:    *flagVerify,
+		verifyOpt: *flagVerifyOpt,
 		inputs:    parseInputs(*flagInput),
 		pred:      *flagPred,
 	}
@@ -155,6 +165,31 @@ func runTool(opts options, src []byte, w io.Writer) error {
 			Stages:  stages,
 			Options: pipeline.Options{Predicates: opts.pred, ExecInputs: opts.inputs},
 		})
+	}
+
+	// verifyOpt cross-checks the named optimizer pipelines through the
+	// transformation oracle; the returned error carries the minimized
+	// divergence report, so the caller's non-zero exit is actionable.
+	xcfg := xform.Config{}
+	if len(opts.inputs) > 0 {
+		xcfg.Inputs = append([][]int64{opts.inputs}, xform.DefaultInputs()...)
+	}
+	verifyOpt := func(names ...string) error {
+		res, err := analyze(pipeline.StageCFG)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			p, ok := xform.PipelineByName(name)
+			if !ok {
+				return fmt.Errorf("verify-opt: unknown pipeline %q", name)
+			}
+			if rep := xform.Check(res.CFG, p, xcfg); !rep.OK {
+				return fmt.Errorf("verify-opt: pipeline %s diverged:\n%s", name, xform.Diagnose(string(src), p, xcfg))
+			}
+			fmt.Fprintf(w, "verify-opt %s: ok\n", name)
+		}
+		return nil
 	}
 
 	switch {
@@ -223,6 +258,15 @@ func runTool(opts options, src []byte, w io.Writer) error {
 		return nil
 
 	case opts.constprop:
+		if opts.verifyOpt {
+			name := "constprop"
+			if opts.pred {
+				name = "constprop-pred"
+			}
+			if err := verifyOpt(name); err != nil {
+				return err
+			}
+		}
 		res, err := analyze(pipeline.StageConstprop)
 		if err != nil {
 			return err
@@ -244,6 +288,11 @@ func runTool(opts options, src []byte, w io.Writer) error {
 		return nil
 
 	case opts.epr:
+		if opts.verifyOpt {
+			if err := verifyOpt("epr-cfg", "epr-dfg", "epr-lazy"); err != nil {
+				return err
+			}
+		}
 		res, err := analyze(pipeline.StageEPR)
 		if err != nil {
 			return err
@@ -288,6 +337,21 @@ func runTool(opts options, src []byte, w io.Writer) error {
 			fmt.Fprintf(os.Stderr, "dfg(%s): firings=%d stuck=%d\n", run.Gran, run.Firings, run.Stuck)
 		}
 		fmt.Fprintf(os.Stderr, "agree with interpreter: binops=%d reads=%d\n", rep.BinOps, rep.Reads)
+		return nil
+
+	case opts.verifyOpt:
+		// Standalone: check every standard pipeline and summarize.
+		reps, err := xform.CheckSource(string(src), xcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, xform.Summary(reps))
+		for _, rep := range reps {
+			if !rep.OK {
+				p, _ := xform.PipelineByName(rep.Pipeline)
+				return fmt.Errorf("verify-opt: pipeline %s diverged:\n%s", rep.Pipeline, xform.Diagnose(string(src), p, xcfg))
+			}
+		}
 		return nil
 
 	case opts.verify:

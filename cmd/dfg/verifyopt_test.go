@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyOptStandalone: -verify-opt alone checks every standard pipeline
+// and prints a per-pipeline verdict.
+func TestVerifyOptStandalone(t *testing.T) {
+	got := out(t, options{verifyOpt: true},
+		"read a; read b; z := a + b; w := a + b; print z; print w;")
+	for _, pipe := range []string{"constprop", "epr-cfg", "epr-dfg", "epr-lazy", "epr+constprop", "copyprop+epr", "constprop-pred"} {
+		if !strings.Contains(got, pipe) {
+			t.Errorf("summary missing pipeline %s:\n%s", pipe, got)
+		}
+	}
+	if strings.Contains(got, "DIVERGED") {
+		t.Errorf("unexpected divergence:\n%s", got)
+	}
+}
+
+// TestVerifyOptWithEPR: -epr -verify-opt verifies the EPR pipelines first,
+// then still prints the optimized program.
+func TestVerifyOptWithEPR(t *testing.T) {
+	got := out(t, options{epr: true, verifyOpt: true},
+		"read a; read b; z := a + b; w := a + b; print z; print w;")
+	if !strings.Contains(got, "verify-opt epr-cfg: ok") {
+		t.Errorf("missing verification verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "epr_t0") {
+		t.Errorf("optimized program not printed after verification:\n%s", got)
+	}
+}
+
+// TestVerifyOptWithConstprop: -constprop -verify-opt picks the plain or
+// predicate pipeline to match the mode.
+func TestVerifyOptWithConstprop(t *testing.T) {
+	src := "p := 1; if (p == 1) { x := 1; } else { x := 2; } print x;"
+	got := out(t, options{constprop: true, verifyOpt: true}, src)
+	if !strings.Contains(got, "verify-opt constprop: ok") {
+		t.Errorf("missing verification verdict:\n%s", got)
+	}
+	got = out(t, options{constprop: true, verifyOpt: true, pred: true}, src)
+	if !strings.Contains(got, "verify-opt constprop-pred: ok") {
+		t.Errorf("missing predicate verification verdict:\n%s", got)
+	}
+}
+
+// TestVerifyOptUsesProvidedInputs: the -input vector joins the sweep (the
+// program's behaviour depends on the input, so the vector must flow through).
+func TestVerifyOptUsesProvidedInputs(t *testing.T) {
+	got := out(t, options{verifyOpt: true, inputs: []int64{42, 7}},
+		"read a; read b; if (a > b) { print a + b; } print a + b;")
+	if strings.Contains(got, "DIVERGED") {
+		t.Errorf("unexpected divergence:\n%s", got)
+	}
+}
+
+// TestVerifyOptReportsFrontEndErrors: a parse failure surfaces as an error,
+// not a panic or a silent pass.
+func TestVerifyOptReportsFrontEndErrors(t *testing.T) {
+	var b strings.Builder
+	if err := runTool(options{verifyOpt: true}, []byte("x := ;"), &b); err == nil {
+		t.Error("expected error for unparseable program")
+	}
+}

@@ -1,0 +1,105 @@
+package cfg
+
+import (
+	"testing"
+
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+)
+
+func typesOf(t *testing.T, src string) map[string]ValueType {
+	t.Helper()
+	g, err := Build(parser.MustParse(src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return VarTypes(g)
+}
+
+func rhs(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	return parser.MustParse("tmp__ := " + src + ";").Stmts[0].(*ast.AssignStmt).RHS
+}
+
+func TestVarTypesBasics(t *testing.T) {
+	types := typesOf(t, `
+		read a;
+		b := a < 0;
+		c := b;
+		d := 1;
+		d := 1 < 2;
+		e := a + d;`)
+	want := map[string]ValueType{
+		"a": TypeInt,   // read
+		"b": TypeBool,  // comparison
+		"c": TypeBool,  // copy of a boolean
+		"d": TypeMixed, // int and bool definitions
+		"e": TypeInt,   // arithmetic result
+	}
+	for v, w := range want {
+		if got := types[v]; got != w {
+			t.Errorf("type of %s = %v, want %v", v, got, w)
+		}
+	}
+	if got := types["never_defined"]; got != TypeNone {
+		t.Errorf("undefined variable typed %v, want none", got)
+	}
+}
+
+func TestVarTypesCopyChainFixpoint(t *testing.T) {
+	// The copy chain is written before its source's definition in node
+	// order; the fixpoint must still propagate bool through it.
+	types := typesOf(t, `
+		read p;
+		if (p > 0) { x := y; } else { x := y; }
+		y := p == 0;
+		z := x;`)
+	if types["y"] != TypeBool {
+		t.Fatalf("y typed %v, want bool", types["y"])
+	}
+	for _, v := range []string{"x", "z"} {
+		if types[v] != TypeBool {
+			t.Errorf("%s typed %v, want bool (through copy chain)", v, types[v])
+		}
+	}
+}
+
+func TestTypeSafe(t *testing.T) {
+	types := typesOf(t, "read a; read b; c := a < b; d := 1 < 2; d := 0;")
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"a + b", true},       // int + int
+		{"a / b", true},       // type-safe; division-by-zero is mayTrap's job
+		{"c + 1", false},      // bool + int traps
+		{"!c", true},          // ! on bool
+		{"!a", false},         // ! on int traps
+		{"-a", true},          // unary minus on int
+		{"-c", false},         // unary minus on bool traps
+		{"c && (a < b)", true},
+		{"c && a", false},     // && on int traps
+		{"a == b", true},      // int == int
+		{"c == (a < b)", true},
+		{"c == a", false},     // bool == int traps
+		{"d + 1", false},      // mixed-typed variable in arithmetic
+		{"d == d", false},     // mixed == mixed cannot be proved safe
+		{"undefinedvar + 1", true}, // undefined reads as int 0
+		{"(!0 * 0)", false},   // the FuzzTransform find
+	}
+	for _, tc := range cases {
+		if got := TypeSafe(rhs(t, tc.expr), types); got != tc.want {
+			t.Errorf("TypeSafe(%s) = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestValueTypeString(t *testing.T) {
+	for ty, want := range map[ValueType]string{
+		TypeNone: "none", TypeInt: "int", TypeBool: "bool", TypeMixed: "mixed",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

@@ -20,8 +20,10 @@ import (
 //     with the untaken side (dead code elimination of unreachable code);
 //  4. assignments whose value is never used are deleted (dead code
 //     elimination of useless code). Reads are always kept — consuming an
-//     input is observable — and assignments whose right-hand side contains
-//     division or modulo are kept because removal could suppress a trap.
+//     input is observable — and assignments whose right-hand side could trap
+//     are kept because removal would suppress the trap: division/modulo
+//     (mayTrap) and expressions that are not provably type-safe
+//     (cfg.TypeSafe — this language traps on int/bool operator misuse).
 func Apply(res *Result) (*cfg.Graph, error) {
 	g := clone(res.G)
 
@@ -75,12 +77,13 @@ func Apply(res *Result) (*cfg.Graph, error) {
 		for _, ch := range chains.All {
 			reached[ch.Def] = true
 		}
+		types := cfg.VarTypes(g)
 		removed := false
 		for _, nd := range g.Nodes {
 			if nd.Kind != cfg.KindAssign || reached[nd.ID] {
 				continue
 			}
-			if mayTrap(nd.Expr) {
+			if mayTrap(nd.Expr) || !cfg.TypeSafe(nd.Expr, types) {
 				continue
 			}
 			nd.Kind = cfg.KindNop

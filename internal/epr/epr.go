@@ -337,17 +337,22 @@ func mayTrapExpr(e ast.Expr) bool {
 
 // CandidateExprs returns the distinct variable-bearing, non-trapping binary
 // subexpressions of the program, innermost (smallest) first so that nested
-// redundancies are handled in stages.
+// redundancies are handled in stages. Non-trapping means no division or
+// modulo (mayTrapExpr) AND provably type-safe under the program's variable
+// types (cfg.TypeSafe): insertion evaluates the expression earlier than the
+// original did, so an expression that could trap on a type error would trap
+// before output the original program printed first.
 func CandidateExprs(g *cfg.Graph) []ast.Expr {
 	var out []ast.Expr
 	seen := map[string]bool{}
+	types := cfg.VarTypes(g)
 	for _, nd := range g.Nodes {
 		if nd.Expr == nil {
 			continue
 		}
 		ast.WalkExpr(nd.Expr, func(x ast.Expr) {
 			b, ok := x.(*ast.BinaryExpr)
-			if !ok || len(ast.ExprVars(b)) == 0 || mayTrapExpr(b) {
+			if !ok || len(ast.ExprVars(b)) == 0 || mayTrapExpr(b) || !cfg.TypeSafe(b, types) {
 				return
 			}
 			if s := b.String(); !seen[s] {

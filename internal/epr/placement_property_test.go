@@ -1,0 +1,88 @@
+package epr
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/workload"
+)
+
+// TestLazyVsBusyPlacementProperty is the placement property test: for every
+// candidate expression of a corpus of random programs whose analysis finds a
+// redundancy, the busy (earliest) and lazy (latest) placements must
+//
+//   - eliminate the same dynamic redundancies (whole-program check: the two
+//     transformed programs print the same outputs and evaluate the same
+//     number of operators on every input — TestLazySameDynamicSavings checks
+//     hand-picked programs, this sweeps a corpus), and
+//   - satisfy the static insertion relation: lazy never uses more pure edge
+//     insertions than busy. Lazy may additionally rewrite computations as
+//     landing points (an insertion immediately above a former computation);
+//     those replace busy insertions that sat on earlier edges, so the
+//     comparison charges landings to both sides' totals.
+func TestLazyVsBusyPlacementProperty(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	checked := 0
+	for seed := 0; seed < seeds; seed++ {
+		g, err := cfg.Build(workload.Mixed(25, int64(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range CandidateExprs(g) {
+			a, err := AnalyzeExpr(g, e, DriverCFG, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Redundant() {
+				continue
+			}
+			lp := a.Lazy()
+			checked++
+			if len(lp.Insert) > len(a.Insert) {
+				t.Errorf("seed %d expr %s: lazy uses %d pure edge insertions, busy %d\nanalysis:\n%s",
+					seed, e, len(lp.Insert), len(a.Insert), a)
+			}
+			if len(lp.Insert)+len(lp.Landing) > len(a.Insert)+len(a.Delete) {
+				t.Errorf("seed %d expr %s: lazy total placements %d+%d exceed busy %d+%d\nanalysis:\n%s",
+					seed, e, len(lp.Insert), len(lp.Landing), len(a.Insert), len(a.Delete), a)
+			}
+		}
+
+		// Whole-program: busy and lazy transformed graphs are operationally
+		// identical (outputs and dynamic operator counts).
+		busy, _, err := ApplyPlaced(g, DriverCFG, PlaceBusy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, _, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inputs := range [][]int64{nil, {1, 2, 3, 4, 5}, {-7, 0, 13, 2, 8}, {6, 6, 6, 6}} {
+			rb, errB := interp.Run(busy, inputs, 500000)
+			rl, errL := interp.Run(lazy, inputs, 500000)
+			if (errB == nil) != (errL == nil) {
+				t.Errorf("seed %d on %v: termination mismatch: busy %v, lazy %v", seed, inputs, errB, errL)
+				continue
+			}
+			if errB != nil {
+				continue
+			}
+			if !interp.SameOutput(rb, rl) {
+				t.Errorf("seed %d on %v: busy and lazy outputs differ:\n%v\nvs\n%v",
+					seed, inputs, rb.Outputs(), rl.Outputs())
+			}
+			if rb.BinOps != rl.BinOps {
+				t.Errorf("seed %d on %v: dynamic cost differs: busy %d, lazy %d", seed, inputs, rb.BinOps, rl.BinOps)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("corpus produced no redundant candidate expressions — property vacuous")
+	}
+	t.Logf("checked %d redundant (expr, program) analyses", checked)
+}

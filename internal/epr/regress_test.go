@@ -1,0 +1,165 @@
+package epr
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+)
+
+// TestSelfRedefiningCandidate audits replaceSubexpr/ApplyExpr on the
+// self-redefining assignment `x := x + y` where the candidate expression is
+// `x + y` itself: the replacement must bind the temporary to the PRE-kill
+// value of x (the RHS is evaluated before the assignment completes), and a
+// computation of x + y after the redefinition must NOT be treated as
+// redundant with the one before it.
+func TestSelfRedefiningCandidate(t *testing.T) {
+	// a := x+y makes x+y available; the self-redefining x := x+y is then
+	// fully redundant and both computations collapse onto one temporary,
+	// which reads the ORIGINAL x.
+	g := build(t, `
+		read x; read y;
+		a := x + y;
+		x := x + y;
+		print x; print a;`)
+	for _, driver := range []Driver{DriverCFG, DriverDFG} {
+		opt, st, err := Apply(g, driver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Replaced == 0 {
+			t.Errorf("driver %v: self-redefining redundancy not eliminated: %v\n%s", driver, st, opt)
+		}
+		differential(t, g, opt, "self-redef", false)
+		// Spot-check the value flow: x=10,y=3 must print 13 13.
+		r, err := interp.Run(opt, []int64{10, 3}, 1000)
+		if err != nil {
+			t.Fatalf("driver %v: %v\n%s", driver, err, opt)
+		}
+		if got := r.Outputs(); len(got) != 2 || got[0] != "13" || got[1] != "13" {
+			t.Errorf("driver %v: printed %v, want [13 13]\n%s", driver, got, opt)
+		}
+	}
+}
+
+// TestSelfRedefiningKillsAvailability is the converse audit: after
+// `x := x + y` the expression x + y has a NEW value, so a later computation
+// is not redundant with one before the redefinition and must be recomputed.
+func TestSelfRedefiningKillsAvailability(t *testing.T) {
+	g := build(t, `
+		read x; read y;
+		a := x + y;
+		x := x + y;
+		b := x + y;
+		print a; print b;`)
+	for _, driver := range []Driver{DriverCFG, DriverDFG} {
+		opt, _, err := Apply(g, driver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		differential(t, g, opt, "self-redef-kill", false)
+		// x=10,y=3: a=13, x=13, b=16 — if the kill were missed, b would
+		// wrongly reuse 13.
+		r, err := interp.Run(opt, []int64{10, 3}, 1000)
+		if err != nil {
+			t.Fatalf("driver %v: %v\n%s", driver, err, opt)
+		}
+		if got := r.Outputs(); len(got) != 2 || got[0] != "13" || got[1] != "16" {
+			t.Errorf("driver %v: printed %v, want [13 16]\n%s", driver, got, opt)
+		}
+	}
+}
+
+// TestSelfRedefiningLazyPlacement runs the same two shapes under lazy
+// placement: the landing-node path of applyLazy splits the in-edge of the
+// computation it rewrites, which for `x := x + y` must still read old x.
+func TestSelfRedefiningLazyPlacement(t *testing.T) {
+	for _, src := range []string{
+		"read x; read y; a := x + y; x := x + y; print x; print a;",
+		"read x; read y; a := x + y; x := x + y; b := x + y; print a; print b;",
+	} {
+		g := build(t, src)
+		opt, _, err := ApplyPlaced(g, DriverCFG, PlaceLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		differential(t, g, opt, "self-redef-lazy", false)
+	}
+}
+
+// TestReplaceSubexprNested: replaceSubexpr must rewrite every occurrence of
+// the pattern, including both operands of an outer expression, and leave
+// non-matching structure shared-but-intact.
+func TestReplaceSubexprNested(t *testing.T) {
+	e := expr(t, "(x + y) * ((x + y) + z)")
+	pat := expr(t, "x + y")
+	got := replaceSubexpr(e, pat, &ast.VarRef{Name: "t"})
+	if got.String() != "(t * (t + z))" {
+		t.Errorf("replaceSubexpr = %s, want (t * (t + z))", got)
+	}
+	// The original expression is not mutated.
+	if e.String() != "((x + y) * ((x + y) + z))" {
+		t.Errorf("input mutated: %s", e)
+	}
+}
+
+// TestCopyPropagateLoopSourceRedefinition audits CopyPropagate when the copy
+// source is redefined inside a loop body: uses of the copy target reached
+// around the back edge must not be rewritten to the (now stale) source.
+func TestCopyPropagateLoopSourceRedefinition(t *testing.T) {
+	// y := a before the loop; a is bumped each iteration. print y must keep
+	// printing the ORIGINAL a on every iteration.
+	g := build(t, `
+		read a;
+		y := a;
+		i := 0;
+		while (i < 3) {
+			print y;
+			a := a + 1;
+			i := i + 1;
+		}
+		print a;`)
+	opt := CopyPropagate(g)
+	differential(t, g, opt, "copyprop-loop-outer", false)
+	r, err := interp.Run(opt, []int64{7}, 10000)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, opt)
+	}
+	if got := r.Outputs(); len(got) != 4 || got[0] != "7" || got[1] != "7" || got[2] != "7" || got[3] != "10" {
+		t.Errorf("printed %v, want [7 7 7 10]\n%s", got, opt)
+	}
+}
+
+// TestCopyPropagateCopyInsideLoop: the copy itself sits inside the loop body
+// and its source is redefined later in the same body — the use between copy
+// and redefinition sees the iteration's value, the use after must not be
+// folded into the source.
+func TestCopyPropagateCopyInsideLoop(t *testing.T) {
+	g := build(t, `
+		read a;
+		i := 0;
+		while (i < 3) {
+			y := a;
+			a := a + 1;
+			print y;
+			i := i + 1;
+		}`)
+	opt := CopyPropagate(g)
+	differential(t, g, opt, "copyprop-loop-inner", false)
+	// a=5: prints 5 6 7 (y holds the pre-increment value each iteration).
+	r, err := interp.Run(opt, []int64{5}, 10000)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, opt)
+	}
+	if got := r.Outputs(); len(got) != 3 || got[0] != "5" || got[1] != "6" || got[2] != "7" {
+		t.Errorf("printed %v, want [5 6 7]\n%s", got, opt)
+	}
+	// The rewrite must not have fired at all: a has two definitions, so no
+	// use of y may be replaced by a.
+	for _, nd := range opt.Nodes {
+		if nd.Kind == cfg.KindPrint && nd.Expr.String() == "a" {
+			t.Errorf("print y was unsafely rewritten to print a:\n%s", opt)
+		}
+	}
+}

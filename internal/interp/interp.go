@@ -52,6 +52,13 @@ type Result struct {
 	BinOps int
 	// Reads is how many inputs were consumed.
 	Reads int
+	// ExprEvals counts the dynamic evaluations of each operator
+	// subexpression, keyed by its String form. It is nil (and not
+	// maintained) unless the run was started with RunCounting — the
+	// transformation oracle (internal/xform) uses it to check that partial
+	// redundancy elimination never increases the evaluation count of a
+	// candidate expression on any input.
+	ExprEvals map[string]int
 }
 
 // Outputs renders the output sequence as a comparable string slice.
@@ -77,11 +84,26 @@ func (e *RunError) Error() string { return fmt.Sprintf("interp: at n%d: %s", e.N
 // inputs yield 0. Execution stops with an error after maxSteps nodes
 // (maxSteps <= 0 means 1,000,000). Uninitialized variables read as 0.
 func Run(g *cfg.Graph, inputs []int64, maxSteps int) (*Result, error) {
+	return execute(g, inputs, maxSteps, false)
+}
+
+// RunCounting is Run with per-expression evaluation counting enabled: the
+// result's ExprEvals maps each operator subexpression (by String form) to
+// the number of times it was evaluated. Counting allocates per operator
+// application, so the plain Run stays the fast path.
+func RunCounting(g *cfg.Graph, inputs []int64, maxSteps int) (*Result, error) {
+	return execute(g, inputs, maxSteps, true)
+}
+
+func execute(g *cfg.Graph, inputs []int64, maxSteps int, counting bool) (*Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
 	env := map[string]Value{}
 	res := &Result{}
+	if counting {
+		res.ExprEvals = map[string]int{}
+	}
 
 	cur := g.Start
 	for {
@@ -177,6 +199,9 @@ func eval(e ast.Expr, env map[string]Value, res *Result) (Value, error) {
 			return Value{}, err
 		}
 		res.BinOps++
+		if res.ExprEvals != nil {
+			res.ExprEvals[e.String()]++
+		}
 		switch e.Op {
 		case token.MINUS:
 			if x.B {
@@ -201,6 +226,9 @@ func eval(e ast.Expr, env map[string]Value, res *Result) (Value, error) {
 				return Value{}, fmt.Errorf("%s applied to integer", e.Op)
 			}
 			res.BinOps++
+			if res.ExprEvals != nil {
+				res.ExprEvals[e.String()]++
+			}
 			if (e.Op == token.AND && !x.Bool) || (e.Op == token.OR && x.Bool) {
 				return x, nil
 			}
@@ -218,6 +246,9 @@ func eval(e ast.Expr, env map[string]Value, res *Result) (Value, error) {
 			return Value{}, err
 		}
 		res.BinOps++
+		if res.ExprEvals != nil {
+			res.ExprEvals[e.String()]++
+		}
 		return applyBinary(e.Op, x, y)
 	}
 	return Value{}, fmt.Errorf("unknown expression %T", e)

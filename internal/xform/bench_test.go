@@ -1,0 +1,83 @@
+package xform
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/workload"
+)
+
+// BenchmarkCheckProgram measures the oracle cost for one medium program
+// against each pipeline (build chain + 6 input vectors × chain length runs +
+// invariant comparison). This is the per-program unit cost of the sweep.
+func BenchmarkCheckProgram(b *testing.B) {
+	g, err := cfg.Build(workload.Mixed(12, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range Pipelines() {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if rep := Check(g, p, Config{}); !rep.OK {
+					b.Fatalf("divergence in benchmark corpus: %+v", rep.FirstDivergence())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckAllPipelines is the full per-program cost: every standard
+// pipeline on one program, the unit the 500+ pair sweep repeats.
+func BenchmarkCheckAllPipelines(b *testing.B) {
+	g, err := cfg.Build(workload.Mixed(12, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipes := Pipelines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pipes {
+			if rep := Check(g, p, Config{}); !rep.OK {
+				b.Fatalf("divergence in benchmark corpus: %+v", rep.FirstDivergence())
+			}
+		}
+	}
+}
+
+// BenchmarkRunCountingOverhead measures what per-expression evaluation
+// counting adds over the plain interpreter — the cost the oracle pays for
+// the metamorphic invariants (the fast path stays allocation-free).
+func BenchmarkRunCountingOverhead(b *testing.B) {
+	g, err := cfg.Build(workload.Mixed(15, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := interp.Run(g, inputs, 500000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("counting", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := interp.RunCounting(g, inputs, 500000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDiagnose measures the minimizing report on a program with an
+// injected divergence (the broken pipeline from oracle_test.go).
+func BenchmarkDiagnose(b *testing.B) {
+	src := "read a; read b; x := 1; print x; print a + b; print b;"
+	p := brokenPipeline()
+	for i := 0; i < b.N; i++ {
+		if rep := Diagnose(src, p, Config{}); rep == "" {
+			b.Fatal("expected a divergence report")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package xform
+
+import (
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/parser"
+)
+
+// fuzzSeeds is the corpus FuzzTransform grows from: each shape exercises a
+// different optimizer corner (CSE, partial redundancy, constant branches
+// around gotos, copies under redefinition, loops, traps).
+var fuzzSeeds = []string{
+	"read a; read b; z := a + b; w := a + b; print z; print w;",
+	"read x; read p; if (p > 0) { u := x + 1; print u; } w := x + 1; print w;",
+	"c := 0; if (c == 1) { goto L1; } print 1; label L1: print 2;",
+	"read x; read y; x := x + y; z := x + y; print z; print x;",
+	"read a; y := a; i := 0; while (i < 3) { print y; a := a + 1; i := i + 1; } print a;",
+	"read a; read b; x := a / b; print x;",
+	"g := 0; label top: g := g + 1; print g; if (g < 3) { goto top; } print g + g;",
+	"read n; i := 0; s := 0; while (i < n) { s := s + (i * 2); i := i + 1; } print s;",
+}
+
+// FuzzTransform feeds arbitrary program text through every optimizer
+// pipeline and fails on any differential or metamorphic divergence. Inputs
+// that do not parse or do not build a CFG are skipped — the oracle judges
+// the optimizers, not the front end. The step budget is kept small so the
+// fuzzer spends its time on program shapes, not on long loops.
+func FuzzTransform(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	cfgFuzz := Config{MaxSteps: 20000}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // oversized inputs only slow the mutator down
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		g, err := cfg.Build(prog)
+		if err != nil {
+			return
+		}
+		for _, p := range Pipelines() {
+			if rep := Check(g, p, cfgFuzz); !rep.OK {
+				t.Fatalf("pipeline %s diverged:\n%s", p.Name, Diagnose(src, p, cfgFuzz))
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package xform
+
+import (
+	"fmt"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+)
+
+// Minimize delta-debugs prog at statement granularity: it repeatedly tries
+// to delete a statement or to hoist the body of an if/while in place of the
+// whole construct, keeping an edit whenever keep still reports the program
+// as interesting (for Diagnose: "still diverges"). Edits that make the
+// program invalid (e.g. deleting a label a goto still targets) are rejected
+// by keep itself, which is expected to re-build the program. The result
+// shares unmodified AST nodes with the input; neither is ever mutated.
+func Minimize(prog *ast.Program, keep func(*ast.Program) bool) *ast.Program {
+	if !keep(prog) {
+		return prog
+	}
+	for changed := true; changed; {
+		changed = false
+		n := countStmts(prog.Stmts)
+		for i := 0; i < n; i++ {
+			for mode := editDelete; mode <= editHoistBody; mode++ {
+				idx := i
+				stmts, ok := editStmts(prog.Stmts, &idx, mode)
+				if !ok {
+					continue
+				}
+				cand := &ast.Program{Stmts: stmts}
+				if keep(cand) {
+					prog = cand
+					changed = true
+					n = countStmts(prog.Stmts)
+					i-- // re-try the same position: a new statement slid in
+					break
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// edit modes, tried in order: plain deletion first (biggest shrink), then
+// hoisting a branch or body over its construct.
+const (
+	editDelete    = iota // remove the statement entirely
+	editHoistThen        // if -> its then-block
+	editHoistElse        // if -> its else-block
+	editHoistBody        // while -> its body (run once)
+)
+
+// countStmts counts statements in pre-order, descending into if/while.
+func countStmts(ss []ast.Stmt) int {
+	n := 0
+	for _, s := range ss {
+		n++
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			n += countStmts(s.Then) + countStmts(s.Else)
+		case *ast.WhileStmt:
+			n += countStmts(s.Body)
+		}
+	}
+	return n
+}
+
+// editStmts rebuilds ss with the edit applied at pre-order index *idx. The
+// index counts down as statements are passed (a negative value means it has
+// been consumed). It reports whether the edit was applicable at that
+// position; an inapplicable mode (e.g. hoist-then on an assignment) leaves
+// the list unchanged and returns false.
+func editStmts(ss []ast.Stmt, idx *int, mode int) ([]ast.Stmt, bool) {
+	out := make([]ast.Stmt, 0, len(ss))
+	applied := false
+	for _, s := range ss {
+		if applied || *idx < 0 {
+			out = append(out, s)
+			continue
+		}
+		if *idx == 0 {
+			*idx = -1 // target found; consume the index
+			switch mode {
+			case editDelete:
+				applied = true
+				continue // drop s
+			case editHoistThen:
+				if t, ok := s.(*ast.IfStmt); ok && len(t.Then) > 0 {
+					out = append(out, t.Then...)
+					applied = true
+					continue
+				}
+			case editHoistElse:
+				if t, ok := s.(*ast.IfStmt); ok && len(t.Else) > 0 {
+					out = append(out, t.Else...)
+					applied = true
+					continue
+				}
+			case editHoistBody:
+				if t, ok := s.(*ast.WhileStmt); ok && len(t.Body) > 0 {
+					out = append(out, t.Body...)
+					applied = true
+					continue
+				}
+			}
+			out = append(out, s) // mode not applicable at this statement
+			continue
+		}
+		*idx-- // s itself occupies one pre-order slot
+		switch t := s.(type) {
+		case *ast.IfStmt:
+			if th, ok := editStmts(t.Then, idx, mode); ok {
+				out = append(out, &ast.IfStmt{Cond: t.Cond, Then: th, Else: t.Else, Pos: t.Pos})
+				applied = true
+				continue
+			}
+			if el, ok := editStmts(t.Else, idx, mode); ok {
+				out = append(out, &ast.IfStmt{Cond: t.Cond, Then: t.Then, Else: el, Pos: t.Pos})
+				applied = true
+				continue
+			}
+		case *ast.WhileStmt:
+			if body, ok := editStmts(t.Body, idx, mode); ok {
+				out = append(out, &ast.WhileStmt{Cond: t.Cond, Body: body, Pos: t.Pos})
+				applied = true
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out, applied
+}
+
+// Diagnose builds the full divergence report for a program source against
+// one pipeline: it minimizes the program while the divergence persists, then
+// renders the minimized source, the transformed graph, the first diverging
+// input, and the violated property. Returns "" when the program and
+// pipeline agree (nothing to diagnose).
+func Diagnose(src string, p Pipeline, c Config) string {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return fmt.Sprintf("diagnose: parse failed: %v\nsource:\n%s", err, src)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return fmt.Sprintf("diagnose: cfg build failed: %v\nsource:\n%s", err, src)
+	}
+	if Check(g, p, c).OK {
+		return ""
+	}
+
+	diverges := func(pr *ast.Program) bool {
+		gg, err := cfg.Build(pr)
+		if err != nil {
+			return false
+		}
+		return !Check(gg, p, c).OK
+	}
+	min := Minimize(prog, diverges)
+	mg := cfg.MustBuild(min)
+	rep := Check(mg, p, c)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== transformation oracle report (pipeline %s) ===\n", p.Name)
+	fmt.Fprintf(&b, "--- minimized program ---\n%s", min)
+	if rep.BuildErr != "" {
+		fmt.Fprintf(&b, "--- transformation failed ---\n%s\n", rep.BuildErr)
+		return b.String()
+	}
+	if opt, err := p.ApplyAll(mg); err == nil {
+		fmt.Fprintf(&b, "--- transformed cfg ---\n%s", opt)
+	}
+	if d := rep.FirstDivergence(); d != nil {
+		fmt.Fprintf(&b, "--- first diverging input: %v ---\n", d.Input)
+		fmt.Fprintf(&b, "original: %s, transformed: %s\n", d.OrigStatus, d.OptStatus)
+		fmt.Fprintf(&b, "divergence: %s\n", d.Divergence)
+	}
+	fmt.Fprintf(&b, "--- original cfg ---\n%s", mg)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/epr"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/lang/token"
+)
+
+// brokenPipeline rewrites the first print of a PLUS into a MINUS — a
+// deliberately wrong transformation the oracle must catch.
+func brokenPipeline() Pipeline {
+	return Pipeline{Name: "broken", Stages: []Stage{{
+		Name: "broken",
+		Apply: func(g *cfg.Graph) (*cfg.Graph, error) {
+			out := epr.Clone(g)
+			for _, nd := range out.Nodes {
+				if nd.Kind != cfg.KindPrint {
+					continue
+				}
+				if b, ok := nd.Expr.(*ast.BinaryExpr); ok && b.Op == token.PLUS {
+					b.Op = token.MINUS
+					break
+				}
+			}
+			return out, nil
+		},
+	}}}
+}
+
+// TestOracleCatchesBrokenTransform: the differential harness must flag the
+// wrong rewrite and Diagnose must minimize the program and name the first
+// diverging input.
+func TestOracleCatchesBrokenTransform(t *testing.T) {
+	src := "read a; read b; x := 1; print x; print a + b; print b;"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.MustBuild(prog)
+	rep := Check(g, brokenPipeline(), Config{})
+	if rep.OK {
+		t.Fatal("oracle accepted a wrong transformation")
+	}
+	d := rep.FirstDivergence()
+	if d == nil || !strings.Contains(d.Divergence, "diverging output") {
+		t.Fatalf("divergence not classified as an output mismatch: %+v", d)
+	}
+
+	report := Diagnose(src, brokenPipeline(), Config{})
+	if report == "" {
+		t.Fatal("Diagnose returned empty report for a diverging program")
+	}
+	// Minimization must strip the unrelated statements; print (a + b) is the
+	// essential one.
+	if !strings.Contains(report, "print (a + b);") {
+		t.Errorf("minimized program lost the essential statement:\n%s", report)
+	}
+	if strings.Contains(report, "print x") {
+		t.Errorf("minimization kept an irrelevant statement:\n%s", report)
+	}
+	if !strings.Contains(report, "first diverging input") {
+		t.Errorf("report missing the diverging input:\n%s", report)
+	}
+}
+
+// TestCompareStageClasses covers each divergence class compareStage reports,
+// with synthetic run results.
+func TestCompareStageClasses(t *testing.T) {
+	mk := func(binops int, outs []int64, evals map[string]int) *interp.Result {
+		r := &interp.Result{BinOps: binops, ExprEvals: evals}
+		for _, v := range outs {
+			r.Output = append(r.Output, interp.IntVal(v))
+		}
+		return r
+	}
+	plain := Stage{}
+	cases := []struct {
+		name   string
+		ro, rx *interp.Result
+		so, sx Status
+		st     Stage
+		cands  []string
+		want   string
+	}{
+		{"agree", mk(3, []int64{1}, nil), mk(2, []int64{1}, nil), StatusOK, StatusOK, plain, nil, ""},
+		{"introduced trap", mk(0, []int64{1}, nil), mk(0, nil, nil), StatusOK, StatusTrap, plain, nil, "introduced a trap"},
+		{"suppressed trap", mk(0, nil, nil), mk(0, nil, nil), StatusTrap, StatusOK, plain, nil, "termination mismatch"},
+		{"output value", mk(1, []int64{1, 2}, nil), mk(1, []int64{1, 3}, nil), StatusOK, StatusOK, plain, nil, "diverging output at index 1"},
+		{"output length", mk(1, []int64{1, 2}, nil), mk(1, []int64{1}, nil), StatusOK, StatusOK, plain, nil, "output length mismatch"},
+		{"binop increase", mk(1, nil, nil), mk(2, nil, nil), StatusOK, StatusOK, plain, nil, "operator count increased"},
+		{"binop exact", mk(3, nil, nil), mk(2, nil, nil), StatusOK, StatusOK, Stage{BinopsEqual: true}, nil, "count-preserving"},
+		{"down-safety", mk(5, nil, map[string]int{"(a + b)": 1}), mk(5, nil, map[string]int{"(a + b)": 2}),
+			StatusOK, StatusOK, Stage{EPR: true}, []string{"(a + b)"}, "down-safety violated"},
+		{"both budget", mk(9, []int64{5}, nil), mk(9, []int64{6}, nil), StatusBudget, StatusBudget, plain, nil, ""},
+		{"trap prefix ok", mk(1, []int64{4}, nil), mk(1, []int64{4}, nil), StatusTrap, StatusTrap, plain, nil, ""},
+	}
+	for _, tc := range cases {
+		got := compareStage(tc.ro, tc.so, tc.rx, tc.sx, tc.st, tc.cands)
+		if tc.want == "" && got != "" {
+			t.Errorf("%s: unexpected divergence %q", tc.name, got)
+		}
+		if tc.want != "" && !strings.Contains(got, tc.want) {
+			t.Errorf("%s: divergence %q does not mention %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMinimizeHoistsConstructs: the minimizer must be able to replace an if
+// by its branch and a while by its body when the divergence survives.
+func TestMinimizeHoistsConstructs(t *testing.T) {
+	src := `
+		read a; read b;
+		if (a > 0) { print a + b; } else { print 0; }
+		i := 0;
+		while (i < 2) { i := i + 1; }
+		print 9;`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep: "program still contains print (a + b)" — the minimum under the
+	// hoist edits is that single statement.
+	keep := func(p *ast.Program) bool {
+		return strings.Contains(p.String(), "print (a + b);")
+	}
+	min := Minimize(prog, keep)
+	got := min.String()
+	if strings.Contains(got, "if") || strings.Contains(got, "while") {
+		t.Errorf("constructs not hoisted away:\n%s", got)
+	}
+	if want := "print (a + b);\n"; got != want {
+		t.Errorf("minimized to %q, want %q", got, want)
+	}
+}

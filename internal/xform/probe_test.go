@@ -1,0 +1,120 @@
+package xform
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/parser"
+)
+
+// hostileProgram generates programs concentrated on the optimizers' known
+// hard corners: self-redefining assignments whose RHS is itself a candidate
+// expression (x := x + y), constant predicates guarding gotos, copies whose
+// source is redefined inside loops, and nested redundancies. The structured
+// workload generators rarely produce these shapes, so the sweep includes a
+// dedicated family.
+func hostileProgram(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	vars := []string{"a", "b", "x", "y"}
+	pick := func() string { return vars[rng.Intn(len(vars))] }
+	var b strings.Builder
+	b.WriteString("read a;\nread b;\nx := a + b;\ny := 1;\ng := 0;\n")
+	n := 6 + rng.Intn(8)
+	labels := 0
+	for i := 0; i < n; i++ {
+		switch rng.Intn(14) {
+		case 0: // self-redefining candidate
+			v := pick()
+			fmt.Fprintf(&b, "%s := %s + %s;\n", v, v, pick())
+		case 1: // plain redundancy material
+			fmt.Fprintf(&b, "%s := %s + %s;\n", pick(), pick(), pick())
+		case 2: // copy
+			fmt.Fprintf(&b, "%s := %s;\n", pick(), pick())
+		case 3: // constant predicate branch with a goto to a later label
+			labels++
+			fmt.Fprintf(&b, "c%d := %d;\n", i, rng.Intn(2))
+			fmt.Fprintf(&b, "if (c%d == 1) { %s := %s + %s; goto L%d; }\n", i, pick(), pick(), pick(), labels)
+			fmt.Fprintf(&b, "%s := %s + %s;\nlabel L%d:\n", pick(), pick(), pick(), labels)
+		case 4: // bounded loop with a copy and a redefinition of its source
+			fmt.Fprintf(&b, "k%d := 0;\nwhile (k%d < 3) {\n", i, i)
+			fmt.Fprintf(&b, "  %s := %s;\n", pick(), pick())
+			fmt.Fprintf(&b, "  %s := %s + %s;\n", pick(), pick(), pick())
+			fmt.Fprintf(&b, "  k%d := k%d + 1;\n}\n", i, i)
+		case 5: // if-shaped partial redundancy
+			fmt.Fprintf(&b, "if (%s > %d) { %s := %s + %s; }\n", pick(), rng.Intn(5), pick(), pick(), pick())
+			fmt.Fprintf(&b, "%s := %s + %s;\n", pick(), pick(), pick())
+		case 6: // print observation point
+			fmt.Fprintf(&b, "print %s + %s;\n", pick(), pick())
+		case 7: // read (runtime-unknown refresh)
+			fmt.Fprintf(&b, "read %s;\n", pick())
+		case 8: // nested candidate
+			fmt.Fprintf(&b, "%s := (%s + %s) * (%s + %s);\n", pick(), pick(), pick(), pick(), pick())
+		case 9: // possible trap: division/modulo by a runtime value
+			op := "/"
+			if rng.Intn(2) == 0 {
+				op = "%"
+			}
+			fmt.Fprintf(&b, "%s := %s %s %s;\n", pick(), pick(), op, pick())
+		case 10: // bounded backward goto: an irreducible-looking loop
+			labels++
+			fmt.Fprintf(&b, "label B%d:\n", labels)
+			fmt.Fprintf(&b, "g := g + 1;\n%s := %s + %s;\n", pick(), pick(), pick())
+			fmt.Fprintf(&b, "if (g < 3) { goto B%d; }\n", labels)
+		case 11: // loop-invariant candidate inside a while
+			fmt.Fprintf(&b, "k%d := 0;\nwhile (k%d < 3) {\n", i, i)
+			fmt.Fprintf(&b, "  %s := %s + %s;\n", pick(), pick(), pick())
+			fmt.Fprintf(&b, "  k%d := k%d + 1;\n}\n", i, i)
+		case 12: // boolean-typed variable: later arithmetic on it traps
+			fmt.Fprintf(&b, "%s := %s < %s;\n", pick(), pick(), pick())
+		default: // constant chain for constprop
+			fmt.Fprintf(&b, "%s := %d;\n", pick(), rng.Intn(7))
+		}
+	}
+	for _, v := range vars {
+		fmt.Fprintf(&b, "print %s;\n", v)
+	}
+	return b.String()
+}
+
+// TestHostileSweep runs the hostile family through every pipeline. Set
+// XFORM_DEEP=<n> to mine a larger seed space (used for offline bug hunts;
+// CI runs the default count).
+func TestHostileSweep(t *testing.T) {
+	count := 400
+	if testing.Short() {
+		count = 60
+	}
+	if n := os.Getenv("XFORM_DEEP"); n != "" {
+		if v, err := strconv.Atoi(n); err == nil && v > 0 {
+			count = v
+		}
+	}
+	bad := 0
+	for seed := 0; seed < count; seed++ {
+		src := hostileProgram(int64(seed))
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		g, err := cfg.Build(prog)
+		if err != nil {
+			continue // e.g. a goto cycle that skips the tail; not a transform bug
+		}
+		for _, p := range Pipelines() {
+			if rep := Check(g, p, Config{}); !rep.OK {
+				bad++
+				if bad <= 3 {
+					t.Errorf("hostile seed %d × %s:\n%s", seed, p.Name, Diagnose(src, p, Config{}))
+				}
+			}
+		}
+	}
+	if bad > 3 {
+		t.Errorf("%d hostile divergences total (first 3 shown)", bad)
+	}
+}

@@ -1,0 +1,76 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkAllPipelines runs src through every standard pipeline and reports
+// divergences through Diagnose.
+func checkAllPipelines(t *testing.T, src string) {
+	t.Helper()
+	reps, err := CheckSource(src, Config{})
+	if err != nil {
+		t.Fatalf("front end rejected program: %v\n%s", err, src)
+	}
+	for _, rep := range reps {
+		if !rep.OK {
+			p, _ := PipelineByName(rep.Pipeline)
+			t.Errorf("pipeline %s diverged:\n%s", rep.Pipeline, Diagnose(src, p, Config{}))
+		}
+	}
+}
+
+// TestRegressionDeadTypeErrorAssign: found by FuzzTransform (corpus entry
+// 64d0b4e8d48fba48, minimized). The assignment A := (!0 * 0) traps with a
+// type error (! applied to an integer); it is dead, and constprop's
+// dead-assignment elimination used to delete it because mayTrap only knew
+// about division and modulo — turning a trapping program into a successful
+// one. Dead-code removal must keep assignments that are not provably
+// type-safe.
+func TestRegressionDeadTypeErrorAssign(t *testing.T) {
+	checkAllPipelines(t, "A := (!0 * 0);")
+}
+
+// TestRegressionDeadTypeErrorFuzzInput is the unminimized fuzzer input for
+// the same bug, kept verbatim as a second angle (the double read and the
+// constant prints give the dead assignment live neighbours on both sides).
+func TestRegressionDeadTypeErrorFuzzInput(t *testing.T) {
+	checkAllPipelines(t, "read A;read A;A:=!0*0;A:=0*0;print 0;print 0;")
+}
+
+// TestRegressionHoistTypeErrorAboveObservation: the sibling bug in EPR. The
+// candidate b + 1 is type-unsafe (b holds a boolean), and both paths below
+// the print compute it, so busy placement used to insert the computation
+// above print 0 — the transformed program trapped BEFORE printing, the
+// original after. Candidate selection must reject expressions that are not
+// provably type-safe, exactly as it rejects division.
+func TestRegressionHoistTypeErrorAboveObservation(t *testing.T) {
+	checkAllPipelines(t, `
+		read p;
+		b := p < 9;
+		print 0;
+		if (p > 0) { u := b + 1; print u; }
+		w := b + 1;
+		print w;`)
+}
+
+// TestRegressionBoolMixSweep: a fixed mini-corpus of boolean/integer mixes
+// around the optimizers' rewrite rules (dead assignments, candidate
+// hoisting, copy propagation of boolean-valued copies, constant branches on
+// boolean variables).
+func TestRegressionBoolMixSweep(t *testing.T) {
+	srcs := []string{
+		"x := 1 < 2; y := x; print y;",
+		"x := 1 < 2; if (x) { print 1; } print 2;",
+		"read a; b := a < 0; c := b; if (c) { print a + 1; } print a + 1;",
+		"b := true; z := b + 1; print 7;",
+		"read a; x := a == 0; y := x == false; if (y) { print a; }",
+	}
+	for _, src := range srcs {
+		if !strings.Contains(src, ";") {
+			t.Fatalf("malformed corpus entry %q", src)
+		}
+		checkAllPipelines(t, src)
+	}
+}

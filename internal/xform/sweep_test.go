@@ -1,0 +1,74 @@
+package xform
+
+import (
+	"fmt"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/workload"
+)
+
+// sweepProgram is one generated program with its provenance.
+type sweepProgram struct {
+	name string
+	prog *ast.Program
+}
+
+// sweepPrograms returns the deterministic corpus for the transformation
+// sweep: mixed structured programs, goto-heavy unstructured programs, and
+// switch chains. Sizes are kept modest so the full sweep (programs ×
+// pipelines × input vectors) stays inside the CI budget.
+func sweepPrograms(short bool) []sweepProgram {
+	var out []sweepProgram
+	mixed, gotos, wide := 60, 20, 15
+	if short {
+		mixed, gotos, wide = 12, 5, 4
+	}
+	for seed := 0; seed < mixed; seed++ {
+		out = append(out, sweepProgram{
+			name: fmt.Sprintf("Mixed(12,%d)", seed),
+			prog: workload.Mixed(12, int64(seed)),
+		})
+	}
+	for seed := 0; seed < gotos; seed++ {
+		out = append(out, sweepProgram{
+			name: fmt.Sprintf("GotoMess(6,%d)", seed),
+			prog: workload.GotoMess(6, int64(seed)),
+		})
+	}
+	for seed := 0; seed < wide; seed++ {
+		out = append(out, sweepProgram{
+			name: fmt.Sprintf("WideSwitch(8,4,%d)", seed),
+			prog: workload.WideSwitch(8, 4, int64(seed)),
+		})
+	}
+	return out
+}
+
+// TestTransformSweep is the acceptance sweep: every program × pipeline pair
+// must pass output/read/termination equivalence and the metamorphic
+// invariants on the default input sweep. In full mode it covers ≥500 pairs
+// (95 programs × 7 pipelines); -short runs a smaller subset.
+func TestTransformSweep(t *testing.T) {
+	progs := sweepPrograms(testing.Short())
+	pipes := Pipelines()
+	pairs := 0
+	for _, sp := range progs {
+		g, err := cfg.Build(sp.prog)
+		if err != nil {
+			t.Fatalf("%s: cfg build: %v", sp.name, err)
+		}
+		for _, p := range pipes {
+			pairs++
+			rep := Check(g, p, Config{})
+			if !rep.OK {
+				t.Errorf("%s × %s diverged:\n%s", sp.name, p.Name, Diagnose(sp.prog.String(), p, Config{}))
+			}
+		}
+	}
+	if !testing.Short() && pairs < 500 {
+		t.Fatalf("sweep covered only %d program × pipeline pairs, want >= 500", pairs)
+	}
+	t.Logf("sweep: %d program × pipeline pairs", pairs)
+}

@@ -1,0 +1,423 @@
+// Package xform is the transformation-correctness harness: the differential
+// and metamorphic oracle for the passes that rewrite programs
+// (constprop.Apply, epr.Apply/ApplyPlaced, epr.CopyPropagate, and their
+// compositions). Where internal/oracle asks "did DFG *construction* preserve
+// the program's semantics?", xform asks the sharper transformation question:
+// "is the *rewritten program* operationally equivalent to the original?" —
+// the operational-equivalence approach of Ito's CFG/PDG equivalence work.
+//
+// For each optimizer pipeline, Check runs the original and the transformed
+// CFG through the interpreter on a deterministic sweep of input vectors and
+// demands:
+//
+//   - identical printed output sequences, including the prefix printed
+//     before a trap;
+//   - identical numbers of inputs consumed;
+//   - identical termination status (success, trap, or step budget);
+//
+// plus the metamorphic invariants that make the oracle sharper than plain
+// equivalence:
+//
+//   - EPR never increases the dynamic evaluation count of any candidate
+//     expression of the original program on any input (down-safety:
+//     insertions are paid for by deletions on every path);
+//   - no pipeline increases the total dynamic operator count (EPR by
+//     down-safety; constprop because folding and dead-code deletion only
+//     remove evaluations);
+//   - a transformation never introduces a trap the original did not hit
+//     (EPR candidates are mayTrapExpr-free; constprop keeps trapping
+//     assignments) — implied by the termination-status comparison but
+//     reported distinctly because it is the invariant §5.2's down-safety
+//     argument rests on.
+//
+// Divergences render through Diagnose, which delta-minimizes the program at
+// statement granularity and reports the first diverging input — every bug
+// the sweep finds during development is preserved as a regression test with
+// its minimized program.
+package xform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/cfg"
+	"dfg/internal/constprop"
+	"dfg/internal/epr"
+	"dfg/internal/interp"
+	"dfg/internal/lang/parser"
+)
+
+// Transform rewrites a CFG into an optimized one, leaving the input graph
+// unmodified (every pass in this repository clones first).
+type Transform func(g *cfg.Graph) (*cfg.Graph, error)
+
+// Stage is one pass inside a pipeline. Metamorphic invariants are stated
+// per stage, against the graph the stage actually received — for a composed
+// pipeline like copyprop→EPR the EPR candidate set is taken from the
+// copy-propagated program, not the original (copy propagation deliberately
+// renames expressions, so original-program candidates would be meaningless).
+type Stage struct {
+	Name  string
+	Apply Transform
+	// EPR marks stages running partial redundancy elimination: Check
+	// verifies that no candidate expression of the stage's input program
+	// is evaluated more often after the stage on any input.
+	EPR bool
+	// BinopsEqual demands the dynamic operator count be exactly preserved
+	// (copy propagation renames operands but evaluates the same
+	// operators); other stages may only decrease it.
+	BinopsEqual bool
+}
+
+// Pipeline is one named optimizer composition under test.
+type Pipeline struct {
+	Name   string
+	Stages []Stage
+}
+
+// applyConstprop runs the constant-propagation analysis (CFG algorithm) and
+// the rewrite.
+func applyConstprop(g *cfg.Graph) (*cfg.Graph, error) {
+	return constprop.Apply(constprop.CFG(g))
+}
+
+func stageConstprop() Stage {
+	return Stage{Name: "constprop", Apply: applyConstprop}
+}
+
+// stageConstpropPred is constprop with predicate refinement enabled — the
+// `dfg -constprop -pred` path, which narrows facts below switches (x == 5 on
+// the true side ⟹ x = 5) before rewriting.
+func stageConstpropPred() Stage {
+	return Stage{
+		Name: "constprop-pred",
+		Apply: func(g *cfg.Graph) (*cfg.Graph, error) {
+			return constprop.Apply(constprop.CFGOpt(g, constprop.Options{Predicates: true}))
+		},
+	}
+}
+
+func stageEPR(name string, driver epr.Driver, placement epr.Placement) Stage {
+	return Stage{
+		Name: name,
+		Apply: func(g *cfg.Graph) (*cfg.Graph, error) {
+			out, _, err := epr.ApplyPlaced(g, driver, placement)
+			return out, err
+		},
+		EPR: true,
+	}
+}
+
+func stageCopyprop() Stage {
+	return Stage{
+		Name:        "copyprop",
+		Apply:       func(g *cfg.Graph) (*cfg.Graph, error) { return epr.CopyPropagate(g), nil },
+		BinopsEqual: true,
+	}
+}
+
+// Pipelines returns the standard optimizer compositions the sweep exercises:
+// constprop alone (with and without predicate refinement), EPR alone under
+// both anticipatability drivers, lazy placement, EPR followed by constprop,
+// and copy propagation followed by EPR (the §1 staging chain).
+func Pipelines() []Pipeline {
+	return []Pipeline{
+		{Name: "constprop", Stages: []Stage{stageConstprop()}},
+		{Name: "epr-cfg", Stages: []Stage{stageEPR("epr-cfg", epr.DriverCFG, epr.PlaceBusy)}},
+		{Name: "epr-dfg", Stages: []Stage{stageEPR("epr-dfg", epr.DriverDFG, epr.PlaceBusy)}},
+		{Name: "epr-lazy", Stages: []Stage{stageEPR("epr-lazy", epr.DriverCFG, epr.PlaceLazy)}},
+		{Name: "epr+constprop", Stages: []Stage{stageEPR("epr-cfg", epr.DriverCFG, epr.PlaceBusy), stageConstprop()}},
+		{Name: "copyprop+epr", Stages: []Stage{stageCopyprop(), stageEPR("epr-cfg", epr.DriverCFG, epr.PlaceBusy)}},
+		{Name: "constprop-pred", Stages: []Stage{stageConstpropPred()}},
+	}
+}
+
+// PipelineByName returns the standard pipeline with the given name.
+func PipelineByName(name string) (Pipeline, bool) {
+	for _, p := range Pipelines() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pipeline{}, false
+}
+
+// Config parameterizes one transformation check. The zero value uses the
+// default input sweep and step budget.
+type Config struct {
+	// Inputs is the set of input vectors to run; nil means DefaultInputs.
+	Inputs [][]int64
+	// MaxSteps bounds each interpreter run (0 = 500,000). A run that
+	// exceeds it is retried once with an 8x budget before the two sides'
+	// termination statuses are compared, so a transformation is only
+	// charged with non-termination if it blows the original's budget by 8x.
+	MaxSteps int
+}
+
+// DefaultInputs returns the deterministic input sweep: vectors chosen to
+// drive generated programs through different branches — zeros, small
+// ascending, negatives, and wider spreads for switch-heavy programs. Reads
+// beyond a vector's end yield 0, so one sweep serves programs with any
+// number of read statements.
+func DefaultInputs() [][]int64 {
+	return [][]int64{
+		{},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{0, 0, 1, 0, 2, 0, 3, 0},
+		{-3, 7, -11, 5, 0, -2, 9, 1},
+		{2, 2, 2, 2, 2, 2, 2, 2},
+		{13, -40, 6, 100, -7, 3, 0, 55},
+	}
+}
+
+// Status classifies how a run ended.
+type Status int
+
+// Statuses.
+const (
+	StatusOK     Status = iota // ran to the end node
+	StatusTrap                 // runtime error (type error, division by zero)
+	StatusBudget               // exceeded the step budget even after retry
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusTrap:
+		return "trap"
+	}
+	return "budget"
+}
+
+// CaseResult is the outcome of one input vector.
+type CaseResult struct {
+	Input      []int64 `json:"input"`
+	OrigStatus string  `json:"orig_status"`
+	OptStatus  string  `json:"opt_status"`
+	// Divergence describes the first violated property; empty when the
+	// case agrees.
+	Divergence string `json:"divergence,omitempty"`
+}
+
+// Report is the outcome of checking one program against one pipeline.
+type Report struct {
+	Pipeline string       `json:"pipeline"`
+	BuildErr string       `json:"build_err,omitempty"`
+	Cases    []CaseResult `json:"cases"`
+	OK       bool         `json:"ok"`
+}
+
+// FirstDivergence returns the first diverging case, or nil if the report is
+// clean.
+func (r *Report) FirstDivergence() *CaseResult {
+	for i := range r.Cases {
+		if r.Cases[i].Divergence != "" {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+// ApplyAll runs every stage of the pipeline in order and returns the final
+// transformed graph. The input graph is not modified.
+func (p Pipeline) ApplyAll(g *cfg.Graph) (*cfg.Graph, error) {
+	cur := g
+	for _, st := range p.Stages {
+		out, err := st.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("stage %s: %w", st.Name, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Check runs pipeline p over g and compares behaviour stage by stage on the
+// configured input sweep: every consecutive pair of programs in the chain
+// original → stage1 → … → stageN must agree on output, reads, and
+// termination, and each stage must satisfy its metamorphic invariants
+// against its own input program. The input graph is not modified. A stage
+// that fails to produce a graph at all (or produces an invalid one) is
+// reported as a build failure, not an error: a pass that rejects or
+// corrupts a valid CFG is exactly what the oracle exists to catch.
+func Check(g *cfg.Graph, p Pipeline, c Config) *Report {
+	rep := &Report{Pipeline: p.Name, OK: true}
+	inputs := c.Inputs
+	if inputs == nil {
+		inputs = DefaultInputs()
+	}
+	maxSteps := c.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 500_000
+	}
+
+	// Build the chain of graphs, one per stage boundary.
+	graphs := []*cfg.Graph{g}
+	for _, st := range p.Stages {
+		out, err := st.Apply(graphs[len(graphs)-1])
+		if err != nil {
+			rep.BuildErr = fmt.Sprintf("stage %s: %v", st.Name, err)
+			rep.OK = false
+			return rep
+		}
+		if verr := out.Validate(); verr != nil {
+			rep.BuildErr = fmt.Sprintf("stage %s produced an invalid graph: %v", st.Name, verr)
+			rep.OK = false
+			return rep
+		}
+		graphs = append(graphs, out)
+	}
+
+	// Candidate expressions per EPR stage, taken from the stage's input.
+	cands := make([][]string, len(p.Stages))
+	for i, st := range p.Stages {
+		if !st.EPR {
+			continue
+		}
+		for _, e := range epr.CandidateExprs(graphs[i]) {
+			cands[i] = append(cands[i], e.String())
+		}
+	}
+
+	for _, in := range inputs {
+		cr := CaseResult{Input: in}
+		results := make([]*interp.Result, len(graphs))
+		statuses := make([]Status, len(graphs))
+		for i, gr := range graphs {
+			results[i], statuses[i] = runClassified(gr, in, maxSteps)
+		}
+		cr.OrigStatus = statuses[0].String()
+		cr.OptStatus = statuses[len(statuses)-1].String()
+		for i, st := range p.Stages {
+			div := compareStage(results[i], statuses[i], results[i+1], statuses[i+1], st, cands[i])
+			if div != "" {
+				cr.Divergence = fmt.Sprintf("stage %s: %s", st.Name, div)
+				rep.OK = false
+				break
+			}
+		}
+		rep.Cases = append(rep.Cases, cr)
+	}
+	return rep
+}
+
+// runClassified executes g, retrying once with an 8x budget if the step
+// limit was the cause of failure.
+func runClassified(g *cfg.Graph, in []int64, maxSteps int) (*interp.Result, Status) {
+	res, err := interp.RunCounting(g, in, maxSteps)
+	if err != nil && isBudget(err) {
+		res, err = interp.RunCounting(g, in, 8*maxSteps)
+	}
+	switch {
+	case err == nil:
+		return res, StatusOK
+	case isBudget(err):
+		return res, StatusBudget
+	default:
+		return res, StatusTrap
+	}
+}
+
+func isBudget(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "step limit")
+}
+
+// compareStage judges one stage's output run against its input run,
+// returning a description of the first violated property ("" = agree).
+func compareStage(ro *interp.Result, so Status, rx *interp.Result, sx Status, st Stage, cands []string) string {
+	if so == StatusBudget && sx == StatusBudget {
+		return "" // neither side terminates within 8x budget: nothing comparable
+	}
+	if so != sx {
+		if so == StatusOK && sx == StatusTrap {
+			return fmt.Sprintf("transformation introduced a trap: original succeeded, transformed failed after %d outputs", len(rx.Output))
+		}
+		return fmt.Sprintf("termination mismatch: original %s, transformed %s", so, sx)
+	}
+	// Same status (ok or trap): output prefixes are comparable — CFG
+	// execution is sequential on both sides, so even the output printed
+	// before a trap must match.
+	oo, xo := ro.Outputs(), rx.Outputs()
+	for i := 0; i < len(oo) && i < len(xo); i++ {
+		if oo[i] != xo[i] {
+			return fmt.Sprintf("first diverging output at index %d: original printed %s, transformed printed %s", i, oo[i], xo[i])
+		}
+	}
+	if len(oo) != len(xo) {
+		return fmt.Sprintf("output length mismatch: original printed %d values, transformed printed %d", len(oo), len(xo))
+	}
+	if ro.Reads != rx.Reads {
+		return fmt.Sprintf("inputs consumed mismatch: original read %d, transformed read %d", ro.Reads, rx.Reads)
+	}
+	if so != StatusOK {
+		return "" // both trapped at the same observable point
+	}
+	// Metamorphic invariants (only meaningful on complete runs).
+	if st.BinopsEqual && rx.BinOps != ro.BinOps {
+		return fmt.Sprintf("operator count changed by a count-preserving pass: %d -> %d", ro.BinOps, rx.BinOps)
+	}
+	if rx.BinOps > ro.BinOps {
+		return fmt.Sprintf("operator count increased: input evaluated %d, output %d", ro.BinOps, rx.BinOps)
+	}
+	for _, cand := range cands {
+		if rx.ExprEvals[cand] > ro.ExprEvals[cand] {
+			return fmt.Sprintf("candidate %q evaluated more often after EPR: %d -> %d (down-safety violated)",
+				cand, ro.ExprEvals[cand], rx.ExprEvals[cand])
+		}
+	}
+	return ""
+}
+
+// CheckSource parses src, builds its CFG, and checks it against every
+// standard pipeline, returning the reports in pipeline order. Parse or CFG
+// build failures return an error (the program is not valid input — that is
+// the front end's problem, not the optimizers').
+func CheckSource(src string, c Config) ([]*Report, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	var reps []*Report
+	for _, p := range Pipelines() {
+		reps = append(reps, Check(g, p, c))
+	}
+	return reps, nil
+}
+
+// Summary renders a one-line verdict per pipeline.
+func Summary(reps []*Report) string {
+	var b strings.Builder
+	for _, r := range reps {
+		verdict := "ok"
+		if !r.OK {
+			if r.BuildErr != "" {
+				verdict = "BUILD FAILED: " + r.BuildErr
+			} else if d := r.FirstDivergence(); d != nil {
+				verdict = fmt.Sprintf("DIVERGED on input %v: %s", d.Input, d.Divergence)
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %s\n", r.Pipeline, verdict)
+	}
+	return b.String()
+}
+
+// sortedExprEvals renders an ExprEvals map deterministically (debug aid).
+func sortedExprEvals(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
