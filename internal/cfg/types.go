@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"dfg/internal/bitset"
 	"dfg/internal/lang/ast"
 	"dfg/internal/lang/token"
 )
@@ -80,9 +81,16 @@ func resultType(e ast.Expr, vars map[string]ValueType) ValueType {
 
 // VarTypes computes the conservative type of every variable in g: the join
 // over all of the variable's definitions (reads produce integers,
-// assignments the result type of their right-hand side). The fixpoint only
-// matters for copy chains; everything else resolves in one pass. Dead nodes
-// are included, which can only widen a type — safe for every consumer.
+// assignments the result type of their right-hand side), widened by TypeInt
+// for every variable that is not definitely assigned before some use. The
+// widening is what keeps the flow-insensitive join sound: an uninitialized
+// variable reads as integer 0, so a variable whose definitions are all
+// boolean still holds an integer at any use some path reaches before the
+// first definition — without the widening, TypeSafe would prove boolean
+// operators on it trap-free at exactly the sites where they trap. The
+// fixpoint only matters for copy chains; everything else resolves in one
+// pass. Dead nodes are included, which can only widen a type — safe for
+// every consumer.
 func VarTypes(g *Graph) map[string]ValueType {
 	types := map[string]ValueType{}
 	for changed := true; changed; {
@@ -103,7 +111,83 @@ func VarTypes(g *Graph) map[string]ValueType {
 			}
 		}
 	}
+	for _, v := range maybeUndefAtUse(g) {
+		types[v] = joinType(types[v], TypeInt)
+	}
 	return types
+}
+
+// maybeUndefAtUse returns the variables having at least one reachable use
+// that is not definitely assigned: some live path from start reaches the
+// use without passing a definition (assignment or read) of the variable,
+// where it evaluates as integer 0 rather than anything its definitions
+// produce. Solved as a forward must-analysis over live edges — a variable
+// is definitely assigned at a node only when every path from start to the
+// node defines it, so merges intersect. Unreachable nodes never execute and
+// are skipped.
+func maybeUndefAtUse(g *Graph) []string {
+	idx := g.VarIndex()
+	words := (len(g.VarNames) + 63) / 64
+
+	// in[n]: bit i set ⇔ VarNames[i] is definitely assigned at n's entry.
+	// nil means not yet reached (⊤). Sets only shrink once initialized, so
+	// worklist propagation from start converges to the greatest fixpoint
+	// over the reachable nodes.
+	in := make([][]uint64, len(g.Nodes))
+	in[g.Start] = make([]uint64, words)
+	wl := bitset.NewWorklist(len(g.Nodes))
+	wl.Push(int(g.Start))
+	out := make([]uint64, words)
+	for {
+		ni, ok := wl.Pop()
+		if !ok {
+			break
+		}
+		n := NodeID(ni)
+		copy(out, in[ni])
+		if d := g.Defs(n); d != "" {
+			if i, ok := idx[d]; ok {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		for _, eid := range g.OutEdges(n) {
+			m := g.Edge(eid).Dst
+			if in[m] == nil {
+				in[m] = append([]uint64(nil), out...)
+				wl.Push(int(m))
+				continue
+			}
+			changed := false
+			for w, ow := range out {
+				if meet := in[m][w] & ow; meet != in[m][w] {
+					in[m][w] = meet
+					changed = true
+				}
+			}
+			if changed {
+				wl.Push(int(m))
+			}
+		}
+	}
+
+	var vars []string
+	seen := map[string]bool{}
+	for _, nd := range g.Nodes {
+		assigned := in[nd.ID]
+		if assigned == nil {
+			continue
+		}
+		for _, v := range g.Uses(nd.ID) {
+			if seen[v] {
+				continue
+			}
+			if i, ok := idx[v]; !ok || assigned[i>>6]&(1<<(uint(i)&63)) == 0 {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	return vars
 }
 
 // TypeSafe reports whether evaluating e can be statically guaranteed not to

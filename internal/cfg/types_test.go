@@ -47,13 +47,16 @@ func TestVarTypesBasics(t *testing.T) {
 }
 
 func TestVarTypesCopyChainFixpoint(t *testing.T) {
-	// The copy chain is written before its source's definition in node
-	// order; the fixpoint must still propagate bool through it.
+	// The copy chain appears before its source's definition in node order,
+	// but control flow (the gotos) executes the definition first on every
+	// path; the fixpoint must still propagate bool through the chain, and
+	// the definite-assignment widening must not fire.
 	types := typesOf(t, `
 		read p;
-		if (p > 0) { x := y; } else { x := y; }
-		y := p == 0;
-		z := x;`)
+		goto Ldef;
+		label Luse: x := y; z := x; goto Lend;
+		label Ldef: y := p == 0; goto Luse;
+		label Lend: print z;`)
 	if types["y"] != TypeBool {
 		t.Fatalf("y typed %v, want bool", types["y"])
 	}
@@ -61,6 +64,44 @@ func TestVarTypesCopyChainFixpoint(t *testing.T) {
 		if types[v] != TypeBool {
 			t.Errorf("%s typed %v, want bool (through copy chain)", v, types[v])
 		}
+	}
+}
+
+func TestVarTypesUseBeforeDef(t *testing.T) {
+	// An uninitialized variable reads as integer 0, so a use some path
+	// reaches before every definition must fold TypeInt into the variable's
+	// type: b's only definition is boolean, but A := (b && true) evaluates
+	// b while it still holds 0 — typing b TypeBool would prove the trapping
+	// && safe. p's uses before definition widen by TypeInt too, which its
+	// definitionless TypeNone absorbs.
+	types := typesOf(t, "A := (b && true); b := (p < 0);")
+	if types["b"] != TypeMixed {
+		t.Errorf("b typed %v, want mixed (boolean def after use)", types["b"])
+	}
+	if TypeSafe(rhs(t, "b && true"), types) {
+		t.Error("b && true proved safe despite b reading 0 before its definition")
+	}
+	if types["p"] != TypeInt {
+		t.Errorf("p typed %v, want int", types["p"])
+	}
+
+	// A definition on only one path does not definitely assign.
+	types = typesOf(t, "read p; if (p < 0) { b := true; } u := (b && b); print 1;")
+	if types["b"] != TypeMixed {
+		t.Errorf("b typed %v, want mixed (defined on one branch only)", types["b"])
+	}
+
+	// A definition dominating every use keeps the precise type.
+	types = typesOf(t, "read p; b := p < 0; u := (b && b); print 1;")
+	if types["b"] != TypeBool {
+		t.Errorf("b typed %v, want bool (definitely assigned before use)", types["b"])
+	}
+
+	// A definition inside a loop body does not definitely assign the uses
+	// after the loop: zero iterations leave the variable holding 0.
+	types = typesOf(t, "read p; i := 0; while (i < p) { b := p < 3; i := i + 1; } u := (b && b); print 1;")
+	if types["b"] != TypeMixed {
+		t.Errorf("b typed %v, want mixed (loop body may not execute)", types["b"])
 	}
 }
 

@@ -10,6 +10,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 
 	"dfg/internal/cfg"
@@ -70,15 +71,27 @@ func (r *Result) Outputs() []string {
 	return out
 }
 
+// ErrStepLimit is the sentinel cause carried by the RunError returned on
+// step-budget exhaustion. Harnesses that must distinguish "ran out of
+// budget" from "trapped" (the transformation oracle's retry and run
+// classification) test it with errors.Is rather than matching message text.
+var ErrStepLimit = errors.New("step limit exceeded")
+
 // RunError describes a runtime failure (type error, division by zero, step
 // limit).
 type RunError struct {
 	Node cfg.NodeID
 	Msg  string
+	// Cause categorizes the failure for errors.Is: ErrStepLimit for budget
+	// exhaustion, nil for runtime traps.
+	Cause error
 }
 
 // Error implements error.
 func (e *RunError) Error() string { return fmt.Sprintf("interp: at n%d: %s", e.Node, e.Msg) }
+
+// Unwrap exposes the sentinel cause to errors.Is/errors.As.
+func (e *RunError) Unwrap() error { return e.Cause }
 
 // Run executes g with the given input stream. Reads beyond the end of
 // inputs yield 0. Execution stops with an error after maxSteps nodes
@@ -108,7 +121,7 @@ func execute(g *cfg.Graph, inputs []int64, maxSteps int, counting bool) (*Result
 	cur := g.Start
 	for {
 		if res.Steps >= maxSteps {
-			return res, &RunError{Node: cur, Msg: fmt.Sprintf("step limit %d exceeded", maxSteps)}
+			return res, &RunError{Node: cur, Msg: fmt.Sprintf("step limit %d exceeded", maxSteps), Cause: ErrStepLimit}
 		}
 		res.Steps++
 		nd := g.Node(cur)

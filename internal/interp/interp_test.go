@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestStepLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = Run(g, nil, 100)
-	if err == nil || !strings.Contains(err.Error(), "step limit") {
+	if !errors.Is(err, ErrStepLimit) {
 		t.Errorf("expected step-limit error, got %v", err)
 	}
 }

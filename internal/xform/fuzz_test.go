@@ -19,6 +19,8 @@ var fuzzSeeds = []string{
 	"read a; read b; x := a / b; print x;",
 	"g := 0; label top: g := g + 1; print g; if (g < 3) { goto top; } print g + g;",
 	"read n; i := 0; s := 0; while (i < n) { s := s + (i * 2); i := i + 1; } print s;",
+	"A := (b && true); b := (p < 0);",
+	"print 7; u := (b || b); w := (b || b); b := (p < 0);",
 }
 
 // FuzzTransform feeds arbitrary program text through every optimizer

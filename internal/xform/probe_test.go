@@ -15,9 +15,10 @@ import (
 // hostileProgram generates programs concentrated on the optimizers' known
 // hard corners: self-redefining assignments whose RHS is itself a candidate
 // expression (x := x + y), constant predicates guarding gotos, copies whose
-// source is redefined inside loops, and nested redundancies. The structured
-// workload generators rarely produce these shapes, so the sweep includes a
-// dedicated family.
+// source is redefined inside loops, nested redundancies, and use-before-def
+// booleans (the variable's only definition is a late boolean assignment, so
+// earlier uses read integer 0 and trap). The structured workload generators
+// rarely produce these shapes, so the sweep includes a dedicated family.
 func hostileProgram(seed int64) string {
 	rng := rand.New(rand.NewSource(seed))
 	vars := []string{"a", "b", "x", "y"}
@@ -26,8 +27,9 @@ func hostileProgram(seed int64) string {
 	b.WriteString("read a;\nread b;\nx := a + b;\ny := 1;\ng := 0;\n")
 	n := 6 + rng.Intn(8)
 	labels := 0
+	var late []string
 	for i := 0; i < n; i++ {
-		switch rng.Intn(14) {
+		switch rng.Intn(15) {
 		case 0: // self-redefining candidate
 			v := pick()
 			fmt.Fprintf(&b, "%s := %s + %s;\n", v, v, pick())
@@ -71,9 +73,26 @@ func hostileProgram(seed int64) string {
 			fmt.Fprintf(&b, "  k%d := k%d + 1;\n}\n", i, i)
 		case 12: // boolean-typed variable: later arithmetic on it traps
 			fmt.Fprintf(&b, "%s := %s < %s;\n", pick(), pick(), pick())
+		case 13: // use-before-def: boolean operators on a variable whose
+			// only definition is emitted after the main body — until then
+			// it reads as integer 0, so deleting or hoisting the use
+			// changes where (or whether) the program traps
+			v := fmt.Sprintf("d%d", len(late))
+			late = append(late, v)
+			switch rng.Intn(3) {
+			case 0: // dead boolean use (dead-code-deletion bait)
+				fmt.Fprintf(&b, "u%d := (%s && true);\n", i, v)
+			case 1: // redundant pair (EPR hoisting bait)
+				fmt.Fprintf(&b, "u%d := (%s || %s);\nw%d := (%s || %s);\n", i, v, v, i, v, v)
+			default: // observation point just above the trapping use
+				fmt.Fprintf(&b, "print %d;\nu%d := (%s || %s);\n", i, i, v, v)
+			}
 		default: // constant chain for constprop
 			fmt.Fprintf(&b, "%s := %d;\n", pick(), rng.Intn(7))
 		}
+	}
+	for j, v := range late {
+		fmt.Fprintf(&b, "%s := (a < %d);\n", v, j)
 	}
 	for _, v := range vars {
 		fmt.Fprintf(&b, "print %s;\n", v)

@@ -55,6 +55,25 @@ func TestRegressionHoistTypeErrorAboveObservation(t *testing.T) {
 		print w;`)
 }
 
+// TestRegressionUseBeforeDefDeadAssign: found auditing cfg.VarTypes for
+// flow sensitivity. b's only definition is boolean but comes AFTER the use:
+// at A := (b && true) the uninitialized b reads as integer 0 and the &&
+// traps. The flow-insensitive join typed b TypeBool, TypeSafe proved the
+// dead assignment trap-free, and constprop deleted it — original traps,
+// transformed succeeds. VarTypes now widens by TypeInt every variable that
+// is not definitely assigned before some use.
+func TestRegressionUseBeforeDefDeadAssign(t *testing.T) {
+	checkAllPipelines(t, "A := (b && true); b := (p < 0);")
+}
+
+// TestRegressionUseBeforeDefHoist is the EPR face of the same hole: the
+// candidate (b || b) passed TypeSafe because b's only (later) definition is
+// boolean, and busy placement hoisted the computation above print 7 — the
+// original prints 7 then traps, the transformed trapped before printing.
+func TestRegressionUseBeforeDefHoist(t *testing.T) {
+	checkAllPipelines(t, "print 7; u := (b || b); w := (b || b); b := (p < 0);")
+}
+
 // TestRegressionBoolMixSweep: a fixed mini-corpus of boolean/integer mixes
 // around the optimizers' rewrite rules (dead assignments, candidate
 // hoisting, copy propagation of boolean-valued copies, constant branches on
@@ -66,6 +85,9 @@ func TestRegressionBoolMixSweep(t *testing.T) {
 		"read a; b := a < 0; c := b; if (c) { print a + 1; } print a + 1;",
 		"b := true; z := b + 1; print 7;",
 		"read a; x := a == 0; y := x == false; if (y) { print a; }",
+		"u := (b && true); print 1; b := true; print b;",
+		"read p; if (p > 0) { b := p < 5; } w := (b || b); print w;",
+		"print 1; i := 0; while (i < 2) { v := (b && b); b := i == 0; i := i + 1; } print 2;",
 	}
 	for _, src := range srcs {
 		if !strings.Contains(src, ";") {

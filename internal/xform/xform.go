@@ -37,6 +37,7 @@
 package xform
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -321,8 +322,10 @@ func runClassified(g *cfg.Graph, in []int64, maxSteps int) (*interp.Result, Stat
 	}
 }
 
+// isBudget reports whether a run failed on step-budget exhaustion rather
+// than a trap, via the interpreter's typed sentinel.
 func isBudget(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "step limit")
+	return errors.Is(err, interp.ErrStepLimit)
 }
 
 // compareStage judges one stage's output run against its input run,
