@@ -25,10 +25,12 @@ import (
 )
 
 var (
-	flagExp   = flag.String("exp", "all", "experiment id (E1..E12) or all")
-	flagQuick = flag.Bool("quick", false, "smaller scaling sweeps")
-	flagCPU   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	flagMem   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flagExp       = flag.String("exp", "all", "experiment id (E1..E12) or all")
+	flagQuick     = flag.Bool("quick", false, "smaller scaling sweeps")
+	flagCPU       = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMem       = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flagStageJSON = flag.String("stagejson", "", "skip experiments; emit a per-stage cold timing JSON record to this file ('-' for stdout)")
+	flagStageReps = flag.Int("stagerepeats", 5, "cold corpus passes averaged by -stagejson")
 )
 
 // experiment couples an id with its runner. Runners return an error only
@@ -77,6 +79,13 @@ func run() int {
 			log.Printf("dfg-bench: -memprofile: %v", err)
 		}
 	}()
+	if *flagStageJSON != "" {
+		if err := runStageJSON(*flagStageJSON, *flagStageReps); err != nil {
+			log.Printf("dfg-bench: -stagejson: %v", err)
+			return 2
+		}
+		return 0
+	}
 	exps := []experiment{
 		{"E1", "Figure 1: def-use chains vs SSA vs DFG on the running example", expE1},
 		{"E2", "Figure 2: DFG construction stages (base level, bypassing, dead-edge removal)", expE2},

@@ -112,7 +112,16 @@ type Op struct {
 	// LiveOut marks which outputs survived dead-edge removal; index 0 is
 	// the single output (or the true output), index 1 the false output.
 	LiveOut [2]bool
+
+	// dead marks operators orphaned by an in-place patch (PatchEPR): their
+	// inputs and consumer lists are cleared, they are excluded from the
+	// node×variable operator tables, and their ports never become live
+	// again. Live queries already skip them because LiveOut stays false.
+	dead bool
 }
+
+// Dead reports whether the operator was orphaned by an in-place patch.
+func (o *Op) Dead() bool { return o.dead }
 
 // UseSite is a consumer of a dependence at a real CFG node: an operand of
 // an assignment's right-hand side, a switch predicate, a print argument, or
@@ -171,6 +180,10 @@ type Graph struct {
 	// flowVar: one allocation shared by all per-variable passes.
 	visited    []int32
 	visitEpoch int32
+
+	// byVar caches OpsByVar: live operator IDs per variable in ID order.
+	// Built lazily on first request, then maintained by newOp and PatchEPR.
+	byVar map[string][]OpID
 }
 
 // srcIndex returns the dense index of a source port: each operator owns two
@@ -375,6 +388,9 @@ func (d *Graph) newOp(kind OpKind, v string, node cfg.NodeID) OpID {
 	id := OpID(len(d.Ops))
 	d.Ops = append(d.Ops, Op{ID: id, Kind: kind, Var: v, Node: node})
 	d.consumers = append(d.consumers, nil, nil)
+	if d.byVar != nil {
+		d.byVar[v] = append(d.byVar[v], id)
+	}
 	return id
 }
 
@@ -567,6 +583,14 @@ func (d *Graph) flowVar(v string, blocks [][]bool) error {
 				return fmt.Errorf("dfg: edge %d visited twice for %s", eid, v)
 			}
 			visited[eid] = epoch
+			// Patch mode (PatchEPR): no region table — the SESE analysis is
+			// stale after a CFG mutation — so no bypassing either; the
+			// re-flowed variable gets base-granularity (GranNone) operators,
+			// which every analysis treats identically (granularity
+			// invariance, experiment E13).
+			if blocks == nil {
+				return deliver(eid, src)
+			}
 			// Region bypassing: while eid is the entry of a canonical
 			// region that does not block v, jump to its exit.
 			rid := d.Info.EntryOf[eid]

@@ -1,0 +1,312 @@
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfg/internal/cfg"
+)
+
+// In-place maintenance of a DFG across EPR transformations. One EPR
+// transformation performs a fixed repertoire of CFG surgery: it splits
+// edges with fresh `temp := expr` assignment nodes and rewrites the
+// expressions of existing nodes to use the temporary. Only the dependence
+// flow of the expression's variables and of the temporary can change —
+// every inserted node defines temp and uses exactly the expression's
+// variables, and every rewritten node keeps its defined variable while
+// swapping expression operands among those same variables plus temp. The
+// control variable is untouched: inserted and rewritten nodes always
+// retain at least one variable operand, so no node's CtlVar use-set
+// changes. PatchEPR therefore tears down and re-flows just the affected
+// variables instead of rebuilding the whole graph.
+//
+// The re-flowed variables get no region bypassing (the SESE analysis is
+// stale after the mutation), i.e. base granularity. Mixing granularities
+// per variable is sound for every analysis built on the graph: analysis
+// answers are granularity-invariant (experiment E13), and each variable's
+// flow is self-contained.
+
+// EdgeSplit records one cfg.SplitEdge performed by a transformation: Old
+// now ends at Node, and New continues from Node to Old's former
+// destination.
+type EdgeSplit struct {
+	Old  cfg.EdgeID
+	New  cfg.EdgeID
+	Node cfg.NodeID
+}
+
+// EPREdit describes the CFG surgery of one EPR transformation, in
+// application order.
+type EPREdit struct {
+	Temp      string       // temporary variable introduced
+	Vars      []string     // variables of the transformed expression
+	NewNodes  []cfg.NodeID // inserted `temp := expr` assignment nodes
+	Rewritten []cfg.NodeID // nodes whose expression was rewritten
+	Splits    []EdgeSplit  // edge splits, in the order they were applied
+}
+
+// PatchEPR updates the graph in place after the CFG mutation described by
+// ed. On error the graph is left in an inconsistent state and must be
+// discarded (the caller falls back to a full Build).
+func (d *Graph) PatchEPR(ed EPREdit) error {
+	if d.execMode {
+		return fmt.Errorf("dfg: PatchEPR cannot maintain executable graphs")
+	}
+	g := d.G
+
+	// Affected variables, in deterministic order (expression operands in
+	// first-occurrence order, then the temporary).
+	affected := make(map[string]bool, len(ed.Vars)+1)
+	var order []string
+	for _, v := range append(append([]string{}, ed.Vars...), ed.Temp) {
+		if !affected[v] {
+			affected[v] = true
+			order = append(order, v)
+		}
+	}
+
+	// (1) Tear down the affected variables' flow. Def operators are keyed
+	// by node and reused by re-flow, so they survive with cleared ports;
+	// init/merge/switch operators are orphaned outright.
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		if op.dead || !affected[op.Var] {
+			continue
+		}
+		op.LiveOut = [2]bool{}
+		d.consumers[2*int(op.ID)] = nil
+		d.consumers[2*int(op.ID)+1] = nil
+		if op.Kind != OpDef {
+			op.dead = true
+			op.In = nil
+			op.InEdges = nil
+		}
+	}
+	// Keep the per-variable operator index consistent: drop the newly dead
+	// operators (re-flow's newOp calls append the replacements, so each
+	// list stays in ascending ID order, matching a from-scratch build).
+	if d.byVar != nil {
+		for _, v := range order {
+			ids := d.byVar[v][:0]
+			for _, id := range d.byVar[v] {
+				if !d.Ops[id].dead {
+					ids = append(ids, id)
+				}
+			}
+			d.byVar[v] = ids
+		}
+	}
+	// Orphan the affected use sites. Uses is append-only, so the dead
+	// entries stay (with no source and no consumer reference); re-flow
+	// appends fresh entries for the sites that still use the variables.
+	for i := range d.Uses {
+		if affected[d.Uses[i].Var] {
+			d.Uses[i].Src = NoSrc
+		}
+	}
+
+	// (2) Register the temporary.
+	if _, ok := d.varIdx[ed.Temp]; !ok {
+		d.varIdx[ed.Temp] = len(d.varIdx)
+	}
+
+	// (3) Def operators for the inserted nodes.
+	for len(d.DefOf) < g.NumNodes() {
+		d.DefOf = append(d.DefOf, NoOp)
+	}
+	for _, n := range ed.NewNodes {
+		if v := g.Defs(n); v != "" && d.DefOf[n] == NoOp {
+			d.DefOf[n] = d.newOp(OpDef, v, n)
+		}
+	}
+
+	// (4) Rebuild the node×variable operator tables at the new dimensions
+	// (the node count and variable count both grew). Must precede the
+	// re-flow, which indexes them with the current dimensions.
+	nv := g.NumNodes() * len(d.varIdx)
+	if cap(d.mergeOf) >= nv && cap(d.switchOf) >= nv {
+		d.mergeOf = d.mergeOf[:nv]
+		d.switchOf = d.switchOf[:nv]
+	} else {
+		// Grow with headroom: every patch of a round enlarges the tables a
+		// little, and reallocating them each time dominates the patch cost.
+		d.mergeOf = make([]OpID, nv, nv+nv/2)
+		d.switchOf = make([]OpID, nv, nv+nv/2)
+	}
+	for i := 0; i < nv; i++ {
+		d.mergeOf[i] = NoOp
+		d.switchOf[i] = NoOp
+	}
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		if op.dead {
+			continue
+		}
+		switch op.Kind {
+		case OpMerge:
+			d.mergeOf[d.nvIndex(op.Node, op.Var)] = op.ID
+		case OpSwitch:
+			d.switchOf[d.nvIndex(op.Node, op.Var)] = op.ID
+		}
+	}
+
+	// (5) Surviving merge operators of unaffected variables store their
+	// arrival edges statically; a split rewires the arrival edge of its
+	// old destination from Old to New. Apply in split order: a later split
+	// can split an earlier split's New edge.
+	for _, sp := range ed.Splits {
+		for i := range d.Ops {
+			op := &d.Ops[i]
+			if op.dead || op.Kind != OpMerge {
+				continue
+			}
+			for j, eid := range op.InEdges {
+				if eid == sp.Old {
+					op.InEdges[j] = sp.New
+				}
+			}
+		}
+	}
+
+	// (6) The reusable visited set must cover the new edges.
+	for len(d.visited) < g.NumEdges() {
+		d.visited = append(d.visited, 0)
+	}
+
+	// (7) Re-flow the affected variables (nil blocks: patch mode, no
+	// bypassing).
+	for _, v := range order {
+		if err := d.flowVar(v, nil); err != nil {
+			return fmt.Errorf("dfg: patch re-flow of %s: %w", v, err)
+		}
+	}
+
+	// (8) Liveness for the new flows. LiveOut doubles as the visited set:
+	// unaffected operators keep their flags (their uses and flow are
+	// unchanged, so their liveness is already correct), affected ones were
+	// cleared in (1) and are re-marked from the fresh use sites.
+	d.removeDeadEdges()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checking
+
+// FlowSignature summarizes the graph's dependence flow in a
+// granularity-invariant form: for every live use site, the sorted set of
+// definition points (assigning nodes, or "init" for the initial value)
+// whose values can reach it through the dependence operators. Keys are
+// "n<node>/<var>". Two correct graphs over the same CFG have equal
+// signatures regardless of bypass granularity or operator numbering, so a
+// patched graph can be checked against a freshly built one.
+func (d *Graph) FlowSignature() map[string]string {
+	// Reaching definition points per operator, to a fixpoint (merge loops
+	// make the operator graph cyclic). Switch operators pass their input
+	// through to both outputs, so one set per operator suffices.
+	sets := make([]map[string]bool, len(d.Ops))
+	for i := range sets {
+		sets[i] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range d.Ops {
+			op := &d.Ops[i]
+			if op.dead {
+				continue
+			}
+			cur := sets[i]
+			add := func(s string) {
+				if !cur[s] {
+					cur[s] = true
+					changed = true
+				}
+			}
+			switch op.Kind {
+			case OpInit:
+				add("init")
+			case OpDef:
+				add(fmt.Sprintf("n%d", op.Node))
+			case OpSwitch:
+				if len(op.In) > 0 && op.In[0].Op != NoOp {
+					for s := range sets[op.In[0].Op] {
+						add(s)
+					}
+				}
+			case OpMerge:
+				for _, in := range op.In {
+					if in.Op != NoOp {
+						for s := range sets[in.Op] {
+							add(s)
+						}
+					}
+				}
+			}
+		}
+	}
+	sig := make(map[string]string)
+	for _, u := range d.Uses {
+		if u.Src.Op == NoOp {
+			continue // orphaned by a patch
+		}
+		pts := make([]string, 0, len(sets[u.Src.Op]))
+		for s := range sets[u.Src.Op] {
+			pts = append(pts, s)
+		}
+		sort.Strings(pts)
+		sig[fmt.Sprintf("n%d/%s", u.Node, u.Var)] = strings.Join(pts, ",")
+	}
+	return sig
+}
+
+// DiffFlows compares the flow signatures of two graphs over the same CFG
+// and describes the first difference ("" when equivalent).
+func DiffFlows(a, b *Graph) string {
+	sa, sb := a.FlowSignature(), b.FlowSignature()
+	keys := make([]string, 0, len(sa))
+	for k := range sa {
+		keys = append(keys, k)
+	}
+	for k := range sb {
+		if _, ok := sa[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		va, oka := sa[k]
+		vb, okb := sb[k]
+		switch {
+		case !oka:
+			return fmt.Sprintf("use %s: missing from first graph", k)
+		case !okb:
+			return fmt.Sprintf("use %s: missing from second graph", k)
+		case va != vb:
+			return fmt.Sprintf("use %s: reaching defs {%s} vs {%s}", k, va, vb)
+		}
+	}
+	return ""
+}
+
+// SameFlows reports whether two graphs over the same CFG encode the same
+// dependence flow (equal FlowSignatures).
+func SameFlows(a, b *Graph) bool { return DiffFlows(a, b) == "" }
+
+// OpsByVar groups the graph's operators by variable in operator order,
+// excluding tombstoned operators. The batched solvers use this to visit
+// one variable's operators without rescanning the whole operator table per
+// variable. The returned map is the graph's own index — kept current
+// across newOp and PatchEPR — and must not be mutated by callers.
+func (d *Graph) OpsByVar() map[string][]OpID {
+	if d.byVar == nil {
+		d.byVar = make(map[string][]OpID, len(d.varIdx))
+		for i := range d.Ops {
+			op := &d.Ops[i]
+			if op.dead {
+				continue
+			}
+			d.byVar[op.Var] = append(d.byVar[op.Var], op.ID)
+		}
+	}
+	return d.byVar
+}

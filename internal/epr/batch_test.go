@@ -1,0 +1,144 @@
+package epr
+
+import (
+	"fmt"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/lang/token"
+	"dfg/internal/workload"
+)
+
+// equalBools reports the first index where a and b differ (-1 if equal).
+func firstDiff(a, b []bool) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkBatchMatchesScalar asserts that every candidate's batched column
+// equals the scalar per-expression analysis, for one driver.
+func checkBatchMatchesScalar(t *testing.T, g *cfg.Graph, exprs []ast.Expr, driver Driver, label string) {
+	t.Helper()
+	b, err := AnalyzeBatch(g, exprs, driver, nil)
+	if err != nil {
+		t.Fatalf("%s: AnalyzeBatch: %v", label, err)
+	}
+	for k, e := range exprs {
+		want, err := analyzeExprScalar(g, e, driver, nil)
+		if err != nil {
+			t.Fatalf("%s: scalar %s: %v", label, e, err)
+		}
+		got := b.Analysis(k)
+		for _, m := range []struct {
+			name      string
+			got, want []bool
+		}{
+			{"ANT", got.ANT, want.ANT},
+			{"PAN", got.PAN, want.PAN},
+			{"AV", got.AV, want.AV},
+			{"PAV", got.PAV, want.PAV},
+		} {
+			if i := firstDiff(m.got, m.want); i >= 0 {
+				t.Errorf("%s: candidate %d %s: %s differs at edge %d: batch=%t scalar=%t",
+					label, k, e, m.name, i, m.got[i], m.want[i])
+			}
+		}
+		if fmt.Sprint(got.Insert) != fmt.Sprint(want.Insert) || fmt.Sprint(got.Delete) != fmt.Sprint(want.Delete) {
+			t.Errorf("%s: candidate %d %s: placement differs: batch INSERT=%v DELETE=%v, scalar INSERT=%v DELETE=%v",
+				label, k, e, got.Insert, got.Delete, want.Insert, want.Delete)
+		}
+	}
+}
+
+// TestBatchDifferential sweeps generated programs and asserts bit k of the
+// batched solvers equals the per-candidate scalar result for candidate k,
+// for both drivers.
+func TestBatchDifferential(t *testing.T) {
+	var progs []*ast.Program
+	for seed := int64(0); seed < 12; seed++ {
+		progs = append(progs, workload.Mixed(30, seed))
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		progs = append(progs, workload.GotoMess(6, seed))
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		progs = append(progs, workload.WideSwitch(8, 4, seed))
+	}
+	// Hostile hand-written shapes: self-redefinition, use-before-def,
+	// loop-invariant plus if-diamond partial redundancy, shared
+	// subexpressions across branches.
+	for _, src := range []string{
+		`read a; read b; x := a + b; a := a + b; y := a + b; print x + y;`,
+		`read a; if (a > 0) { b := a + 1; } else { c := a + 1; } d := a + 1; print d;`,
+		`read a; read b; i := 0; while (i < 3) { x := a * b; y := (a * b) + i; i := i + 1; } print x; print y;`,
+		`read a; b := c + 1; c := 5; d := c + 1; print b + d;`,
+		`read a; read b; if (a > b) { t := a - b; } t := a - b; u := (a - b) * 2; print t + u;`,
+	} {
+		progs = append(progs, parser.MustParse(src))
+	}
+
+	for pi, p := range progs {
+		g, err := cfg.Build(p)
+		if err != nil {
+			t.Fatalf("prog %d: cfg: %v", pi, err)
+		}
+		exprs := CandidateExprs(g)
+		if len(exprs) == 0 {
+			continue
+		}
+		checkBatchMatchesScalar(t, g, exprs, DriverCFG, fmt.Sprintf("prog%d/cfg", pi))
+		checkBatchMatchesScalar(t, g, exprs, DriverDFG, fmt.Sprintf("prog%d/dfg", pi))
+	}
+}
+
+// TestBatchStringCollision pins the comp-matrix construction against the
+// non-injectivity of ast's String: IntLit(-3) and -IntLit(3) both render
+// "-3", so two distinct candidates can share a rendering. The string index
+// is only a prefilter; EqualExpr must decide.
+func TestBatchStringCollision(t *testing.T) {
+	g := build(t, `read a; x := a + -3; y := a + -3; print x + y;`)
+
+	// The parser produces one of the two forms; rewrite node x's RHS to the
+	// other so both shapes occur in the graph and as candidates.
+	negLit := &ast.BinaryExpr{Op: token.PLUS, X: &ast.VarRef{Name: "a"}, Y: &ast.IntLit{Value: -3}}
+	negUn := &ast.BinaryExpr{Op: token.PLUS, X: &ast.VarRef{Name: "a"},
+		Y: &ast.UnaryExpr{Op: token.MINUS, X: &ast.IntLit{Value: 3}}}
+	if negLit.String() != negUn.String() {
+		t.Skipf("renderings differ (%q vs %q): collision impossible", negLit, negUn)
+	}
+	for _, nd := range g.Nodes {
+		if nd.Var == "x" && nd.Kind == cfg.KindAssign {
+			nd.Expr = ast.CloneExpr(negLit)
+		}
+		if nd.Var == "y" && nd.Kind == cfg.KindAssign {
+			nd.Expr = ast.CloneExpr(negUn)
+		}
+	}
+	exprs := []ast.Expr{negLit, negUn}
+	checkBatchMatchesScalar(t, g, exprs, DriverCFG, "collision/cfg")
+	checkBatchMatchesScalar(t, g, exprs, DriverDFG, "collision/dfg")
+}
+
+// TestBatchEmpty pins the zero-candidate edge case (the word kernels pin
+// slice lengths and would panic on zero-width rows).
+func TestBatchEmpty(t *testing.T) {
+	g := build(t, `read a; print a;`)
+	for _, driver := range []Driver{DriverCFG, DriverDFG} {
+		b, err := AnalyzeBatch(g, nil, driver, nil)
+		if err != nil {
+			t.Fatalf("AnalyzeBatch(nil): %v", err)
+		}
+		if b.Len() != 0 {
+			t.Fatalf("Len = %d", b.Len())
+		}
+	}
+}

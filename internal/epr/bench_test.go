@@ -1,0 +1,111 @@
+package epr
+
+import (
+	"fmt"
+	"testing"
+
+	"dfg/internal/cfg"
+	"dfg/internal/dfg"
+	"dfg/internal/workload"
+)
+
+// benchGraphs builds the micro-benchmark corpus once: a handful of Mixed
+// programs large enough to have multi-candidate rounds.
+func benchGraphs(b *testing.B) []*cfg.Graph {
+	b.Helper()
+	gs := make([]*cfg.Graph, 5)
+	for i := range gs {
+		g, err := cfg.Build(workload.Mixed(15, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+// BenchmarkEPRSolver compares the scalar per-candidate analysis loop
+// against the batched bit-vector solver on the same candidate families,
+// for both drivers. This is the analysis cost only — no transformation —
+// so the ratio isolates the tentpole's first half (one fixpoint for all
+// candidates vs one per candidate).
+func BenchmarkEPRSolver(b *testing.B) {
+	gs := benchGraphs(b)
+	for _, driver := range []Driver{DriverCFG, DriverDFG} {
+		name := "cfg"
+		if driver == DriverDFG {
+			name = "dfg"
+		}
+		b.Run("scalar/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, g := range gs {
+					var d *dfg.Graph
+					if driver == DriverDFG {
+						var err error
+						if d, err = dfg.Build(g); err != nil {
+							b.Fatal(err)
+						}
+					}
+					for _, e := range CandidateExprs(g) {
+						a, err := analyzeExprScalar(g, e, driver, d)
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = a.Redundant()
+					}
+				}
+			}
+		})
+		b.Run("batched/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, g := range gs {
+					var d *dfg.Graph
+					if driver == DriverDFG {
+						var err error
+						if d, err = dfg.Build(g); err != nil {
+							b.Fatal(err)
+						}
+					}
+					bt, err := AnalyzeBatch(g, CandidateExprs(g), driver, d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for k := 0; k < bt.Len(); k++ {
+						_ = bt.Analysis(k).Redundant()
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEPRApply measures the full transformation fixpoint (analysis +
+// placement + CFG surgery + DFG maintenance) per driver and placement —
+// the end-to-end path the pipeline's epr stage runs.
+func BenchmarkEPRApply(b *testing.B) {
+	gs := benchGraphs(b)
+	for _, driver := range []Driver{DriverCFG, DriverDFG} {
+		dname := "cfg"
+		if driver == DriverDFG {
+			dname = "dfg"
+		}
+		for _, placement := range []Placement{PlaceBusy, PlaceLazy} {
+			pname := "busy"
+			if placement == PlaceLazy {
+				pname = "lazy"
+			}
+			b.Run(fmt.Sprintf("%s/%s", dname, pname), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, g := range gs {
+						if _, _, err := ApplyPlaced(g, driver, placement); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

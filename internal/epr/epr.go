@@ -25,10 +25,12 @@ package epr
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
 	"dfg/internal/anticip"
+	"dfg/internal/bitset"
 	"dfg/internal/cfg"
 	"dfg/internal/dataflow"
 	"dfg/internal/dfg"
@@ -62,10 +64,57 @@ type Analysis struct {
 	Delete []cfg.NodeID
 
 	Cost dataflow.Counter
+
+	// When the analysis is a projection of a batch, fam/famIdx give the
+	// placement rules O(1) access to the family's precomputed COMPUTES and
+	// KILLS bits instead of re-walking expressions per node.
+	fam    *anticip.Family
+	famIdx int
 }
 
-// AnalyzeExpr computes the full EPR analysis for one expression.
+// computes reports whether node n computes a.Expr, via the family's
+// precomputed row when available.
+func (a *Analysis) computes(n cfg.NodeID) bool {
+	if a.fam != nil {
+		return a.fam.Comp.Bit(int(n), a.famIdx)
+	}
+	return anticip.Computes(a.G, n, a.Expr)
+}
+
+// kills reports whether node n assigns a variable of a.Expr.
+func (a *Analysis) kills(n cfg.NodeID) bool {
+	if a.fam != nil {
+		return a.fam.Kill.Bit(int(n), a.famIdx)
+	}
+	return anticip.Kills(a.G, n, a.Expr)
+}
+
+// liveEdges returns the graph's live edges, via the family's cache when
+// available.
+func (a *Analysis) liveEdges() []cfg.EdgeID {
+	if a.fam != nil {
+		return a.fam.Live
+	}
+	return a.G.LiveEdges()
+}
+
+// AnalyzeExpr computes the full EPR analysis for one expression. It is a
+// singleton view over the batched solver; the scalar per-candidate solvers
+// (anticip.CFG, anticip.DFG, availability, dfgAV) remain as the reference
+// implementations the batched path is differentially tested against.
 func AnalyzeExpr(g *cfg.Graph, e ast.Expr, driver Driver, d *dfg.Graph) (*Analysis, error) {
+	b, err := AnalyzeBatch(g, []ast.Expr{e}, driver, d)
+	if err != nil {
+		return nil, err
+	}
+	a := b.Analysis(0)
+	a.Cost = b.Cost
+	return a, nil
+}
+
+// analyzeExprScalar is the pre-batching implementation, retained as the
+// differential reference for the batched solvers.
+func analyzeExprScalar(g *cfg.Graph, e ast.Expr, driver Driver, d *dfg.Graph) (*Analysis, error) {
 	a := &Analysis{G: g, Expr: e}
 
 	switch driver {
@@ -183,10 +232,10 @@ func (a *Analysis) placeAndDelete() {
 		if nd.Kind == cfg.KindStart {
 			return false
 		}
-		if anticip.Kills(g, n, a.Expr) {
+		if a.kills(n) {
 			return false
 		}
-		if anticip.Computes(g, n, a.Expr) {
+		if a.computes(n) {
 			return true
 		}
 		ins := g.InEdges(n)
@@ -201,13 +250,14 @@ func (a *Analysis) placeAndDelete() {
 		return true
 	}
 
-	for _, eid := range g.LiveEdges() {
+	live := a.liveEdges()
+	for _, eid := range live {
 		if d(eid) && !prior(eid) {
 			a.Insert = append(a.Insert, eid)
 		}
 	}
 	for _, nd := range g.Nodes {
-		if !anticip.Computes(g, nd.ID, a.Expr) {
+		if !a.computes(nd.ID) {
 			continue
 		}
 		ins := g.InEdges(nd.ID)
@@ -313,14 +363,24 @@ func ProfitablePlacements(g *cfg.Graph, d *dfg.Graph, e ast.Expr, a *Analysis) *
 
 // Stats summarizes one EPR run.
 type Stats struct {
-	Exprs    int // expressions examined
+	Exprs    int // expressions examined (per round, summed)
 	Inserted int // computations inserted
 	Replaced int // computations replaced by temporaries
+
+	Rounds    int  // fixpoint rounds executed
+	Converged bool // fixpoint reached before the round cap
+
+	DFGRebuilds int // full dfg.Build calls (DriverDFG)
+	DFGPatches  int // in-place PatchEPR successes (DriverDFG)
+
+	MaxCandidates int // largest per-round candidate family
+	SolverWords   int // lattice width in words of the largest family
 }
 
 // String renders the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("exprs=%d inserted=%d replaced=%d", s.Exprs, s.Inserted, s.Replaced)
+	return fmt.Sprintf("exprs=%d inserted=%d replaced=%d rounds=%d converged=%t rebuilds=%d patches=%d",
+		s.Exprs, s.Inserted, s.Replaced, s.Rounds, s.Converged, s.DFGRebuilds, s.DFGPatches)
 }
 
 // mayTrapExpr reports whether evaluating e could fail at runtime: hoisting
@@ -344,6 +404,8 @@ func mayTrapExpr(e ast.Expr) bool {
 // before output the original program printed first.
 func CandidateExprs(g *cfg.Graph) []ast.Expr {
 	var out []ast.Expr
+	var lens []int
+	var buf []byte
 	seen := map[string]bool{}
 	types := cfg.VarTypes(g)
 	for _, nd := range g.Nodes {
@@ -352,19 +414,29 @@ func CandidateExprs(g *cfg.Graph) []ast.Expr {
 		}
 		ast.WalkExpr(nd.Expr, func(x ast.Expr) {
 			b, ok := x.(*ast.BinaryExpr)
-			if !ok || len(ast.ExprVars(b)) == 0 || mayTrapExpr(b) || !cfg.TypeSafe(b, types) {
+			if !ok || !ast.HasVar(b) || mayTrapExpr(b) || !cfg.TypeSafe(b, types) {
 				return
 			}
-			if s := b.String(); !seen[s] {
-				seen[s] = true
+			buf = ast.AppendExprString(buf[:0], b)
+			if !seen[string(buf)] {
+				seen[string(buf)] = true
 				out = append(out, b)
+				lens = append(lens, len(buf))
 			}
 		})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return len(out[i].String()) < len(out[j].String())
-	})
-	return out
+	// Stable sort by rendered length (shorter subexpressions first), with
+	// the lengths precomputed rather than re-rendered per comparison.
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return lens[idx[i]] < lens[idx[j]] })
+	sorted := make([]ast.Expr, len(out))
+	for i, j := range idx {
+		sorted[i] = out[j]
+	}
+	return sorted
 }
 
 // ApplyExpr transforms g for a single expression using a precomputed
@@ -374,21 +446,33 @@ func ApplyExpr(g *cfg.Graph, a *Analysis, temp string) (inserted, replaced int) 
 	if !a.Redundant() {
 		return 0, 0
 	}
+	inserted, replaced, _ = applyExprEdit(g, a, temp)
+	return inserted, replaced
+}
+
+// applyExprEdit is ApplyExpr without the redundancy gate, additionally
+// recording the CFG surgery for incremental DFG maintenance.
+func applyExprEdit(g *cfg.Graph, a *Analysis, temp string) (inserted, replaced int, ed dfg.EPREdit) {
+	ed.Temp = temp
+	ed.Vars = ast.ExprVars(a.Expr)
 	g.AddVar(temp)
 	for _, eid := range a.Insert {
 		n := g.AddNode(cfg.KindAssign)
 		g.Nodes[n].Var = temp
 		g.Nodes[n].Expr = ast.CloneExpr(a.Expr)
 		g.Nodes[n].Comment = "epr insert"
-		g.SplitEdge(eid, n)
+		ne := g.SplitEdge(eid, n)
+		ed.NewNodes = append(ed.NewNodes, n)
+		ed.Splits = append(ed.Splits, dfg.EdgeSplit{Old: eid, New: ne, Node: n})
 		inserted++
 	}
 	for _, nid := range a.Delete {
 		nd := g.Node(nid)
 		nd.Expr = replaceSubexpr(nd.Expr, a.Expr, &ast.VarRef{Name: temp})
+		ed.Rewritten = append(ed.Rewritten, nid)
 		replaced++
 	}
-	return inserted, replaced
+	return inserted, replaced, ed
 }
 
 // replaceSubexpr substitutes every occurrence of pat in e with repl.
@@ -434,60 +518,134 @@ func Apply(g *cfg.Graph, driver Driver) (*cfg.Graph, Stats, error) {
 	return ApplyPlaced(g, driver, PlaceBusy)
 }
 
+// maxRounds caps the outer transformation fixpoint of ApplyPlaced. A run
+// hitting the cap with work left is reported via Stats.Converged = false.
+const maxRounds = 10
+
+// PatchCheck enables the debug cross-check of incremental DFG maintenance:
+// after every successful PatchEPR, a fresh graph is built and compared
+// against the patched one — first structurally (dfg.DiffFlows, the
+// granularity-invariant reaching-definitions signature), then at the
+// analysis level (the batched ANT/PAN/AV/PAV matrices must be bit-equal).
+// A divergence panics. Enabled by the EPR_PATCH_CHECK environment
+// variable; tests may set it directly.
+var PatchCheck = os.Getenv("EPR_PATCH_CHECK") != ""
+
 // ApplyPlaced is Apply with an explicit placement strategy.
+//
+// All candidates of a round are solved in one batched fixpoint
+// (AnalyzeBatch); after a transformation mutates the graph, the batch is
+// re-solved on the updated state, so every candidate is still analyzed
+// against the graph as it exists when its turn comes — exactly the
+// per-candidate behavior, at word-parallel cost. Under DriverDFG the
+// shared dependence graph is maintained in place across transformations
+// (dfg.PatchEPR), falling back to a full rebuild when a patch fails.
 func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, Stats, error) {
 	out := Clone(g)
 	var st Stats
 	tmp := 0
+	var d *dfg.Graph
+	var sc anticip.Scratch // solver buffers reused across every re-solve
 	// Iterate until no expression yields a transformation: replacing an
 	// inner expression can expose an outer redundancy.
-	//
-	// Incremental-rebuild invariant: the shared DFG d always describes the
-	// current state of out. It is built once per round (candidates are
-	// likewise enumerated once per round, over the same graph state) and
-	// rebuilt only after a transformation mutates the graph — never per
-	// candidate expression.
-	for rounds := 0; rounds < 10; rounds++ {
+	for rounds := 0; rounds < maxRounds; rounds++ {
+		st.Rounds = rounds + 1
 		changed := false
-		var d *dfg.Graph
-		if driver == DriverDFG {
+		if driver == DriverDFG && d == nil {
 			var err error
 			if d, err = dfg.Build(out); err != nil {
 				return nil, st, err
 			}
+			st.DFGRebuilds++
 		}
-		for _, e := range CandidateExprs(out) {
-			st.Exprs++
-			a, err := AnalyzeExpr(out, e, driver, d)
-			if err != nil {
-				return nil, st, err
-			}
+		exprs := CandidateExprs(out)
+		st.Exprs += len(exprs)
+		if len(exprs) > st.MaxCandidates {
+			st.MaxCandidates = len(exprs)
+		}
+		fam := anticip.NewFamily(out, exprs)
+		if fam.Words > st.SolverWords {
+			st.SolverWords = fam.Words
+		}
+		b, err := analyzeFamily(fam, driver, d, &sc)
+		if err != nil {
+			return nil, st, err
+		}
+		for k := range exprs {
+			a := b.Analysis(k)
 			if !a.Redundant() {
 				continue
 			}
 			name := fmt.Sprintf("epr_t%d", tmp)
 			tmp++
 			var ins, rep int
+			var ed dfg.EPREdit
 			if placement == PlaceLazy {
 				out.AddVar(name)
-				ins, rep = applyLazy(out, a, a.Lazy(), name)
+				ins, rep, ed = applyLazyEdit(out, a, a.Lazy(), name)
 			} else {
-				ins, rep = ApplyExpr(out, a, name)
+				ins, rep, ed = applyExprEdit(out, a, name)
 			}
 			st.Inserted += ins
 			st.Replaced += rep
 			changed = true
 			if driver == DriverDFG {
-				if d, err = dfg.Build(out); err != nil {
+				if perr := d.PatchEPR(ed); perr != nil {
+					// The patch left d inconsistent; discard and rebuild.
+					if d, err = dfg.Build(out); err != nil {
+						return nil, st, err
+					}
+					st.DFGRebuilds++
+				} else {
+					st.DFGPatches++
+					if PatchCheck {
+						patchCrossCheck(out, d, exprs)
+					}
+				}
+			}
+			// Re-solve the remaining candidates against the mutated graph.
+			if k+1 < len(exprs) {
+				fam.Update(append(append([]cfg.NodeID{}, ed.NewNodes...), ed.Rewritten...))
+				if b, err = analyzeFamily(fam, driver, d, &sc); err != nil {
 					return nil, st, err
 				}
 			}
 		}
 		if !changed {
+			st.Converged = true
 			break
 		}
 	}
 	return out, st, nil
+}
+
+// patchCrossCheck asserts that a patched DFG is equivalent to a freshly
+// built one, both structurally and under the batched analyses. Panics on
+// divergence (debug mode only; see PatchCheck).
+func patchCrossCheck(g *cfg.Graph, patched *dfg.Graph, exprs []ast.Expr) {
+	fresh, err := dfg.Build(g)
+	if err != nil {
+		panic(fmt.Sprintf("epr: patch cross-check: fresh build failed: %v", err))
+	}
+	if diff := dfg.DiffFlows(patched, fresh); diff != "" {
+		panic("epr: dfg patch diverged from fresh build: " + diff)
+	}
+	bp, err1 := analyzeFamily(anticip.NewFamily(g, exprs), DriverDFG, patched, nil)
+	bf, err2 := analyzeFamily(anticip.NewFamily(g, exprs), DriverDFG, fresh, nil)
+	if err1 != nil || err2 != nil {
+		panic(fmt.Sprintf("epr: patch cross-check: analyze failed: %v / %v", err1, err2))
+	}
+	for _, m := range []struct {
+		name           string
+		patched, fresh *bitset.Matrix
+	}{
+		{"ANT", bp.ANT, bf.ANT}, {"PAN", bp.PAN, bf.PAN},
+		{"AV", bp.AV, bf.AV}, {"PAV", bp.PAV, bf.PAV},
+	} {
+		if len(m.patched.W) != len(m.fresh.W) || !bitset.WordsEqual(m.patched.W, m.fresh.W) {
+			panic(fmt.Sprintf("epr: %s matrix diverged between patched and fresh DFG", m.name))
+		}
+	}
 }
 
 // Clone deep-copies a CFG.

@@ -376,3 +376,64 @@ func TestCFGvsDFGDriversAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsRoundsAndConvergence pins the fixpoint accounting: a staged
+// redundancy needs more than one round (replacing the inner expression is
+// what exposes the outer one), and a program this small must converge
+// before the round cap.
+func TestStatsRoundsAndConvergence(t *testing.T) {
+	src := `
+		read a; read b; read c;
+		x := (a + b) + c;
+		y := (a + b) + c;
+		print x; print y;`
+	for _, driver := range []Driver{DriverCFG, DriverDFG} {
+		opt, st, err := Apply(build(t, src), driver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Rounds < 2 {
+			t.Errorf("driver %v: staged redundancy resolved in %d round(s), want >=2: %v", driver, st.Rounds, st)
+		}
+		if !st.Converged {
+			t.Errorf("driver %v: tiny program did not converge: %v", driver, st)
+		}
+		if st.MaxCandidates == 0 || st.SolverWords == 0 {
+			t.Errorf("driver %v: solver observability not populated: %v", driver, st)
+		}
+		if driver == DriverDFG && st.DFGRebuilds == 0 {
+			t.Errorf("driver DFG: no initial DFG build recorded: %v", st)
+		}
+		differential(t, build(t, src), opt, "staged-rounds", true)
+	}
+}
+
+// TestStatsNonConvergenceSurfaced: the round cap truncates the fixpoint on
+// typical Mixed workloads (each transformation's temp assignment is a fresh
+// candidate next round); Stats must say so instead of truncating silently.
+func TestStatsNonConvergenceSurfaced(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 5; seed++ {
+		g, err := cfg.Build(workload.Mixed(15, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := Apply(g, DriverDFG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Converged {
+			continue
+		}
+		found = true
+		if st.Rounds != 10 {
+			t.Errorf("seed %d: non-converged run reports %d rounds, want the cap (10)", seed, st.Rounds)
+		}
+		if st.DFGPatches == 0 {
+			t.Errorf("seed %d: DriverDFG run with transformations recorded no patches: %v", seed, st)
+		}
+	}
+	if !found {
+		t.Fatalf("no Mixed(15) seed in 1..5 hit the round cap; pick a harder workload for this regression test")
+	}
+}

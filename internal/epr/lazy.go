@@ -1,8 +1,8 @@
 package epr
 
 import (
-	"dfg/internal/anticip"
 	"dfg/internal/cfg"
+	"dfg/internal/dfg"
 	"dfg/internal/lang/ast"
 )
 
@@ -43,11 +43,15 @@ func (a *Analysis) Lazy() *LazyPlacement {
 	for _, e := range a.Insert {
 		earliest[e] = true
 	}
-	comp := func(n cfg.NodeID) bool { return anticip.Computes(g, n, a.Expr) }
+	live := a.liveEdges()
+	comp := make([]bool, g.NumNodes())
+	for _, nd := range g.Nodes {
+		comp[nd.ID] = a.computes(nd.ID)
+	}
 
 	later := map[cfg.EdgeID]bool{}
 	laterIn := map[cfg.NodeID]bool{}
-	for _, eid := range g.LiveEdges() {
+	for _, eid := range live {
 		later[eid] = true
 	}
 	for _, nd := range g.Nodes {
@@ -56,9 +60,9 @@ func (a *Analysis) Lazy() *LazyPlacement {
 
 	for changed := true; changed; {
 		changed = false
-		for _, eid := range g.LiveEdges() {
+		for _, eid := range live {
 			src := g.Edge(eid).Src
-			v := earliest[eid] || (laterIn[src] && !comp(src) && src != g.Start)
+			v := earliest[eid] || (laterIn[src] && !comp[src] && src != g.Start)
 			if v != later[eid] {
 				later[eid] = v
 				changed = true
@@ -84,13 +88,13 @@ func (a *Analysis) Lazy() *LazyPlacement {
 	}
 
 	lp := &LazyPlacement{}
-	for _, eid := range g.LiveEdges() {
+	for _, eid := range live {
 		if later[eid] && !laterIn[g.Edge(eid).Dst] {
 			lp.Insert = append(lp.Insert, eid)
 		}
 	}
 	for _, nd := range g.Nodes {
-		if !comp(nd.ID) {
+		if !comp[nd.ID] {
 			continue
 		}
 		if laterIn[nd.ID] {
@@ -109,16 +113,30 @@ func (a *Analysis) Lazy() *LazyPlacement {
 
 // applyLazy rewrites g for one expression using the lazy placement.
 func applyLazy(g *cfg.Graph, a *Analysis, lp *LazyPlacement, temp string) (inserted, replaced int) {
+	inserted, replaced, _ = applyLazyEdit(g, a, lp, temp)
+	return inserted, replaced
+}
+
+// applyLazyEdit is applyLazy, additionally recording the CFG surgery for
+// incremental DFG maintenance.
+func applyLazyEdit(g *cfg.Graph, a *Analysis, lp *LazyPlacement, temp string) (inserted, replaced int, ed dfg.EPREdit) {
+	ed.Temp = temp
+	ed.Vars = ast.ExprVars(a.Expr)
 	g.AddVar(temp)
 	newAssign := func() cfg.NodeID {
 		n := g.AddNode(cfg.KindAssign)
 		g.Nodes[n].Var = temp
 		g.Nodes[n].Expr = ast.CloneExpr(a.Expr)
 		g.Nodes[n].Comment = "epr lazy insert"
+		ed.NewNodes = append(ed.NewNodes, n)
 		return n
 	}
+	split := func(eid cfg.EdgeID, n cfg.NodeID) {
+		ne := g.SplitEdge(eid, n)
+		ed.Splits = append(ed.Splits, dfg.EdgeSplit{Old: eid, New: ne, Node: n})
+	}
 	for _, eid := range lp.Insert {
-		g.SplitEdge(eid, newAssign())
+		split(eid, newAssign())
 		inserted++
 	}
 	for _, nid := range lp.Landing {
@@ -127,16 +145,18 @@ func applyLazy(g *cfg.Graph, a *Analysis, lp *LazyPlacement, temp string) (inser
 		if len(ins) != 1 {
 			continue // computations always have one in-edge in this IR
 		}
-		g.SplitEdge(ins[0], newAssign())
+		split(ins[0], newAssign())
 		inserted++
 		nd := g.Node(nid)
 		nd.Expr = replaceSubexpr(nd.Expr, a.Expr, &ast.VarRef{Name: temp})
+		ed.Rewritten = append(ed.Rewritten, nid)
 		replaced++
 	}
 	for _, nid := range lp.Replace {
 		nd := g.Node(nid)
 		nd.Expr = replaceSubexpr(nd.Expr, a.Expr, &ast.VarRef{Name: temp})
+		ed.Rewritten = append(ed.Rewritten, nid)
 		replaced++
 	}
-	return inserted, replaced
+	return inserted, replaced, ed
 }

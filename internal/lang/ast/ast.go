@@ -10,6 +10,7 @@ package ast
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dfg/internal/lang/token"
@@ -69,7 +70,7 @@ func (*BinaryExpr) exprNode() {}
 func (*UnaryExpr) exprNode()  {}
 
 // String renders the literal.
-func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+func (e *IntLit) String() string { return strconv.FormatInt(e.Value, 10) }
 
 // String renders the literal.
 func (e *BoolLit) String() string {
@@ -84,12 +85,41 @@ func (e *VarRef) String() string { return e.Name }
 
 // String renders the expression fully parenthesized to avoid ambiguity.
 func (e *BinaryExpr) String() string {
-	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+	return string(AppendExprString(nil, e))
 }
 
 // String renders the expression.
 func (e *UnaryExpr) String() string {
-	return fmt.Sprintf("%s%s", e.Op, e.X)
+	return string(AppendExprString(nil, e))
+}
+
+// AppendExprString appends e's String rendering to dst. It is the single
+// renderer behind the expression String methods, usable with a reused
+// buffer where per-subexpression Sprintf calls would dominate.
+func AppendExprString(dst []byte, e Expr) []byte {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.AppendInt(dst, e.Value, 10)
+	case *BoolLit:
+		if e.Value {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case *VarRef:
+		return append(dst, e.Name...)
+	case *BinaryExpr:
+		dst = append(dst, '(')
+		dst = AppendExprString(dst, e.X)
+		dst = append(dst, ' ')
+		dst = append(dst, e.Op.String()...)
+		dst = append(dst, ' ')
+		dst = AppendExprString(dst, e.Y)
+		return append(dst, ')')
+	case *UnaryExpr:
+		dst = append(dst, e.Op.String()...)
+		return AppendExprString(dst, e.X)
+	}
+	return dst
 }
 
 // ---------------------------------------------------------------------------
@@ -272,6 +302,20 @@ func WalkStmts(ss []Stmt, fn func(Stmt)) {
 	}
 }
 
+// HasVar reports whether e references any variable, without the
+// allocations of ExprVars.
+func HasVar(e Expr) bool {
+	switch e := e.(type) {
+	case *VarRef:
+		return true
+	case *BinaryExpr:
+		return HasVar(e.X) || HasVar(e.Y)
+	case *UnaryExpr:
+		return HasVar(e.X)
+	}
+	return false
+}
+
 // ExprVars returns the distinct variable names referenced by e, in first-use
 // order.
 func ExprVars(e Expr) []string {
@@ -343,6 +387,50 @@ func CloneExpr(e Expr) Expr {
 		return &UnaryExpr{Op: e.Op, X: CloneExpr(e.X), Pos: e.Pos}
 	}
 	panic(fmt.Sprintf("ast: unknown expression type %T", e))
+}
+
+// HashExpr returns a structural hash consistent with EqualExpr: equal
+// expressions hash equally. It serves as an allocation-free prefilter key
+// where rendering with String would dominate (String is also not
+// injective, so either key needs an EqualExpr confirmation).
+func HashExpr(e Expr) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *IntLit:
+			mix(1)
+			mix(uint64(e.Value))
+		case *BoolLit:
+			mix(2)
+			if e.Value {
+				mix(1)
+			} else {
+				mix(0)
+			}
+		case *VarRef:
+			mix(3)
+			for i := 0; i < len(e.Name); i++ {
+				mix(uint64(e.Name[i]))
+			}
+		case *BinaryExpr:
+			mix(4)
+			mix(uint64(e.Op))
+			walk(e.X)
+			walk(e.Y)
+		case *UnaryExpr:
+			mix(5)
+			mix(uint64(e.Op))
+			walk(e.X)
+		}
+	}
+	walk(e)
+	return h
 }
 
 // EqualExpr reports structural equality of two expressions. It is the

@@ -4,6 +4,8 @@ import (
 	"expvar"
 	rtmetrics "runtime/metrics"
 	"sync/atomic"
+
+	"dfg/internal/epr"
 )
 
 // stageCounters accumulates per-stage observability counters. All fields
@@ -42,6 +44,38 @@ type metrics struct {
 	requests atomic.Int64
 	batches  atomic.Int64
 	stages   map[Stage]*stageCounters
+	epr      eprCounters
+}
+
+// eprCounters accumulates the EPR engine's solver observability across
+// requests: how the incremental DFG maintenance is doing (patches vs full
+// rebuild fallbacks), how wide the batched solver's words get, and whether
+// any request hit the transformation round cap.
+type eprCounters struct {
+	patches      atomic.Int64 // in-place DFG patches applied
+	rebuilds     atomic.Int64 // full DFG (re)builds, incl. the initial one
+	nonConverged atomic.Int64 // requests cut off by the round cap
+	solverWords  atomic.Int64 // max lattice width seen, in 64-bit words
+	candidates   atomic.Int64 // max per-round candidate count seen
+}
+
+func (c *eprCounters) note(st epr.Stats) {
+	c.patches.Add(int64(st.DFGPatches))
+	c.rebuilds.Add(int64(st.DFGRebuilds))
+	if !st.Converged {
+		c.nonConverged.Add(1)
+	}
+	storeMax(&c.solverWords, int64(st.SolverWords))
+	storeMax(&c.candidates, int64(st.MaxCandidates))
+}
+
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 func newMetrics() *metrics {
@@ -78,6 +112,15 @@ type CacheStats struct {
 	Disabled  bool  `json:"disabled"`
 }
 
+// EPRStats is the exported snapshot of the EPR solver counters.
+type EPRStats struct {
+	DFGPatches    int64 `json:"dfg_patches"`
+	DFGRebuilds   int64 `json:"dfg_rebuilds"`
+	NonConverged  int64 `json:"non_converged"`
+	MaxWords      int64 `json:"max_solver_words"`
+	MaxCandidates int64 `json:"max_candidates"`
+}
+
 // Snapshot is a point-in-time copy of every engine counter, for /statsz
 // and for tests.
 type Snapshot struct {
@@ -85,6 +128,7 @@ type Snapshot struct {
 	Batches  int64                `json:"batches"`
 	Stages   map[Stage]StageStats `json:"stages"`
 	Cache    CacheStats           `json:"cache"`
+	EPR      EPRStats             `json:"epr"`
 }
 
 // Snapshot returns a consistent-enough copy of the engine's counters.
@@ -119,6 +163,14 @@ func (e *Engine) Snapshot() Snapshot {
 		s.Cache = CacheStats{Entries: entries, Capacity: e.cfg.CacheEntries, Evictions: evictions}
 	} else {
 		s.Cache = CacheStats{Disabled: true}
+	}
+	ec := &e.metrics.epr
+	s.EPR = EPRStats{
+		DFGPatches:    ec.patches.Load(),
+		DFGRebuilds:   ec.rebuilds.Load(),
+		NonConverged:  ec.nonConverged.Load(),
+		MaxWords:      ec.solverWords.Load(),
+		MaxCandidates: ec.candidates.Load(),
 	}
 	return s
 }

@@ -37,3 +37,30 @@ func TestStageAllocCounters(t *testing.T) {
 		t.Error("no allocation attributed to any stage across a 10-program cold corpus")
 	}
 }
+
+// TestEPRSnapshotCounters: the engine snapshot must aggregate the EPR
+// solver's observability — DFG maintenance mode (patches vs rebuild
+// fallbacks), batched-solver width, per-round candidate count, and
+// round-cap truncations — across requests.
+func TestEPRSnapshotCounters(t *testing.T) {
+	e := New(Config{Workers: 1, DisableCache: true})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := e.Analyze(ctx, Request{Source: workload.Mixed(15, int64(i+1)).String()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Snapshot()
+	if snap.EPR.DFGRebuilds == 0 {
+		t.Error("no DFG builds recorded across 5 EPR runs")
+	}
+	if snap.EPR.DFGPatches == 0 {
+		t.Error("no in-place DFG patches recorded; the incremental path is not running")
+	}
+	if snap.EPR.MaxWords == 0 || snap.EPR.MaxCandidates == 0 {
+		t.Errorf("solver width counters unset: %+v", snap.EPR)
+	}
+	if snap.EPR.NonConverged == 0 {
+		t.Error("Mixed(15) corpus is known to hit the round cap; NonConverged stayed 0")
+	}
+}

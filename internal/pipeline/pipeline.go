@@ -35,6 +35,7 @@ import (
 	"dfg/internal/cdg"
 	"dfg/internal/cfg"
 	"dfg/internal/constprop"
+	"dfg/internal/dataflow"
 	"dfg/internal/dfg"
 	"dfg/internal/epr"
 	"dfg/internal/lang/ast"
@@ -391,6 +392,9 @@ func (e *Engine) computeStage(st Stage, req Request, res *Result) (v any, err er
 	if cerr != nil {
 		return nil, &StageError{Stage: st, Err: cerr}
 	}
+	if st == StageEPR {
+		e.metrics.epr.note(v.(*EPRResult).Stats)
+	}
 	return v, nil
 }
 
@@ -432,17 +436,20 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 		out.ConstUses = out.CFG.ConstUses()
 		return out, nil
 	case StageAnticip:
+		// One batched fixpoint covers every candidate (bit k of each row is
+		// candidate k's ANT/PAN).
 		var out []ExprAnticip
-		for _, ex := range epr.CandidateExprs(res.CFG) {
-			r := anticip.DFG(res.DFG, ex)
+		exprs := epr.CandidateExprs(res.CFG)
+		fam := anticip.NewFamily(res.CFG, exprs)
+		var cost dataflow.Counter
+		ant, pan := fam.SolveDFG(res.DFG, &cost)
+		for k, ex := range exprs {
 			ea := ExprAnticip{Expr: ex.String()}
-			for _, v := range r.ANT {
-				if v {
+			for eid := 0; eid < res.CFG.NumEdges(); eid++ {
+				if ant.Bit(eid, k) {
 					ea.AntEdges++
 				}
-			}
-			for _, v := range r.PAN {
-				if v {
+				if pan.Bit(eid, k) {
 					ea.PanEdges++
 				}
 			}
@@ -451,12 +458,13 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 		return out, nil
 	case StageEPR:
 		out := &EPRResult{}
-		for _, ex := range epr.CandidateExprs(res.CFG) {
-			a, err := epr.AnalyzeExpr(res.CFG, ex, epr.DriverDFG, res.DFG)
-			if err != nil {
-				return nil, err
-			}
-			pe := EPRExpr{Expr: ex.String(), Redundant: a.Redundant()}
+		b, err := epr.AnalyzeBatch(res.CFG, epr.CandidateExprs(res.CFG), epr.DriverDFG, res.DFG)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < b.Len(); k++ {
+			a := b.Analysis(k)
+			pe := EPRExpr{Expr: a.Expr.String(), Redundant: a.Redundant()}
 			for _, eid := range a.Insert {
 				pe.Insert = append(pe.Insert, int(eid))
 			}

@@ -62,6 +62,12 @@ type ConstpropReport struct {
 	Agree     bool `json:"agree"`
 }
 
+// EPRReport deliberately omits the convergence counters (Rounds,
+// Converged, patch/rebuild tallies): typical Mixed workloads hit the
+// transformation round cap, so surfacing them here would churn the pinned
+// golden reports on every knob change. Non-convergence is observable on
+// Result.EPR.Stats and aggregated across requests in the engine Snapshot
+// (EPRStats.NonConverged), which cmd/dfg-serve exports via expvar.
 type EPRReport struct {
 	Exprs    int       `json:"exprs"`
 	Inserted int       `json:"inserted"`
