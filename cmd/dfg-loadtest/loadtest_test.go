@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSelfhostSmoke runs the whole two-phase selfhost benchmark at a tiny
+// scale and checks the report: every request answered, warm phase served
+// off the persistent store after the simulated restart, acceptance PASS.
+func TestSelfhostSmoke(t *testing.T) {
+	cfg := loadConfig{
+		Dir:         t.TempDir(),
+		Backends:    2,
+		Programs:    6,
+		Size:        8,
+		Seed:        42,
+		Concurrency: 4,
+		Rounds:      2,
+		Timeout:     30 * time.Second,
+	}
+	rep, err := runSelfhost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, phase := range []string{"cold", "warm-after-restart"} {
+		st, ok := rep.Results[phase]
+		if !ok {
+			t.Fatalf("report missing phase %q", phase)
+		}
+		if want := cfg.Programs * cfg.Rounds; st.Requests != want || st.Errors != 0 {
+			t.Fatalf("%s: requests=%d errors=%d, want %d/0", phase, st.Requests, st.Errors, want)
+		}
+		if st.P50MS <= 0 || st.P99MS < st.P50MS || st.RequestsPerSec <= 0 {
+			t.Fatalf("%s: implausible latency stats: %+v", phase, st)
+		}
+	}
+	// Tier counts are per-response: requests coalesced by the singleflight
+	// share the underlying compute's tier, so "compute" can exceed the
+	// distinct-program count but never undershoot it.
+	cold := rep.Results["cold"]
+	if cold.Tiers["compute"] < cfg.Programs {
+		t.Fatalf("cold phase computed %d, want >= %d (one per distinct program): %v",
+			cold.Tiers["compute"], cfg.Programs, cold.Tiers)
+	}
+	warm := rep.Results["warm-after-restart"]
+	if warm.Tiers["compute"] != 0 {
+		t.Fatalf("warm phase recomputed %d programs; the store did not persist: %v",
+			warm.Tiers["compute"], warm.Tiers)
+	}
+	if warm.Tiers["store"] == 0 {
+		t.Fatalf("warm phase never touched the store: %v", warm.Tiers)
+	}
+
+	if rep.Store == nil {
+		t.Fatal("report missing store acceptance")
+	}
+	if rep.Store.HitRate <= 0.90 || rep.Store.WarmMisses != 0 {
+		t.Fatalf("store acceptance failed: %+v", rep.Store)
+	}
+	if got := rep.Store.Acceptance; !strings.Contains(got, "PASS") {
+		t.Fatalf("acceptance line = %q", got)
+	}
+}

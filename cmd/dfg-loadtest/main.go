@@ -1,0 +1,445 @@
+// Command dfg-loadtest drives sustained concurrent mixed cold/warm traffic
+// through the serving frontier and reports latency percentiles, throughput,
+// and cache-hit rates.
+//
+// By default it self-hosts a sharded deployment in-process: N dfg-worker
+// backends (real wire servers on loopback TCP, each with a persistent
+// artifact store) behind a consistent-hash frontier. The run has two
+// phases:
+//
+//  1. cold: fresh store directories; the first touch of every program is
+//     computed, repeat rounds hit the workers' in-memory report LRU.
+//  2. warm-after-restart: every worker is torn down and rebuilt with a
+//     fresh engine on the same store directory — simulating a fleet
+//     restart — and the same traffic is replayed. First touches must now
+//     be answered from the on-disk store, proving persistence.
+//
+// The acceptance gate is a store-hit rate above 90% in the warm phase.
+// Results are written as JSON (see BENCH_serve.json) with -out.
+//
+// With -url the tool instead targets an externally running dfg-serve over
+// HTTP POST /analyze (single phase, no restart simulation).
+//
+// Flags:
+//
+//	-url          external frontier base URL (empty = self-host)
+//	-dir          store root for self-host mode (empty = temp dir)
+//	-backends     self-hosted worker count (default 2)
+//	-programs     distinct programs in the traffic mix (default 50)
+//	-size         statements per generated program (default 12)
+//	-seed         workload seed (default 1)
+//	-concurrency  concurrent clients (default 8)
+//	-rounds       passes over the program set per phase (default 3)
+//	-timeout      per-request timeout (default 30s)
+//	-out          write the JSON report here (empty = stdout only)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dfg/internal/backend"
+	"dfg/internal/frontier"
+	"dfg/internal/pipeline"
+	"dfg/internal/store"
+	"dfg/internal/wire"
+	"dfg/internal/workload"
+)
+
+var (
+	flagURL         = flag.String("url", "", "external frontier base URL (empty = self-host)")
+	flagDir         = flag.String("dir", "", "store root for self-host mode (empty = temp dir)")
+	flagBackends    = flag.Int("backends", 2, "self-hosted worker count")
+	flagPrograms    = flag.Int("programs", 50, "distinct programs in the traffic mix")
+	flagSize        = flag.Int("size", 12, "statements per generated program")
+	flagSeed        = flag.Int64("seed", 1, "workload seed")
+	flagConcurrency = flag.Int("concurrency", 8, "concurrent clients")
+	flagRounds      = flag.Int("rounds", 3, "passes over the program set per phase")
+	flagTimeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flagOut         = flag.String("out", "", "write the JSON report here (empty = stdout only)")
+)
+
+func main() {
+	flag.Parse()
+	cfg := loadConfig{
+		Dir:         *flagDir,
+		Backends:    *flagBackends,
+		Programs:    *flagPrograms,
+		Size:        *flagSize,
+		Seed:        *flagSeed,
+		Concurrency: *flagConcurrency,
+		Rounds:      *flagRounds,
+		Timeout:     *flagTimeout,
+	}
+
+	var rep *benchReport
+	var err error
+	if *flagURL != "" {
+		rep, err = runExternal(*flagURL, cfg)
+	} else {
+		rep, err = runSelfhost(cfg)
+	}
+	if err != nil {
+		log.Fatalf("dfg-loadtest: %v", err)
+	}
+
+	out, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		log.Fatalf("dfg-loadtest: %v", merr)
+	}
+	out = append(out, '\n')
+	fmt.Printf("%s", out)
+	if *flagOut != "" {
+		if err := os.WriteFile(*flagOut, out, 0o644); err != nil {
+			log.Fatalf("dfg-loadtest: %v", err)
+		}
+	}
+	if rep.Store != nil && !strings.Contains(rep.Store.Acceptance, "PASS") {
+		log.Fatalf("dfg-loadtest: %s", rep.Store.Acceptance)
+	}
+}
+
+type loadConfig struct {
+	Dir         string
+	Backends    int
+	Programs    int
+	Size        int
+	Seed        int64
+	Concurrency int
+	Rounds      int
+	Timeout     time.Duration
+}
+
+// benchReport mirrors the repo's BENCH_*.json shape.
+type benchReport struct {
+	Benchmark   string                `json:"benchmark"`
+	Date        string                `json:"date"`
+	Workload    string                `json:"workload"`
+	Environment benchEnv              `json:"environment"`
+	Results     map[string]phaseStats `json:"results"`
+	Store       *storeAcceptance      `json:"store,omitempty"`
+	Notes       map[string]string     `json:"notes"`
+}
+
+type benchEnv struct {
+	CPU        string `json:"cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+	Note       string `json:"note"`
+}
+
+// phaseStats summarizes one traffic phase.
+type phaseStats struct {
+	Requests       int            `json:"requests"`
+	Errors         int            `json:"errors"`
+	P50MS          float64        `json:"p50_ms"`
+	P99MS          float64        `json:"p99_ms"`
+	RequestsPerSec float64        `json:"requests_per_sec"`
+	Tiers          map[string]int `json:"tiers"`
+	CacheHitRate   float64        `json:"cache_hit_rate"`
+}
+
+type storeAcceptance struct {
+	WarmHits   int64   `json:"warm_hits"`
+	WarmMisses int64   `json:"warm_misses"`
+	HitRate    float64 `json:"hit_rate"`
+	Acceptance string  `json:"acceptance"`
+}
+
+// analyzeFn issues one request and reports the serving tier ("compute",
+// "lru", "store", or "" when the path doesn't expose one).
+type analyzeFn func(ctx context.Context, program string) (tier string, err error)
+
+// runPhase replays rounds passes over the program set with concurrent
+// clients and aggregates latencies and tiers. Clients interleave, so warm
+// and cold requests overlap in flight.
+func runPhase(cfg loadConfig, programs []string, analyze analyzeFn) phaseStats {
+	type job struct{ program string }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var durs []time.Duration
+	tiers := map[string]int{}
+	errs := 0
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+				t0 := time.Now()
+				tier, err := analyze(ctx, j.program)
+				d := time.Since(t0)
+				cancel()
+				mu.Lock()
+				durs = append(durs, d)
+				if err != nil {
+					errs++
+				} else {
+					if tier == "" {
+						tier = "unknown"
+					}
+					tiers[tier]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, p := range programs {
+			jobs <- job{program: p}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	st := phaseStats{Requests: len(durs), Errors: errs, Tiers: tiers}
+	if n := len(durs); n > 0 {
+		st.P50MS = round2(durs[n/2].Seconds() * 1e3)
+		st.P99MS = round2(durs[(n-1)*99/100].Seconds() * 1e3)
+		st.RequestsPerSec = round2(float64(n) / wall.Seconds())
+		st.CacheHitRate = round2(float64(tiers[string(pipeline.TierLRU)]+tiers[string(pipeline.TierStore)]) / float64(n))
+	}
+	return st
+}
+
+// fleet is one self-hosted generation of workers plus the frontier routing
+// to them.
+type fleet struct {
+	front   *frontier.Frontier
+	engines []*pipeline.Engine
+	servers []*wire.Server
+	cancel  context.CancelFunc
+}
+
+// startFleet brings up cfg.Backends workers on loopback, each with a
+// persistent store under dir, and a frontier over them.
+func startFleet(cfg loadConfig, dir string) (*fleet, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fl := &fleet{cancel: cancel}
+	var addrs, names []string
+	for i := 0; i < cfg.Backends; i++ {
+		st, err := store.Open(fmt.Sprintf("%s/w%d", dir, i), store.Options{
+			Schema: pipeline.ReportSchemaVersion,
+			NoSync: true, // benchmark: measure the serving path, not fsync
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		eng := pipeline.New(pipeline.Config{Store: st})
+		srv := wire.NewServer(backend.Handler(eng), wire.ServerOptions{
+			Schema: pipeline.ReportSchemaVersion,
+			Name:   fmt.Sprintf("loadtest-w%d", i),
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		go srv.Serve(l)
+		fl.engines = append(fl.engines, eng)
+		fl.servers = append(fl.servers, srv)
+		addrs = append(addrs, l.Addr().String())
+		names = append(names, fmt.Sprintf("w%d", i))
+	}
+	// Stable ring names: a restarted fleet comes back on fresh ephemeral
+	// ports, and each shard must keep routing to its own store directory.
+	fl.front = frontier.New(ctx, frontier.Config{Backends: addrs, Names: names, HealthInterval: time.Second})
+	return fl, nil
+}
+
+func (fl *fleet) stop() {
+	for _, srv := range fl.servers {
+		srv.Shutdown(context.Background())
+	}
+	fl.cancel()
+}
+
+// storeCounts sums store hits/misses across the fleet's workers.
+func (fl *fleet) storeCounts() (hits, misses int64) {
+	for _, eng := range fl.engines {
+		if snap := eng.Snapshot(); snap.Store != nil {
+			hits += snap.Store.Hits
+			misses += snap.Store.Misses
+		}
+	}
+	return hits, misses
+}
+
+func (fl *fleet) analyzer(cfg loadConfig) analyzeFn {
+	return func(ctx context.Context, program string) (string, error) {
+		key, err := pipeline.ReportKey(program, pipeline.Options{}, nil)
+		if err != nil {
+			return "", err
+		}
+		res, err := fl.front.Analyze(ctx, key, backend.Item(program, nil, false, nil, cfg.Timeout))
+		if err != nil {
+			return "", err
+		}
+		if !res.OK {
+			return "", fmt.Errorf("%s", res.Error)
+		}
+		return res.Tier, nil
+	}
+}
+
+// runSelfhost is the two-phase persistence benchmark described in the
+// package comment.
+func runSelfhost(cfg loadConfig) (*benchReport, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "dfg-loadtest-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	programs := makePrograms(cfg)
+
+	// Phase 1: cold fleet, empty stores.
+	fl, err := startFleet(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	cold := runPhase(cfg, programs, fl.analyzer(cfg))
+	fl.stop()
+
+	// Simulated fleet restart: fresh engines (empty LRUs), same store dirs.
+	fl2, err := startFleet(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	warm := runPhase(cfg, programs, fl2.analyzer(cfg))
+	hits, misses := fl2.storeCounts()
+	fl2.stop()
+
+	rep := newReport(cfg, "self-hosted frontier + workers over loopback TCP")
+	rep.Results["cold"] = cold
+	rep.Results["warm-after-restart"] = warm
+
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	verdict := "FAIL"
+	if rate > 0.90 {
+		verdict = "PASS"
+	}
+	rep.Store = &storeAcceptance{
+		WarmHits:   hits,
+		WarmMisses: misses,
+		HitRate:    round2(rate),
+		Acceptance: fmt.Sprintf("store-hit rate > 90%% against a warm on-disk store after restart: %s (%.0f%%)", verdict, rate*100),
+	}
+	rep.Notes["cold"] = "fresh store directories; first touch of each program computes, repeat rounds hit the workers' report LRU"
+	rep.Notes["warm-after-restart"] = "same store directories behind brand-new engines: first touches must come off disk (tier \"store\"), repeat rounds off the LRU"
+	rep.Notes["store"] = "hits/misses are the workers' persistent-store counters during the warm phase only"
+	return rep, nil
+}
+
+// runExternal drives a running dfg-serve frontier over HTTP (single
+// phase; restart simulation needs process control we don't have).
+func runExternal(baseURL string, cfg loadConfig) (*benchReport, error) {
+	programs := makePrograms(cfg)
+	analyze := httpAnalyzer(baseURL)
+	phase := runPhase(cfg, programs, analyze)
+	rep := newReport(cfg, "external frontier at "+baseURL)
+	rep.Results["mixed"] = phase
+	rep.Notes["mixed"] = "single phase against an externally managed deployment; restart the fleet and re-run to measure store persistence"
+	return rep, nil
+}
+
+// httpAnalyzer adapts POST /analyze on an external frontier to analyzeFn.
+func httpAnalyzer(baseURL string) analyzeFn {
+	url := strings.TrimRight(baseURL, "/") + "/analyze"
+	client := &http.Client{}
+	return func(ctx context.Context, program string) (string, error) {
+		body, err := json.Marshal(map[string]string{"program": program})
+		if err != nil {
+			return "", err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var out struct {
+			OK    bool   `json:"ok"`
+			Tier  string `json:"tier"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "", err
+		}
+		if !out.OK {
+			return "", fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
+		}
+		return out.Tier, nil
+	}
+}
+
+func makePrograms(cfg loadConfig) []string {
+	programs := make([]string, cfg.Programs)
+	for i := range programs {
+		programs[i] = workload.Mixed(cfg.Size, cfg.Seed+int64(i)).String()
+	}
+	return programs
+}
+
+func newReport(cfg loadConfig, mode string) *benchReport {
+	return &benchReport{
+		Benchmark: "dfg-loadtest (cmd/dfg-loadtest)",
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Workload: fmt.Sprintf("%d distinct workload.Mixed(%d, seed) programs x %d rounds, %d concurrent clients, %s",
+			cfg.Programs, cfg.Size, cfg.Rounds, cfg.Concurrency, mode),
+		Environment: benchEnv{
+			CPU:        cpuModel(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			Note:       fmt.Sprintf("%d worker backend(s), stores opened NoSync for benchmarking", cfg.Backends),
+		},
+		Results: map[string]phaseStats{},
+		Notes:   map[string]string{},
+	}
+}
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}

@@ -1,27 +1,44 @@
-// Command dfg-serve exposes the analysis pipeline as a JSON HTTP service:
-// clients POST a program in the analysis language plus a list of requested
-// stages and get per-stage results back. Stage artifacts are memoized in
-// the engine's content-addressed cache, so repeated analyses of the same
-// program are served from memory.
+// Command dfg-serve exposes the analysis pipeline as a JSON HTTP service.
+// It runs in two modes:
+//
+// In-process (default): every program is analyzed by this process's
+// pipeline engine, with stage artifacts memoized in the content-addressed
+// LRU; add -store to persist Reports in the on-disk artifact store so warm
+// traffic survives restarts.
+//
+// Frontier (-backends): the process becomes the serving frontier of a
+// sharded deployment. Programs are consistent-hash routed over the wire
+// protocol to dfg-worker backends, identical in-flight requests are
+// deduplicated (singleflight), backends are health-checked, and a failed
+// backend is retried transparently on the next replica:
+//
+//	dfg-worker -addr :8451 -store /var/lib/dfg/w1 &
+//	dfg-worker -addr :8452 -store /var/lib/dfg/w2 &
+//	dfg-serve  -backends 127.0.0.1:8451,127.0.0.1:8452
 //
 // Endpoints:
 //
-//	POST /analyze     {"program": "...", "stages": ["cfg","constprop"],
-//	                   "predicates": false, "dot": ["cfg"]}
-//	GET  /healthz     liveness probe
-//	GET  /statsz      per-stage hit/miss/latency counters
-//	GET  /debug/vars  expvar (includes the same counters under "pipeline")
+//	POST /analyze        {"program": "...", "stages": ["cfg","constprop"],
+//	                      "predicates": false, "dot": ["cfg"]}
+//	POST /analyze/batch  {"requests": [<analyze bodies>]}
+//	GET  /healthz        liveness probe
+//	GET  /statsz         per-stage, cache, store, and routing counters
+//	GET  /debug/vars     expvar ("pipeline", plus "frontier" when sharded)
 //
 // Flags:
 //
-//	-addr     listen address (default :8344)
-//	-workers  engine worker-pool size (default GOMAXPROCS)
-//	-cache    stage-artifact cache capacity (default 1024)
-//	-timeout  per-request analysis timeout (default 10s)
-//	-pprof    expose net/http/pprof under /debug/pprof/ (default off)
+//	-addr             listen address (default :8344)
+//	-backends         comma-separated dfg-worker addresses, each "addr" or "name=addr" (empty = in-process)
+//	-store            artifact store dir for in-process mode (empty = memory only)
+//	-workers          engine worker-pool size (default GOMAXPROCS)
+//	-cache            stage-artifact cache capacity (default 1024)
+//	-timeout          per-request analysis timeout (default 10s)
+//	-maxbody          POST /analyze body limit in bytes (default 4 MiB; batch 16x)
+//	-health-interval  backend health-check cadence (default 2s)
+//	-pprof            expose net/http/pprof under /debug/pprof/ (default off)
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// get a drain window before the listener closes.
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests —
+// including /analyze/batch fan-outs — drain before the listener closes.
 package main
 
 import (
@@ -29,30 +46,77 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dfg/internal/frontier"
 	"dfg/internal/pipeline"
+	"dfg/internal/store"
 )
 
 var (
-	flagAddr    = flag.String("addr", ":8344", "listen address")
-	flagWorkers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-	flagCache   = flag.Int("cache", 1024, "stage-artifact cache capacity")
-	flagTimeout = flag.Duration("timeout", 10*time.Second, "per-request analysis timeout")
-	flagPprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	flagAddr     = flag.String("addr", ":8344", "listen address")
+	flagBackends = flag.String("backends", "", "comma-separated dfg-worker entries, \"addr\" or \"name=addr\"; empty = analyze in-process")
+	flagStore    = flag.String("store", "", "artifact store directory for in-process mode (empty = memory only)")
+	flagWorkers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flagCache    = flag.Int("cache", 1024, "stage-artifact cache capacity")
+	flagTimeout  = flag.Duration("timeout", 10*time.Second, "per-request analysis timeout")
+	flagMaxBody  = flag.Int64("maxbody", 4<<20, "POST /analyze body limit in bytes")
+	flagHealth   = flag.Duration("health-interval", 2*time.Second, "backend health-check cadence")
+	flagPprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 )
 
 func main() {
 	flag.Parse()
+
+	var st *store.Store
+	if *flagStore != "" {
+		var err error
+		st, err = store.Open(*flagStore, store.Options{Schema: pipeline.ReportSchemaVersion})
+		if err != nil {
+			log.Fatalf("dfg-serve: %v", err)
+		}
+	}
 	eng := pipeline.New(pipeline.Config{
 		Workers:        *flagWorkers,
 		CacheEntries:   *flagCache,
 		DefaultTimeout: *flagTimeout,
+		Store:          st,
 	})
-	mux := newMux(eng)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var front *frontier.Frontier
+	if *flagBackends != "" {
+		// Each entry is "addr" or "name=addr". A name pins the backend's
+		// consistent-hash ring identity, so a worker that restarts on a
+		// different address keeps owning the same keyspace slice (and
+		// keeps hitting its own artifact store).
+		var addrs, names []string
+		for _, entry := range strings.Split(*flagBackends, ",") {
+			entry = strings.TrimSpace(entry)
+			if name, addr, ok := strings.Cut(entry, "="); ok {
+				names = append(names, strings.TrimSpace(name))
+				addrs = append(addrs, strings.TrimSpace(addr))
+			} else {
+				names = append(names, "")
+				addrs = append(addrs, entry)
+			}
+		}
+		front = frontier.New(ctx, frontier.Config{
+			Backends:       addrs,
+			Names:          names,
+			HealthInterval: *flagHealth,
+		})
+		log.Printf("dfg-serve: frontier mode, %d backend(s): %s", len(addrs), *flagBackends)
+	}
+
+	mux := newMux(eng, serverOptions{Frontier: front, MaxBody: *flagMaxBody, Timeout: *flagTimeout})
 	if *flagPprof {
 		mountPprof(mux)
 	}
@@ -62,23 +126,38 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("dfg-serve: listening on %s (workers=%d cache=%d)", *flagAddr, eng.Workers(), *flagCache)
+	if err := serveUntil(ctx, srv, nil, 30*time.Second); err != nil {
+		log.Fatalf("dfg-serve: %v", err)
+	}
+}
+
+// serveUntil runs srv until ctx is cancelled, then shuts down gracefully:
+// the listener closes to new connections while every in-flight request —
+// including /analyze/batch fan-outs across the engine's worker pool —
+// drains within drainTimeout. A nil listener means srv.Addr (production);
+// the shutdown-under-load regression test passes its own loopback listener
+// so it drives the exact production path on an ephemeral port.
+func serveUntil(ctx context.Context, srv *http.Server, l net.Listener, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if l != nil {
+			errc <- srv.Serve(l)
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("dfg-serve: %v", err)
+		return err
 	case <-ctx.Done():
 	}
 
-	log.Printf("dfg-serve: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("dfg-serve: shutdown: %v", err)
+		return err
 	}
+	return nil
 }

@@ -10,10 +10,13 @@ import (
 	"strings"
 	"time"
 
+	"dfg/internal/frontier"
 	"dfg/internal/pipeline"
+	"dfg/internal/wire"
 )
 
-// analyzeRequest is the POST /analyze body.
+// analyzeRequest is the POST /analyze body (and one element of the POST
+// /analyze/batch body).
 type analyzeRequest struct {
 	// Program is the source text in the analysis language.
 	Program string `json:"program"`
@@ -25,7 +28,8 @@ type analyzeRequest struct {
 	// program under the CFG interpreter and the token-driven DFG executor
 	// and reports whether they agree.
 	Inputs []int64 `json:"inputs,omitempty"`
-	// DOT requests Graphviz renderings: any of "cfg", "dfg".
+	// DOT requests Graphviz renderings: any of "cfg", "dfg". DOT needs live
+	// graph artifacts, so such requests are always analyzed in-process.
 	DOT []string `json:"dot,omitempty"`
 }
 
@@ -42,20 +46,67 @@ type analyzeResponse struct {
 	Report *pipeline.Report     `json:"report,omitempty"`
 	Meta   map[string]stageMeta `json:"meta,omitempty"`
 	DOT    map[string]string    `json:"dot,omitempty"`
-	Error  string               `json:"error,omitempty"`
+	// Tier says which cache tier satisfied the request (compute/lru/store)
+	// when it was served through the report cache or a backend; empty on
+	// the legacy in-process path.
+	Tier  string `json:"tier,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
-// server routes HTTP traffic to a pipeline engine.
+// batchRequest is the POST /analyze/batch body.
+type batchRequest struct {
+	Requests []analyzeRequest `json:"requests"`
+}
+
+// batchResponse is the POST /analyze/batch reply, index-aligned with the
+// request.
+type batchResponse struct {
+	OK      bool              `json:"ok"`
+	Results []analyzeResponse `json:"results"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// serverOptions configure newMux beyond the engine.
+type serverOptions struct {
+	// Frontier, when non-nil, routes analyses to remote backends; nil keeps
+	// every analysis in-process (the pre-sharding behaviour).
+	Frontier *frontier.Frontier
+	// MaxBody bounds a POST /analyze body; <=0 means 4 MiB. Batch bodies
+	// get 16x this budget.
+	MaxBody int64
+	// Timeout is forwarded to backends as the per-item analysis budget;
+	// <=0 means 30s.
+	Timeout time.Duration
+}
+
+func (o *serverOptions) defaults() {
+	if o.MaxBody <= 0 {
+		o.MaxBody = 4 << 20
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+}
+
+// server routes HTTP traffic to a pipeline engine and, when configured, a
+// fleet of wire backends.
 type server struct {
-	eng *pipeline.Engine
+	eng   *pipeline.Engine
+	front *frontier.Frontier
+	opts  serverOptions
 }
 
 // newMux builds the service's routing table around eng.
-func newMux(eng *pipeline.Engine) *http.ServeMux {
-	s := &server{eng: eng}
+func newMux(eng *pipeline.Engine, opts serverOptions) *http.ServeMux {
+	opts.defaults()
+	s := &server{eng: eng, front: opts.Frontier, opts: opts}
 	eng.PublishExpvar("pipeline")
+	if s.front != nil && expvar.Get("frontier") == nil {
+		expvar.Publish("frontier", expvar.Func(func() any { return s.front.Stats() }))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /analyze/batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -82,35 +133,75 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req analyzeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+// decodeBody decodes a bounded JSON request body, translating the
+// over-limit case into 413 (the unbounded read this replaced was a trivial
+// memory-exhaustion hole once the frontier faces real traffic).
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) (ok bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, analyzeResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: "bad request body: " + err.Error()})
-		return
+		return false
 	}
+	return true
+}
+
+// validate checks one analyzeRequest, returning the expanded stage list.
+func validate(req *analyzeRequest, allowDOT bool) ([]pipeline.Stage, error) {
 	if strings.TrimSpace(req.Program) == "" {
-		writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: "empty program"})
-		return
+		return nil, errors.New("empty program")
 	}
 	stages := make([]pipeline.Stage, 0, len(req.Stages))
 	for _, st := range req.Stages {
 		stage := pipeline.Stage(st)
 		if !pipeline.ValidStage(stage) {
-			writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: fmt.Sprintf("unknown stage %q", st)})
-			return
+			return nil, fmt.Errorf("unknown stage %q", st)
 		}
 		stages = append(stages, stage)
 	}
 	for _, d := range req.DOT {
+		if !allowDOT {
+			return nil, errors.New("dot renderings are not available on batch requests")
+		}
 		if d != "cfg" && d != "dfg" {
-			writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: fmt.Sprintf("unknown dot target %q (want cfg or dfg)", d)})
-			return
+			return nil, fmt.Errorf("unknown dot target %q (want cfg or dfg)", d)
 		}
 		// DOT needs the corresponding artifact even if its stage was not
 		// requested explicitly.
 		stages = append(stages, pipeline.Stage(d))
+	}
+	return stages, nil
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !decodeBody(w, r, s.opts.MaxBody, &req) {
+		return
+	}
+	stages, err := validate(&req, true)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, analyzeResponse{Error: err.Error()})
+		return
+	}
+
+	// Three serving paths, in preference order: remote backends (no DOT),
+	// the local two-tier report cache (store configured, no DOT), legacy
+	// in-process with live artifacts.
+	if s.front != nil && len(req.DOT) == 0 {
+		resp, code := s.analyzeRemote(r, &req)
+		writeJSON(w, code, resp)
+		return
+	}
+	if s.eng.ArtifactStore() != nil && len(req.DOT) == 0 {
+		resp, code := s.analyzeStored(r, &req)
+		writeJSON(w, code, resp)
+		return
 	}
 
 	res, err := s.eng.Analyze(r.Context(), pipeline.Request{
@@ -119,14 +210,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Options: pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs},
 	})
 	if err != nil {
-		// Analysis failures — parse errors, malformed control flow, and
-		// recovered stage panics alike — are the request's fault, not the
-		// server's: 422, and the engine keeps serving.
-		code := http.StatusUnprocessableEntity
-		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-			code = http.StatusRequestTimeout
-		}
-		writeJSON(w, code, analyzeResponse{Error: err.Error()})
+		writeJSON(w, analysisErrCode(r, err), analyzeResponse{Error: err.Error()})
 		return
 	}
 
@@ -150,10 +234,195 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// analysisErrCode maps an engine error onto a status: analysis failures —
+// parse errors, malformed control flow, and recovered stage panics alike —
+// are the request's fault (422) and the server keeps serving; context
+// expiry is a timeout (408).
+func analysisErrCode(r *http.Request, err error) int {
+	if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// analyzeStored serves one request through the engine's two-tier report
+// cache (in-memory LRU, then the persistent store, then compute).
+func (s *server) analyzeStored(r *http.Request, req *analyzeRequest) (analyzeResponse, int) {
+	rr, err := s.eng.AnalyzeReport(r.Context(), pipeline.Request{
+		Source:  req.Program,
+		Stages:  toStages(req.Stages),
+		Options: pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs},
+	})
+	if err != nil {
+		return analyzeResponse{Error: err.Error()}, analysisErrCode(r, err)
+	}
+	resp := analyzeResponse{OK: true, Key: rr.Key, Tier: string(rr.Tier), Meta: map[string]stageMeta{}}
+	if rr.Tier == pipeline.TierCompute {
+		for st, info := range rr.Stages {
+			resp.Meta[string(st)] = stageMeta{CacheHit: info.CacheHit, NS: info.Duration.Nanoseconds()}
+		}
+	} else {
+		resp.Meta["report"] = stageMeta{CacheHit: true}
+	}
+	var rep pipeline.Report
+	if err := json.Unmarshal(rr.Raw, &rep); err != nil {
+		return analyzeResponse{Error: "malformed stored report: " + err.Error()}, http.StatusInternalServerError
+	}
+	resp.Report = &rep
+	return resp, http.StatusOK
+}
+
+// analyzeRemote routes one request through the frontier.
+func (s *server) analyzeRemote(r *http.Request, req *analyzeRequest) (analyzeResponse, int) {
+	key, item, err := s.wireItem(req)
+	if err != nil {
+		return analyzeResponse{Error: err.Error()}, http.StatusBadRequest
+	}
+	res, err := s.front.Analyze(r.Context(), key, item)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return analyzeResponse{Error: err.Error()}, http.StatusRequestTimeout
+		}
+		return analyzeResponse{Error: err.Error()}, http.StatusBadGateway
+	}
+	return wireToHTTP(res)
+}
+
+// wireItem builds the routing key and wire item for one request.
+func (s *server) wireItem(req *analyzeRequest) (string, wire.Item, error) {
+	opts := pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs}
+	key, err := pipeline.ReportKey(req.Program, opts, toStages(req.Stages))
+	if err != nil {
+		return "", wire.Item{}, err
+	}
+	return key, wire.Item{
+		Program:    req.Program,
+		Stages:     req.Stages,
+		Predicates: req.Predicates,
+		Inputs:     req.Inputs,
+		TimeoutMS:  s.opts.Timeout.Milliseconds(),
+	}, nil
+}
+
+func toStages(names []string) []pipeline.Stage {
+	out := make([]pipeline.Stage, len(names))
+	for i, n := range names {
+		out[i] = pipeline.Stage(n)
+	}
+	return out
+}
+
+// wireToHTTP converts a backend's wire Result into the HTTP response shape.
+func wireToHTTP(res wire.Result) (analyzeResponse, int) {
+	if !res.OK {
+		code := http.StatusBadGateway
+		if res.Unprocessable {
+			code = http.StatusUnprocessableEntity
+		}
+		return analyzeResponse{Error: res.Error}, code
+	}
+	resp := analyzeResponse{OK: true, Key: res.Key, Tier: res.Tier, Meta: map[string]stageMeta{}}
+	for st, m := range res.Meta {
+		resp.Meta[st] = stageMeta{CacheHit: m.CacheHit, NS: m.NS}
+	}
+	var rep pipeline.Report
+	if err := json.Unmarshal(res.Report, &rep); err != nil {
+		return analyzeResponse{Error: "malformed backend report: " + err.Error()}, http.StatusBadGateway
+	}
+	resp.Report = &rep
+	return resp, http.StatusOK
+}
+
+// handleAnalyzeBatch analyzes many programs in one call. In frontier mode
+// the batch is sharded across backends as real wire batches (results stream
+// backend-side as each program completes); in-process it fans across the
+// engine's worker pool. Per-item failures fail their slot, never the batch.
+func (s *server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	var breq batchRequest
+	if !decodeBody(w, r, s.opts.MaxBody*16, &breq) {
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, batchResponse{Error: "empty batch"})
+		return
+	}
+
+	results := make([]analyzeResponse, len(breq.Requests))
+	type routed struct {
+		idx  int
+		key  string
+		item wire.Item
+	}
+	var ok []routed
+	for i := range breq.Requests {
+		req := &breq.Requests[i]
+		if _, err := validate(req, false); err != nil {
+			results[i] = analyzeResponse{Error: err.Error()}
+			continue
+		}
+		key, item, err := s.wireItem(req)
+		if err != nil {
+			results[i] = analyzeResponse{Error: err.Error()}
+			continue
+		}
+		ok = append(ok, routed{idx: i, key: key, item: item})
+	}
+
+	if s.front != nil {
+		keys := make([]string, len(ok))
+		items := make([]wire.Item, len(ok))
+		for j, rt := range ok {
+			keys[j] = rt.key
+			items[j] = rt.item
+		}
+		wres := s.front.AnalyzeBatch(r.Context(), keys, items)
+		for j, rt := range ok {
+			results[rt.idx], _ = wireToHTTP(wres[j])
+		}
+	} else {
+		reqs := make([]pipeline.Request, len(ok))
+		for j, rt := range ok {
+			reqs[j] = pipeline.Request{
+				Source:  rt.item.Program,
+				Stages:  toStages(rt.item.Stages),
+				Options: pipeline.Options{Predicates: rt.item.Predicates, ExecInputs: rt.item.Inputs},
+			}
+		}
+		brs := s.eng.AnalyzeBatch(r.Context(), reqs)
+		for j, rt := range ok {
+			br := brs[j]
+			if br.Err != nil {
+				results[rt.idx] = analyzeResponse{Error: br.Err.Error()}
+				continue
+			}
+			rep := br.Result.Report()
+			resp := analyzeResponse{OK: true, Key: br.Result.Key, Report: &rep, Meta: map[string]stageMeta{}}
+			for st, info := range br.Result.Stages {
+				resp.Meta[string(st)] = stageMeta{CacheHit: info.CacheHit, NS: info.Duration.Nanoseconds()}
+			}
+			results[rt.idx] = resp
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{OK: true, Results: results})
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "time": time.Now().UTC().Format(time.RFC3339)})
 }
 
+// statszResponse is the /statsz shape: the engine snapshot (flattened, for
+// compatibility with pre-frontier clients) plus the frontier's routing
+// counters when sharding is on.
+type statszResponse struct {
+	pipeline.Snapshot
+	Frontier *frontier.Stats `json:"frontier,omitempty"`
+}
+
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Snapshot())
+	resp := statszResponse{Snapshot: s.eng.Snapshot()}
+	if s.front != nil {
+		fs := s.front.Stats()
+		resp.Frontier = &fs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

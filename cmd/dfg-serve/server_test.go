@@ -26,7 +26,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 			}
 		},
 	})
-	ts := httptest.NewServer(newMux(eng))
+	ts := httptest.NewServer(newMux(eng, serverOptions{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -219,7 +219,7 @@ func TestPprofIsOptIn(t *testing.T) {
 		t.Errorf("default mux serves /debug/pprof/: status=%d, want 404", resp.StatusCode)
 	}
 
-	mux := newMux(pipeline.New(pipeline.Config{}))
+	mux := newMux(pipeline.New(pipeline.Config{}), serverOptions{})
 	mountPprof(mux)
 	tsp := httptest.NewServer(mux)
 	defer tsp.Close()

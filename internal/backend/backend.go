@@ -1,0 +1,82 @@
+// Package backend glues the wire protocol to the pipeline engine: it is the
+// request-handling core of cmd/dfg-worker, and the piece the frontier's
+// end-to-end tests and the loadtest's self-hosted deployment reuse to run
+// in-process workers over real loopback TCP.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dfg/internal/pipeline"
+	"dfg/internal/wire"
+)
+
+// Handler adapts eng into a wire.Handler: one wire Item in, one Result out,
+// through the engine's two-tier report cache (AnalyzeReport). Results carry
+// the canonical Report JSON bytes; the frontier forwards them verbatim.
+func Handler(eng *pipeline.Engine) wire.Handler {
+	return func(ctx context.Context, item wire.Item) wire.Result {
+		req, err := toRequest(item)
+		if err != nil {
+			return wire.Result{OK: false, Error: err.Error(), Unprocessable: true}
+		}
+		rr, err := eng.AnalyzeReport(ctx, req)
+		if err != nil {
+			// Distinguish "this program is at fault" (parse errors, stage
+			// panics — pointless to retry on a replica) from timeouts and
+			// cancellation, mirroring the HTTP layer's 422-vs-408 split.
+			unprocessable := !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
+			return wire.Result{OK: false, Error: err.Error(), Unprocessable: unprocessable}
+		}
+		res := wire.Result{
+			OK:     true,
+			Key:    rr.Key,
+			Report: rr.Raw,
+			Tier:   string(rr.Tier),
+			Meta:   map[string]wire.Meta{},
+		}
+		if rr.Tier == pipeline.TierCompute {
+			for st, info := range rr.Stages {
+				res.Meta[string(st)] = wire.Meta{CacheHit: info.CacheHit, NS: info.Duration.Nanoseconds()}
+			}
+		} else {
+			// Cache tiers skip the stages entirely; report that as one
+			// synthetic all-hit entry so clients still see provenance.
+			res.Meta["report"] = wire.Meta{CacheHit: true}
+		}
+		return res
+	}
+}
+
+// toRequest validates and converts a wire Item into a pipeline Request.
+func toRequest(item wire.Item) (pipeline.Request, error) {
+	stages := make([]pipeline.Stage, 0, len(item.Stages))
+	for _, s := range item.Stages {
+		st := pipeline.Stage(s)
+		if !pipeline.ValidStage(st) {
+			return pipeline.Request{}, fmt.Errorf("unknown stage %q", s)
+		}
+		stages = append(stages, st)
+	}
+	return pipeline.Request{
+		Source:  item.Program,
+		Stages:  stages,
+		Options: pipeline.Options{Predicates: item.Predicates, ExecInputs: item.Inputs},
+		Timeout: time.Duration(item.TimeoutMS) * time.Millisecond,
+	}, nil
+}
+
+// Item converts an HTTP-shaped analysis request into its wire form — the
+// inverse of toRequest, used by the frontier when routing to backends.
+func Item(program string, stages []string, predicates bool, inputs []int64, timeout time.Duration) wire.Item {
+	return wire.Item{
+		Program:    program,
+		Stages:     stages,
+		Predicates: predicates,
+		Inputs:     inputs,
+		TimeoutMS:  timeout.Milliseconds(),
+	}
+}

@@ -1,0 +1,447 @@
+// Package frontier routes analysis requests across dfg-worker backends over
+// the wire protocol. Routing is by consistent hash of the program's content
+// address (so a given program lands on the same worker's caches and store
+// every time), identical in-flight requests are deduplicated by a
+// singleflight group, backends are health-checked in the background, and a
+// failed backend is retried transparently on the next replica in ring
+// order. dfg-serve uses it when configured with -backends; dfg-loadtest
+// uses it to self-host a sharded deployment in-process.
+package frontier
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfg/internal/pipeline"
+	"dfg/internal/wire"
+)
+
+// Config parameterizes New.
+type Config struct {
+	Backends []string // worker addresses, host:port
+
+	// Names optionally gives each backend a stable ring identity, aligned
+	// with Backends. The ring hashes names, not addresses, so a worker
+	// that comes back on a different port (or is re-addressed behind a
+	// load balancer) keeps owning the same keyspace slice — and keeps
+	// hitting its own store. Empty means the addresses are the names.
+	Names []string
+
+	Vnodes         int           // ring virtual nodes per backend; <=0 means 64
+	DialTimeout    time.Duration // per-backend connection + handshake budget; <=0 means 2s
+	HealthInterval time.Duration // background ping cadence; <=0 means 2s
+	PoolSize       int           // idle wire connections kept per backend; <=0 means 8
+}
+
+func (c *Config) defaults() {
+	if c.Vnodes <= 0 {
+		c.Vnodes = 64
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 8
+	}
+}
+
+// backendRec is one configured worker: its connection pool, health bit, and
+// counters (exported via /statsz and expvar).
+type backendRec struct {
+	addr    string
+	pool    *clientPool
+	healthy atomic.Bool
+	reqs    atomic.Int64 // items attempted on this backend
+	errs    atomic.Int64 // transport/protocol failures
+}
+
+// frontier routes items across the configured backends.
+type Frontier struct {
+	cfg      Config
+	backends []*backendRec
+	ring     []ringEntry // sorted by hash
+	sf       flightGroup
+
+	retries   atomic.Int64 // failovers to a further replica
+	dedups    atomic.Int64 // singleflight coalesced requests
+	routedOK  atomic.Int64
+	routedErr atomic.Int64 // items that exhausted every replica
+}
+
+type ringEntry struct {
+	hash uint64
+	idx  int // index into backends
+}
+
+// New builds the routing state and starts the health checker, which
+// runs until ctx is cancelled.
+func New(ctx context.Context, cfg Config) *Frontier {
+	cfg.defaults()
+	f := &Frontier{cfg: cfg}
+	for i, addr := range cfg.Backends {
+		rec := &backendRec{addr: addr, pool: newClientPool(addr, cfg.DialTimeout, cfg.PoolSize)}
+		rec.healthy.Store(true) // optimistic; the first failure or ping corrects it
+		f.backends = append(f.backends, rec)
+		name := addr
+		if i < len(cfg.Names) && cfg.Names[i] != "" {
+			name = cfg.Names[i]
+		}
+		for v := 0; v < cfg.Vnodes; v++ {
+			f.ring = append(f.ring, ringEntry{hash: hash64(fmt.Sprintf("%s#%d", name, v)), idx: i})
+		}
+	}
+	sort.Slice(f.ring, func(a, b int) bool { return f.ring[a].hash < f.ring[b].hash })
+	go f.healthLoop(ctx)
+	return f
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// order returns the backends to try for key, most-preferred first: walk the
+// ring clockwise from the key's hash collecting distinct backends, then
+// stable-partition healthy ones to the front (unhealthy replicas stay as a
+// last resort — a dead health probe must not black-hole the keyspace).
+func (f *Frontier) order(key string) []*backendRec {
+	if len(f.backends) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(f.ring), func(i int) bool { return f.ring[i].hash >= h })
+	seen := make(map[int]bool, len(f.backends))
+	ordered := make([]*backendRec, 0, len(f.backends))
+	for i := 0; len(ordered) < len(f.backends) && i < len(f.ring); i++ {
+		e := f.ring[(start+i)%len(f.ring)]
+		if !seen[e.idx] {
+			seen[e.idx] = true
+			ordered = append(ordered, f.backends[e.idx])
+		}
+	}
+	healthy := make([]*backendRec, 0, len(ordered))
+	var down []*backendRec
+	for _, b := range ordered {
+		if b.healthy.Load() {
+			healthy = append(healthy, b)
+		} else {
+			down = append(down, b)
+		}
+	}
+	return append(healthy, down...)
+}
+
+// Analyze routes one item, deduplicating identical in-flight requests and
+// failing over across replicas. The returned Result may still carry
+// OK=false for program-level failures (parse errors and the like), which
+// are not retried — only transport failures fail over.
+func (f *Frontier) Analyze(ctx context.Context, key string, item wire.Item) (wire.Result, error) {
+	res, err, shared := f.sf.do(key, func() (wire.Result, error) {
+		return f.route(ctx, key, item)
+	})
+	if shared {
+		f.dedups.Add(1)
+	}
+	return res, err
+}
+
+// route tries each replica in ring order until one answers.
+func (f *Frontier) route(ctx context.Context, key string, item wire.Item) (wire.Result, error) {
+	order := f.order(key)
+	if len(order) == 0 {
+		return wire.Result{}, fmt.Errorf("no backends configured")
+	}
+	var lastErr error
+	for attempt, b := range order {
+		if err := ctx.Err(); err != nil {
+			return wire.Result{}, err
+		}
+		if attempt > 0 {
+			f.retries.Add(1)
+		}
+		res, err := f.tryBackend(ctx, b, item)
+		if err == nil {
+			f.routedOK.Add(1)
+			return res, nil
+		}
+		lastErr = err
+	}
+	f.routedErr.Add(1)
+	return wire.Result{}, fmt.Errorf("all %d backend(s) failed: %w", len(order), lastErr)
+}
+
+// tryBackend runs a one-item batch on b, managing its pool and health bit.
+func (f *Frontier) tryBackend(ctx context.Context, b *backendRec, item wire.Item) (wire.Result, error) {
+	b.reqs.Add(1)
+	c, err := b.pool.get()
+	if err != nil {
+		b.errs.Add(1)
+		b.healthy.Store(false)
+		return wire.Result{}, err
+	}
+	var res wire.Result
+	got := false
+	err = c.AnalyzeBatch(ctx, []wire.Item{item}, func(r wire.Result) {
+		if r.Index == 0 {
+			res, got = r, true
+		}
+	})
+	b.pool.put(c)
+	if err != nil || !got {
+		b.errs.Add(1)
+		b.healthy.Store(false)
+		if err == nil {
+			err = fmt.Errorf("backend %s: batch completed without a result", b.addr)
+		}
+		return wire.Result{}, err
+	}
+	b.healthy.Store(true)
+	return res, nil
+}
+
+// AnalyzeBatch routes a multi-item batch: items are grouped by their
+// preferred healthy backend and sent as real wire batches (whose results
+// stream back as each program completes), then any item whose backend
+// failed mid-batch is retried individually through the failover path. The
+// returned slice is index-aligned with items.
+func (f *Frontier) AnalyzeBatch(ctx context.Context, keys []string, items []wire.Item) []wire.Result {
+	out := make([]wire.Result, len(items))
+	failed := make([]bool, len(items))
+
+	groups := map[*backendRec][]int{}
+	for i, key := range keys {
+		order := f.order(key)
+		if len(order) == 0 {
+			out[i] = wire.Result{OK: false, Error: "no backends configured"}
+			continue
+		}
+		groups[order[0]] = append(groups[order[0]], i)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards out/failed across group goroutines
+	for b, idxs := range groups {
+		wg.Add(1)
+		go func(b *backendRec, idxs []int) {
+			defer wg.Done()
+			sub := make([]wire.Item, len(idxs))
+			for j, i := range idxs {
+				sub[j] = items[i]
+			}
+			b.reqs.Add(int64(len(idxs)))
+			c, err := b.pool.get()
+			if err == nil {
+				err = c.AnalyzeBatch(ctx, sub, func(r wire.Result) {
+					if r.Index < 0 || r.Index >= len(idxs) {
+						return
+					}
+					mu.Lock()
+					out[idxs[r.Index]] = r
+					mu.Unlock()
+				})
+				b.pool.put(c)
+			}
+			if err != nil {
+				b.errs.Add(int64(len(idxs)))
+				b.healthy.Store(false)
+				mu.Lock()
+				for _, i := range idxs {
+					if !out[i].OK && out[i].Error == "" {
+						failed[i] = true
+					}
+				}
+				mu.Unlock()
+				return
+			}
+			b.healthy.Store(true)
+		}(b, idxs)
+	}
+	wg.Wait()
+
+	// Retry stragglers one by one through the failover path.
+	for i := range items {
+		if !failed[i] {
+			continue
+		}
+		f.retries.Add(1)
+		res, err := f.route(ctx, keys[i], items[i])
+		if err != nil {
+			out[i] = wire.Result{OK: false, Error: err.Error()}
+			continue
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// healthLoop pings every backend on a fixed cadence, flipping health bits.
+func (f *Frontier) healthLoop(ctx context.Context) {
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			f.closePools()
+			return
+		case <-t.C:
+		}
+		for _, b := range f.backends {
+			pctx, cancel := context.WithTimeout(ctx, f.cfg.DialTimeout)
+			err := b.ping(pctx)
+			cancel()
+			b.healthy.Store(err == nil)
+		}
+	}
+}
+
+func (f *Frontier) closePools() {
+	for _, b := range f.backends {
+		b.pool.closeAll()
+	}
+}
+
+// ping checks liveness over a pooled connection.
+func (b *backendRec) ping(ctx context.Context) error {
+	c, err := b.pool.get()
+	if err != nil {
+		return err
+	}
+	err = c.Ping(ctx)
+	b.pool.put(c)
+	return err
+}
+
+// Stats renders the frontier's counters for /statsz and expvar.
+type Stats struct {
+	Backends  []BackendStats `json:"backends"`
+	Retries   int64          `json:"retries"`
+	Dedups    int64          `json:"singleflight_dedups"`
+	RoutedOK  int64          `json:"routed_ok"`
+	RoutedErr int64          `json:"routed_err"`
+}
+
+type BackendStats struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+}
+
+func (f *Frontier) Stats() Stats {
+	s := Stats{
+		Retries:   f.retries.Load(),
+		Dedups:    f.dedups.Load(),
+		RoutedOK:  f.routedOK.Load(),
+		RoutedErr: f.routedErr.Load(),
+	}
+	for _, b := range f.backends {
+		s.Backends = append(s.Backends, BackendStats{
+			Addr:     b.addr,
+			Healthy:  b.healthy.Load(),
+			Requests: b.reqs.Load(),
+			Errors:   b.errs.Load(),
+		})
+	}
+	return s
+}
+
+// clientPool keeps a bounded stack of idle negotiated connections to one
+// backend. Broken clients are discarded on put; get dials when empty.
+type clientPool struct {
+	addr        string
+	dialTimeout time.Duration
+	max         int
+
+	mu   sync.Mutex
+	free []*wire.Client
+}
+
+func newClientPool(addr string, dialTimeout time.Duration, max int) *clientPool {
+	return &clientPool{addr: addr, dialTimeout: dialTimeout, max: max}
+}
+
+func (p *clientPool) get() (*wire.Client, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return wire.Dial(p.addr, wire.ClientOptions{
+		Schema:      pipeline.ReportSchemaVersion,
+		DialTimeout: p.dialTimeout,
+	})
+}
+
+func (p *clientPool) put(c *wire.Client) {
+	if c.Broken() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= p.max {
+		c.Close()
+		return
+	}
+	p.free = append(p.free, c)
+}
+
+func (p *clientPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.free {
+		c.Close()
+	}
+	p.free = nil
+}
+
+// flightGroup is a minimal singleflight: concurrent do calls with the same
+// key share one execution (stdlib-only stand-in for x/sync/singleflight).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	res wire.Result
+	err error
+}
+
+// do runs fn once per key at a time; duplicate callers block and share the
+// result. shared reports whether this caller piggybacked.
+func (g *flightGroup) do(key string, fn func() (wire.Result, error)) (res wire.Result, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.res, c.err, false
+}

@@ -1,0 +1,74 @@
+package frontier
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRingRoutingStability: the consistent-hash ring sends a key to the
+// same backend every time, spreads distinct keys across backends, and
+// changes as little as possible when a backend disappears (keys previously
+// owned by survivors stay put).
+func TestRingRoutingStability(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mk := func(addrs ...string) *Frontier {
+		return New(ctx, Config{Backends: addrs, HealthInterval: time.Hour})
+	}
+	f3 := mk("a:1", "b:1", "c:1")
+	f2 := mk("a:1", "b:1")
+
+	counts := map[string]int{}
+	moved := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("program-%d", i)
+		o3 := f3.order(key)
+		if o3[0] != f3.order(key)[0] {
+			t.Fatal("routing not deterministic")
+		}
+		counts[o3[0].addr]++
+		// Removing c must not move keys that lived on a or b.
+		if o3[0].addr != "c:1" && f2.order(key)[0].addr != o3[0].addr {
+			moved++
+		}
+		// The failover order must visit every backend exactly once.
+		seen := map[string]bool{}
+		for _, b := range o3 {
+			seen[b.addr] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("failover order incomplete: %v", seen)
+		}
+	}
+	for _, n := range counts {
+		if n == 0 || n == 300 {
+			t.Fatalf("degenerate ring distribution: %v", counts)
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving backends on ring shrink", moved)
+	}
+}
+
+// TestUnhealthyBackendsDemoted: order keeps unhealthy replicas as a last
+// resort rather than dropping them from the candidate list.
+func TestUnhealthyBackendsDemoted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := New(ctx, Config{Backends: []string{"a:1", "b:1"}, HealthInterval: time.Hour})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		first := f.order(key)[0]
+		first.healthy.Store(false)
+		demoted := f.order(key)
+		if demoted[0] == first {
+			t.Fatalf("unhealthy backend %s still preferred for %s", first.addr, key)
+		}
+		if demoted[len(demoted)-1] != first {
+			t.Fatalf("unhealthy backend %s dropped from failover order", first.addr)
+		}
+		first.healthy.Store(true)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"dfg/internal/epr"
+	"dfg/internal/store"
 )
 
 // stageCounters accumulates per-stage observability counters. All fields
@@ -45,6 +46,11 @@ type metrics struct {
 	batches  atomic.Int64
 	stages   map[Stage]*stageCounters
 	epr      eprCounters
+
+	// Two-tier report cache counters (AnalyzeReport).
+	reportHits     atomic.Int64 // in-memory report-LRU hits
+	reportMisses   atomic.Int64 // LRU misses (store tier consulted next)
+	storePutErrors atomic.Int64 // store write-through failures (analysis still served)
 }
 
 // eprCounters accumulates the EPR engine's solver observability across
@@ -121,6 +127,16 @@ type EPRStats struct {
 	MaxCandidates int64 `json:"max_candidates"`
 }
 
+// ReportCacheStats is the exported snapshot of the two-tier report cache:
+// the in-memory LRU in front of the persistent store (AnalyzeReport).
+type ReportCacheStats struct {
+	LRUHits   int64 `json:"lru_hits"`
+	LRUMisses int64 `json:"lru_misses"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	PutErrors int64 `json:"store_put_errors"`
+}
+
 // Snapshot is a point-in-time copy of every engine counter, for /statsz
 // and for tests.
 type Snapshot struct {
@@ -129,6 +145,10 @@ type Snapshot struct {
 	Stages   map[Stage]StageStats `json:"stages"`
 	Cache    CacheStats           `json:"cache"`
 	EPR      EPRStats             `json:"epr"`
+	// ReportCache and Store appear only on engines configured with a
+	// persistent store (cmd/dfg-worker, store-backed dfg-serve).
+	ReportCache *ReportCacheStats `json:"report_cache,omitempty"`
+	Store       *store.Stats      `json:"store,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy of the engine's counters.
@@ -163,6 +183,20 @@ func (e *Engine) Snapshot() Snapshot {
 		s.Cache = CacheStats{Entries: entries, Capacity: e.cfg.CacheEntries, Evictions: evictions}
 	} else {
 		s.Cache = CacheStats{Disabled: true}
+	}
+	if e.reportLRU != nil {
+		entries, _ := e.reportLRU.stats()
+		s.ReportCache = &ReportCacheStats{
+			LRUHits:   e.metrics.reportHits.Load(),
+			LRUMisses: e.metrics.reportMisses.Load(),
+			Entries:   entries,
+			Capacity:  e.cfg.ReportCacheEntries,
+			PutErrors: e.metrics.storePutErrors.Load(),
+		}
+	}
+	if e.cfg.Store != nil {
+		st := e.cfg.Store.Stats()
+		s.Store = &st
 	}
 	ec := &e.metrics.epr
 	s.EPR = EPRStats{

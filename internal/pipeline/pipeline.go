@@ -43,6 +43,7 @@ import (
 	"dfg/internal/oracle"
 	"dfg/internal/regions"
 	"dfg/internal/ssa"
+	"dfg/internal/store"
 )
 
 // Stage names one step of the analysis pipeline.
@@ -258,6 +259,15 @@ type Config struct {
 	DisableCache   bool          // bypass memoization entirely (cold-path measurement)
 	DefaultTimeout time.Duration // per-request timeout when Request.Timeout is 0; <=0 means 30s
 
+	// Store, when set, adds the persistent tier behind AnalyzeReport's
+	// in-memory report LRU: computed reports are written through to it and
+	// survive process restarts. Open it with schema ReportSchemaVersion.
+	Store *store.Store
+	// ReportCacheEntries sizes the in-memory report LRU in front of Store;
+	// <=0 means 512. Only consulted when Store is set (without a store the
+	// stage-artifact LRU already memoizes everything in memory).
+	ReportCacheEntries int
+
 	// StageHook, when set, runs before each stage computation (cache hits
 	// skip it). It exists for tracing and fault injection in tests: a hook
 	// that panics exercises the engine's panic isolation.
@@ -267,9 +277,10 @@ type Config struct {
 // Engine is a concurrent, memoizing analysis pipeline. It is safe for use
 // by multiple goroutines.
 type Engine struct {
-	cfg     Config
-	cache   *lruCache
-	metrics *metrics
+	cfg       Config
+	cache     *lruCache
+	reportLRU *lruCache // in-memory tier of the two-tier report cache
+	metrics   *metrics
 }
 
 // New returns an Engine with the given configuration.
@@ -280,12 +291,18 @@ func New(c Config) *Engine {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1024
 	}
+	if c.ReportCacheEntries <= 0 {
+		c.ReportCacheEntries = 512
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
 	e := &Engine{cfg: c, metrics: newMetrics()}
 	if !c.DisableCache {
 		e.cache = newLRU(c.CacheEntries)
+	}
+	if c.Store != nil {
+		e.reportLRU = newLRU(c.ReportCacheEntries)
 	}
 	return e
 }

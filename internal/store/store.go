@@ -1,0 +1,340 @@
+// Package store is a persistent, content-addressed artifact store: the
+// durable tier behind the pipeline engine's in-memory LRU. Keys are logical
+// content addresses (sha256 of the program source plus the options
+// fingerprint, stage set, and report schema version — the engine composes
+// them); values are opaque byte payloads (in practice the pipeline's
+// deterministic Report JSON).
+//
+// On-disk layout (the bucket style of turbo-geth's dbutils, flattened onto
+// a filesystem):
+//
+//	root/
+//	  VERSION            schema-version marker, one decimal integer
+//	  ab/cd/abcd…ef.art  artifact files, bucketed by the first two byte
+//	                     pairs of sha256(logical key)
+//
+// Each artifact file is self-describing and self-checking:
+//
+//	line 1: magic  "dfgstore1"
+//	line 2: JSON header {"key","schema","payload_sha256","payload_len"}
+//	rest:   payload bytes, exactly payload_len of them
+//
+// Get re-verifies the header key (hash-collision paranoia), the payload
+// length, and the payload checksum; any mismatch — a truncated write that
+// survived a crash, a flipped bit, a foreign file — is reported as a miss
+// (plus a corruption counter tick and best-effort removal), never an error
+// the caller must handle and never a panic. Writes are crash-safe: payload
+// goes to a temp file in the same bucket directory, is fsync'd, renamed
+// over the final name, and the directory is fsync'd, so a crash leaves
+// either the old artifact or the new one, not a torn file.
+//
+// Schema migrations happen at Open time: when the VERSION marker on disk
+// differs from Options.Schema, the Migrate hook runs (the default hook
+// purges every artifact — entries of another schema are unreachable anyway,
+// because the schema version is part of every logical key; purging merely
+// reclaims the space), then the marker is rewritten. The hook exists so a
+// future schema change can rewrite artifacts in place instead.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+const (
+	magic       = "dfgstore1"
+	artSuffix   = ".art"
+	tmpPrefix   = "tmp-"
+	versionFile = "VERSION"
+)
+
+// Options configure Open. Schema is required (>= 1).
+type Options struct {
+	// Schema is the artifact schema version the opening process speaks.
+	// It participates in every logical key and is checked against the
+	// on-disk VERSION marker.
+	Schema int
+
+	// Migrate runs when the on-disk schema differs from Schema, before the
+	// marker is rewritten. from is 0 for a brand-new (or pre-versioning)
+	// directory. nil means PurgeMigration.
+	Migrate func(s *Store, from, to int) error
+
+	// NoSync disables fsync on writes. Tests and benchmarks only; a real
+	// deployment wants the crash-safety fsync buys.
+	NoSync bool
+}
+
+// PurgeMigration is the default migration hook: it deletes every artifact
+// file. Old-schema entries are unreachable regardless (the schema version is
+// folded into each key); purging reclaims their disk space.
+func PurgeMigration(s *Store, from, to int) error { return s.Purge() }
+
+// Store is a handle on one artifact directory. It is safe for concurrent
+// use by multiple goroutines and — thanks to atomic rename — by multiple
+// processes sharing the directory.
+type Store struct {
+	root   string
+	schema int
+	noSync bool
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	writes       atomic.Int64
+	corrupt      atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// Open opens (creating if necessary) the store rooted at dir and runs the
+// schema-migration hook if the on-disk version differs from opts.Schema.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Schema < 1 {
+		return nil, fmt.Errorf("store: schema version must be >= 1, got %d", opts.Schema)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: dir, schema: opts.Schema, noSync: opts.NoSync}
+	onDisk, err := s.readVersion()
+	if err != nil {
+		return nil, err
+	}
+	if onDisk != opts.Schema {
+		migrate := opts.Migrate
+		if migrate == nil {
+			migrate = PurgeMigration
+		}
+		if err := migrate(s, onDisk, opts.Schema); err != nil {
+			return nil, fmt.Errorf("store: migrate %d -> %d: %w", onDisk, opts.Schema, err)
+		}
+		if err := s.writeVersion(opts.Schema); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Root returns the store's directory.
+func (s *Store) Root() string { return s.root }
+
+// Schema returns the schema version the store was opened with.
+func (s *Store) Schema() int { return s.schema }
+
+func (s *Store) readVersion() (int, error) {
+	b, err := os.ReadFile(filepath.Join(s.root, versionFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: read version: %w", err)
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, fmt.Errorf("store: malformed version marker %q", strings.TrimSpace(string(b)))
+	}
+	return v, nil
+}
+
+func (s *Store) writeVersion(v int) error {
+	return s.writeAtomic(filepath.Join(s.root, versionFile), []byte(strconv.Itoa(v)+"\n"))
+}
+
+// path maps a logical key to its artifact file: two levels of 256-way
+// buckets keyed by the sha256 of the key, so directories stay small however
+// many artifacts accumulate.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.root, name[:2], name[2:4], name+artSuffix)
+}
+
+// header is the self-describing artifact preamble, one JSON line.
+type header struct {
+	Key        string `json:"key"`
+	Schema     int    `json:"schema"`
+	PayloadSHA string `json:"payload_sha256"`
+	PayloadLen int    `json:"payload_len"`
+}
+
+// Put stores payload under key, atomically replacing any previous value.
+func (s *Store) Put(key string, payload []byte) error {
+	h := header{
+		Key:        key,
+		Schema:     s.schema,
+		PayloadSHA: payloadSum(payload),
+		PayloadLen: len(payload),
+	}
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("store: marshal header: %w", err)
+	}
+	buf := make([]byte, 0, len(magic)+1+len(hb)+1+len(payload))
+	buf = append(buf, magic...)
+	buf = append(buf, '\n')
+	buf = append(buf, hb...)
+	buf = append(buf, '\n')
+	buf = append(buf, payload...)
+	if err := s.writeAtomic(s.path(key), buf); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(buf)))
+	return nil
+}
+
+// Get returns the payload stored under key. ok is false on a miss — which
+// includes any artifact that fails validation: corruption is counted,
+// the bad file is best-effort removed, and the caller simply recomputes.
+func (s *Store) Get(key string) (payload []byte, ok bool) {
+	path := s.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err = decode(b, key, s.schema)
+	if err != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		os.Remove(path) // drop the bad artifact so the slot heals on rewrite
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(b)))
+	return payload, true
+}
+
+// decode validates one artifact file image against the expected key and
+// schema and extracts its payload.
+func decode(b []byte, key string, schema int) ([]byte, error) {
+	rest, ok := strings.CutPrefix(string(b), magic+"\n")
+	if !ok {
+		return nil, errors.New("bad magic")
+	}
+	hline, payload, ok := strings.Cut(rest, "\n")
+	if !ok {
+		return nil, errors.New("truncated header")
+	}
+	var h header
+	if err := json.Unmarshal([]byte(hline), &h); err != nil {
+		return nil, fmt.Errorf("bad header: %w", err)
+	}
+	if h.Key != key {
+		return nil, fmt.Errorf("key mismatch: artifact holds %q", h.Key)
+	}
+	if h.Schema != schema {
+		return nil, fmt.Errorf("schema mismatch: artifact holds %d, store speaks %d", h.Schema, schema)
+	}
+	if len(payload) != h.PayloadLen {
+		return nil, fmt.Errorf("payload length %d, header says %d", len(payload), h.PayloadLen)
+	}
+	if got := payloadSum([]byte(payload)); got != h.PayloadSHA {
+		return nil, errors.New("payload checksum mismatch")
+	}
+	return []byte(payload), nil
+}
+
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// writeAtomic writes data to path via a same-directory temp file, fsync,
+// and rename, then fsyncs the directory, creating bucket directories as
+// needed.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, tmpPrefix)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("store: write %s: %w", tmpName, err)
+	}
+	if !s.noSync {
+		if err := tmp.Sync(); err != nil {
+			cleanup()
+			return fmt.Errorf("store: fsync %s: %w", tmpName, err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	if !s.noSync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// Purge deletes every artifact file (but not the VERSION marker). Temp
+// files from in-progress writers are left alone.
+func (s *Store) Purge() error {
+	return filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, artSuffix) {
+			return err
+		}
+		return os.Remove(path)
+	})
+}
+
+// Len walks the store and counts artifact files. O(entries); intended for
+// tests and stats endpoints, not hot paths.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, artSuffix) {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Stats is a point-in-time snapshot of the store's counters (since Open;
+// the on-disk entry count is not included — see Len).
+type Stats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Writes       int64 `json:"writes"`
+	Corrupt      int64 `json:"corrupt"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Schema       int   `json:"schema"`
+}
+
+// Stats returns the current counter values.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		Corrupt:      s.corrupt.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Schema:       s.schema,
+	}
+}

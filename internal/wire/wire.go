@@ -1,0 +1,203 @@
+// Package wire is the versioned streaming protocol between the serving
+// frontier (cmd/dfg-serve) and analysis backends (cmd/dfg-worker). It is
+// gRPC in spirit — typed messages, a handshake, streamed responses — hand
+// rolled on net + encoding/json so the repository stays stdlib-only
+// (turbo-geth's remote-DB proto files are the design reference, not a
+// dependency).
+//
+// Framing. Every message on the connection is one frame:
+//
+//	byte 0      frame kind
+//	bytes 1..4  big-endian payload length
+//	bytes 5..   payload, a single JSON document
+//
+// Frames are small enough to decode eagerly; MaxFrame bounds the payload so
+// a corrupt or hostile peer cannot make a reader allocate unboundedly.
+//
+// Handshake. The client speaks first: a Hello frame carrying the protocol
+// version range it supports and the artifact schema version it expects. The
+// server answers with a HelloAck naming the version it picked, or an Error
+// frame and a close. Protocol versions negotiate down (highest shared
+// version wins); schema versions must match exactly — a frontier must never
+// mix Report payloads of two schemas, that is what the version field is for.
+//
+// Requests. One Batch frame carries N analysis items. The server streams
+// one Result frame per item *as each item completes* — out of order, tagged
+// with the item's index — followed by a BatchDone frame. A connection
+// processes one batch at a time (the frontier holds a pool of connections
+// per backend instead of multiplexing streams; simpler, and connection
+// setup is two frames).
+//
+// Liveness. Ping/Pong frames serve health checks, and every read on both
+// sides carries a deadline: the server's idle-read deadline reaps dead
+// clients, the client's per-batch deadline (request timeout + slack, or the
+// context deadline if sooner) reaps dead servers mid-batch and is pushed
+// forward every time a Result frame arrives, so a long batch that is making
+// progress is never reaped.
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProtoVersion is the newest protocol version this build speaks. Version 1:
+// frames as documented above.
+const ProtoVersion = 1
+
+// MaxFrame bounds a frame payload (64 MiB — a Report for a very large
+// program is well under 1 MiB; the headroom is for batches).
+const MaxFrame = 64 << 20
+
+// Frame kinds.
+const (
+	frameHello     = byte(1)
+	frameHelloAck  = byte(2)
+	frameBatch     = byte(3)
+	frameResult    = byte(4)
+	frameBatchDone = byte(5)
+	framePing      = byte(6)
+	framePong      = byte(7)
+	frameError     = byte(8)
+)
+
+// Hello is the client's opening message.
+type Hello struct {
+	Magic    string `json:"magic"` // "dfgwire"
+	ProtoMin int    `json:"proto_min"`
+	ProtoMax int    `json:"proto_max"`
+	Schema   int    `json:"schema"` // artifact (Report) schema version; must match exactly
+}
+
+// HelloAck is the server's acceptance.
+type HelloAck struct {
+	Proto  int    `json:"proto"`  // the negotiated protocol version
+	Schema int    `json:"schema"` // echoed schema version
+	Server string `json:"server"` // free-form identification, e.g. "dfg-worker"
+}
+
+const helloMagic = "dfgwire"
+
+// Item is one program analysis request inside a batch. It mirrors the HTTP
+// API's analyzeRequest, flattened to plain data so this package needs no
+// knowledge of the pipeline.
+type Item struct {
+	Program    string  `json:"program"`
+	Stages     []string `json:"stages,omitempty"`
+	Predicates bool    `json:"predicates,omitempty"`
+	Inputs     []int64 `json:"inputs,omitempty"`
+	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
+}
+
+// Batch is the request frame payload.
+type Batch struct {
+	ID    uint64 `json:"id"`
+	Items []Item `json:"items"`
+}
+
+// Result is one streamed response. Report is the raw Report JSON exactly as
+// the backend produced it: the frontier forwards these bytes verbatim, which
+// is what makes "byte-identical to in-process analysis" a meaningful
+// end-to-end property.
+type Result struct {
+	ID     uint64          `json:"id"`
+	Index  int             `json:"index"`
+	OK     bool            `json:"ok"`
+	Key    string          `json:"key,omitempty"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Meta   map[string]Meta `json:"meta,omitempty"`
+	Tier   string          `json:"tier,omitempty"` // compute | lru | store
+	Error  string          `json:"error,omitempty"`
+	// Unprocessable distinguishes "this program is at fault" (parse error,
+	// stage panic — do not retry elsewhere) from backend trouble.
+	Unprocessable bool `json:"unprocessable,omitempty"`
+}
+
+// Meta is the per-stage satisfaction record, mirroring the HTTP stageMeta.
+type Meta struct {
+	CacheHit bool  `json:"cache_hit"`
+	NS       int64 `json:"ns"`
+}
+
+// BatchDone terminates a batch's result stream.
+type BatchDone struct {
+	ID      uint64 `json:"id"`
+	Results int    `json:"results"`
+}
+
+// WireError is the Error frame payload and the error type handshake and
+// batch failures surface as.
+type WireError struct {
+	Code    string `json:"code"` // "version", "schema", "proto", "overload"
+	Message string `json:"message"`
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("wire: %s: %s", e.Code, e.Message) }
+
+// writeFrame emits one frame. The caller serializes access to w.
+func writeFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame %d: %w", kind, err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame %d payload %d exceeds MaxFrame", kind, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its kind and raw payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// decodeAs unmarshals payload into a fresh T.
+func decodeAs[T any](payload []byte) (T, error) {
+	var v T
+	err := json.Unmarshal(payload, &v)
+	return v, err
+}
+
+// deadlineFrom converts a context deadline to a net deadline, using fallback
+// (from now) when the context carries none.
+func deadlineFrom(ctx context.Context, fallback time.Duration) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Now().Add(fallback)
+}
+
+// errWire extracts a *WireError if the frame is an Error frame.
+func errWire(kind byte, payload []byte) error {
+	if kind != frameError {
+		return nil
+	}
+	we, err := decodeAs[*WireError](payload)
+	if err != nil || we == nil {
+		return &WireError{Code: "proto", Message: "malformed error frame"}
+	}
+	return we
+}
