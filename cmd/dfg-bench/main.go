@@ -7,11 +7,16 @@
 // Usage:
 //
 //	dfg-bench [-exp E1|E2|...|E12|all] [-quick] [-cpuprofile f] [-memprofile f]
+//	dfg-bench -stagejson BENCH.json [-stagerepeats n]
+//	dfg-bench -sweep BENCH_parallel.json [-sweeprepeats n]
 //
 // -quick shrinks the scaling sweeps (used by the repository's tests to keep
 // CI fast); the full sweeps take a few seconds. -cpuprofile and -memprofile
 // write pprof profiles covering the selected experiments, for digging into
 // a regression the pipeline's alloc counters or the bench smoke surfaced.
+// -stagejson emits the per-stage cold-timing record; -sweep runs the
+// GOMAXPROCS parallelism sweep (see sweep.go) and fails the process when a
+// sweep gate fails.
 package main
 
 import (
@@ -31,6 +36,8 @@ var (
 	flagMem       = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flagStageJSON = flag.String("stagejson", "", "skip experiments; emit a per-stage cold timing JSON record to this file ('-' for stdout)")
 	flagStageReps = flag.Int("stagerepeats", 5, "cold corpus passes averaged by -stagejson")
+	flagSweep     = flag.String("sweep", "", "skip experiments; run the GOMAXPROCS parallelism sweep and write its JSON record (BENCH_parallel.json) to this file ('-' for stdout)")
+	flagSweepReps = flag.Int("sweeprepeats", 3, "passes per sweep point (best-of)")
 )
 
 // experiment couples an id with its runner. Runners return an error only
@@ -83,6 +90,13 @@ func run() int {
 		if err := runStageJSON(*flagStageJSON, *flagStageReps); err != nil {
 			log.Printf("dfg-bench: -stagejson: %v", err)
 			return 2
+		}
+		return 0
+	}
+	if *flagSweep != "" {
+		if err := runSweep(*flagSweep, *flagSweepReps); err != nil {
+			log.Printf("dfg-bench: -sweep: %v", err)
+			return 1
 		}
 		return 0
 	}

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
+	"dfg/internal/envinfo"
 	"dfg/internal/pipeline"
 	"dfg/internal/workload"
 )
@@ -21,14 +21,11 @@ import (
 
 // stageJSONRecord is the emitted document.
 type stageJSONRecord struct {
-	Benchmark string `json:"benchmark"`
-	Date      string `json:"date"`
-	Workload  string `json:"workload"`
-	Repeats   int    `json:"repeats"`
-	Env       struct {
-		GOMAXPROCS int    `json:"gomaxprocs"`
-		Go         string `json:"go"`
-	} `json:"environment"`
+	Benchmark string       `json:"benchmark"`
+	Date      string       `json:"date"`
+	Workload  string       `json:"workload"`
+	Repeats   int          `json:"repeats"`
+	Env       envinfo.Info `json:"environment"`
 	// Stages maps stage name to nanoseconds for one cold pass over the
 	// 10-program corpus (total across repeats divided by repeats).
 	Stages     map[string]int64  `json:"stage_cold_ns_per_op_10_programs"`
@@ -77,8 +74,7 @@ func runStageJSON(path string, repeats int) error {
 		EPR:        snap.EPR,
 		WallNS:     wall.Nanoseconds(),
 	}
-	rec.Env.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	rec.Env.Go = runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+	rec.Env = envinfo.Collect()
 	for st, ss := range snap.Stages {
 		w := warm.Stages[st]
 		perPass := (ss.TotalNS - w.TotalNS) / int64(repeats)

@@ -44,13 +44,13 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"dfg/internal/backend"
+	"dfg/internal/envinfo"
 	"dfg/internal/frontier"
 	"dfg/internal/pipeline"
 	"dfg/internal/store"
@@ -134,10 +134,8 @@ type benchReport struct {
 }
 
 type benchEnv struct {
-	CPU        string `json:"cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Go         string `json:"go"`
-	Note       string `json:"note"`
+	envinfo.Info
+	Note string `json:"note"`
 }
 
 // phaseStats summarizes one traffic phase.
@@ -417,27 +415,12 @@ func newReport(cfg loadConfig, mode string) *benchReport {
 		Workload: fmt.Sprintf("%d distinct workload.Mixed(%d, seed) programs x %d rounds, %d concurrent clients, %s",
 			cfg.Programs, cfg.Size, cfg.Rounds, cfg.Concurrency, mode),
 		Environment: benchEnv{
-			CPU:        cpuModel(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-			Note:       fmt.Sprintf("%d worker backend(s), stores opened NoSync for benchmarking", cfg.Backends),
+			Info: envinfo.Collect(),
+			Note: fmt.Sprintf("%d worker backend(s), stores opened NoSync for benchmarking", cfg.Backends),
 		},
 		Results: map[string]phaseStats{},
 		Notes:   map[string]string{},
 	}
-}
-
-func cpuModel() string {
-	b, err := os.ReadFile("/proc/cpuinfo")
-	if err != nil {
-		return runtime.GOARCH
-	}
-	for _, line := range strings.Split(string(b), "\n") {
-		if name, ok := strings.CutPrefix(line, "model name"); ok {
-			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
-		}
-	}
-	return runtime.GOARCH
 }
 
 func round2(f float64) float64 {

@@ -191,6 +191,11 @@ func TestHealthzStatszDebugVars(t *testing.T) {
 		t.Errorf("/statsz: cfg stage reports negative allocation (alloc_bytes=%d avg=%d)",
 			st.AllocBytes, st.AvgAllocBytes)
 	}
+	// The environment fields let a recorded benchmark (BENCH_parallel.json)
+	// be cross-checked against the serving host.
+	if snap.GOMAXPROCS < 1 || snap.NumCPU < 1 {
+		t.Errorf("/statsz: implausible environment gomaxprocs=%d num_cpu=%d", snap.GOMAXPROCS, snap.NumCPU)
+	}
 
 	resp, err = http.Get(ts.URL + "/debug/vars")
 	if err != nil {

@@ -1,0 +1,183 @@
+package anticip
+
+import (
+	"dfg/internal/bitset"
+	"dfg/internal/dataflow"
+	"dfg/internal/dfg"
+	"dfg/internal/parallel"
+)
+
+// Word-partitioned solving. Candidates are independent bit columns: every
+// kernel the fixpoints run (And/Or/AndNot/Copy/Fill/Zero) is bitwise
+// parallel, equality checks only steer iteration order, and the solutions
+// are unique fixpoints of monotone equations — so solving any word range of
+// the candidate space in isolation yields exactly the bits the full-width
+// solve would. The parallel entry points split the family at 64-bit word
+// boundaries into per-worker chunks (Family.Slice), solve each chunk with a
+// per-worker Scratch from a ScratchPool, and paste the chunk results into
+// disjoint word columns of the shared output. What is NOT divided is the
+// candidate-independent graph walking (port discovery, projection spans):
+// each chunk repeats it, which is why chunks are capped at the worker count
+// and a one-word family stays serial.
+
+// MinParallelWords is the family width (in 64-bit words) below which the
+// parallel solver entry points run serially: a single word cannot be split,
+// and the per-chunk walk duplication needs at least a word per worker to
+// amortize.
+const MinParallelWords = 2
+
+// Slice returns a solve-only view of candidate words [w0, w1): bits
+// [64*w0, min(len(Exprs), 64*w1)) of the family. The view shares the graph,
+// Live, and (sub-sliced) mask backing with f; Comp/Kill columns are copied
+// because rows must be contiguous for the word kernels; Vars keeps only the
+// variables with candidates in the range, preserving order. The view
+// supports SolveCFG/SolveDFGOps (and the epr availability solvers) only —
+// never call Update or refreshNode on it.
+func (f *Family) Slice(w0, w1 int) *Family {
+	b0 := w0 * 64
+	b1 := 64 * w1
+	if b1 > len(f.Exprs) {
+		b1 = len(f.Exprs)
+	}
+	s := &Family{
+		G:     f.G,
+		Exprs: f.Exprs[b0:b1],
+		Words: w1 - w0,
+		Mask:  make(map[string][]uint64),
+		// NotMask's tail masking carries over: interior chunks are exactly
+		// 64*(w1-w0) candidates wide (no tail), and the final chunk shares
+		// f's already-masked last word.
+		NotMask: make(map[string][]uint64),
+		Varless: f.Varless[w0:w1],
+		Live:    f.Live,
+	}
+	for _, x := range f.Vars {
+		m := f.Mask[x][w0:w1]
+		if !bitset.WordsAny(m) {
+			continue // x constrains no candidate in this range
+		}
+		s.Vars = append(s.Vars, x)
+		s.Mask[x] = m
+		s.NotMask[x] = f.NotMask[x][w0:w1]
+	}
+	s.Comp = bitset.NewMatrix(f.Comp.Rows(), len(s.Exprs))
+	s.Kill = bitset.NewMatrix(f.Kill.Rows(), len(s.Exprs))
+	s.Comp.CopyWordRangeFrom(f.Comp, w0, w1)
+	s.Kill.CopyWordRangeFrom(f.Kill, w0, w1)
+	return s
+}
+
+// WordChunks partitions words columns into at most workers contiguous
+// ranges of near-equal width, returned as [w0, w1) pairs. Used by the
+// parallel solvers here and in internal/epr.
+func WordChunks(words, workers int) [][2]int {
+	n := workers
+	if n > words {
+		n = words
+	}
+	if n < 1 {
+		n = 1
+	}
+	chunks := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		w0 := i * words / n
+		w1 := (i + 1) * words / n
+		if w1 > w0 {
+			chunks = append(chunks, [2]int{w0, w1})
+		}
+	}
+	return chunks
+}
+
+// ScratchPool keys reusable solver Scratches by worker index — the PR 5
+// per-call-site reuse extended to concurrent solves: worker w always gets
+// the same Scratch, so a pool threaded through many rounds (the EPR
+// transformation loop) pays each worker's buffers once and never shares
+// them between goroutines.
+type ScratchPool struct {
+	arenas parallel.Arenas[*Scratch]
+}
+
+// NewScratchPool returns a pool sized for workers workers.
+func NewScratchPool(workers int) *ScratchPool {
+	p := &ScratchPool{arenas: parallel.Arenas[*Scratch]{New: func() *Scratch { return &Scratch{} }}}
+	p.arenas.Grow(workers)
+	return p
+}
+
+// Get returns worker w's scratch, creating it on first use. Safe for
+// concurrent use by distinct workers.
+func (p *ScratchPool) Get(w int) *Scratch {
+	if p == nil {
+		return &Scratch{}
+	}
+	return p.arenas.Get(w)
+}
+
+// Grow ensures capacity for workers slots (single-goroutine, before a Do).
+func (p *ScratchPool) Grow(workers int) { p.arenas.Grow(workers) }
+
+// SolveCFGParallel is SolveCFG with the candidate words partitioned across
+// up to workers goroutines. The result is bit-identical to SolveCFG.
+func (f *Family) SolveCFGParallel(workers int, cost *dataflow.Counter) (ant, pan *bitset.Matrix) {
+	workers = parallel.Workers(workers)
+	if workers <= 1 || f.Words < MinParallelWords {
+		return f.SolveCFG(cost)
+	}
+	n := len(f.Exprs)
+	ant = bitset.NewMatrix(f.G.NumEdges(), n)
+	pan = bitset.NewMatrix(f.G.NumEdges(), n)
+	chunks := WordChunks(f.Words, workers)
+	costs := make([]dataflow.Counter, len(chunks))
+	parallel.Do(len(chunks), workers, func(w, i int) {
+		c := chunks[i]
+		s := f.Slice(c[0], c[1])
+		ca, cp := s.SolveCFG(&costs[i])
+		ant.PasteWordRange(ca, c[0])
+		pan.PasteWordRange(cp, c[0])
+	})
+	for _, c := range costs {
+		cost.Add(c)
+	}
+	return ant, pan
+}
+
+// SolveDFGOpsParallel is SolveDFGOps with the candidate words partitioned
+// across up to workers goroutines, each chunk solving on its own Scratch
+// from pool (nil pool allocates throwaway scratches). The result is
+// bit-identical to SolveDFGOps but lives in freshly allocated matrices, not
+// in a scratch arena.
+func (f *Family) SolveDFGOpsParallel(d *dfg.Graph, opsOf map[string][]dfg.OpID, pool *ScratchPool, workers int, cost *dataflow.Counter) (ant, pan *bitset.Matrix) {
+	workers = parallel.Workers(workers)
+	if workers <= 1 || f.Words < MinParallelWords {
+		sc := pool.Get(0)
+		a, p := f.SolveDFGOps(d, opsOf, sc, cost)
+		// Match the parallel path's ownership contract: the caller gets
+		// matrices independent of any scratch arena.
+		n := len(f.Exprs)
+		ant = bitset.NewMatrix(f.G.NumEdges(), n)
+		pan = bitset.NewMatrix(f.G.NumEdges(), n)
+		copy(ant.W, a.W)
+		copy(pan.W, p.W)
+		return ant, pan
+	}
+	n := len(f.Exprs)
+	ant = bitset.NewMatrix(f.G.NumEdges(), n)
+	pan = bitset.NewMatrix(f.G.NumEdges(), n)
+	if pool != nil {
+		pool.Grow(workers)
+	}
+	chunks := WordChunks(f.Words, workers)
+	costs := make([]dataflow.Counter, len(chunks))
+	parallel.Do(len(chunks), workers, func(w, i int) {
+		c := chunks[i]
+		s := f.Slice(c[0], c[1])
+		ca, cp := s.SolveDFGOps(d, opsOf, pool.Get(w), &costs[i])
+		ant.PasteWordRange(ca, c[0])
+		pan.PasteWordRange(cp, c[0])
+	})
+	for _, c := range costs {
+		cost.Add(c)
+	}
+	return ant, pan
+}

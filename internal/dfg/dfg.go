@@ -319,6 +319,30 @@ func BuildWithInfo(g *cfg.Graph, info *regions.Info) (*Graph, error) {
 }
 
 func buildWithInfo(g *cfg.Graph, info *regions.Info, exec bool) (*Graph, error) {
+	d, vars := newGraphPrefix(g, info, exec)
+
+	// Phase 1: which variables does each region block (define or use)?
+	blocks := d.regionBlocks()
+
+	// Phase 2: per-variable forward flow with region bypassing.
+	for _, v := range vars {
+		if err := d.flowVar(v, blocks); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: dead-edge removal.
+	d.removeDeadEdges()
+	return d, nil
+}
+
+// newGraphPrefix allocates the graph and creates the deterministic operator
+// prefix every builder starts from: def operators per defining node in node
+// order, then (exec graphs) IOVar def operators per effectful node. The
+// serial and parallel builders share this so their operator numbering starts
+// from an identical state — the parallel join relies on every OpID below
+// len(d.Ops)-at-return being final.
+func newGraphPrefix(g *cfg.Graph, info *regions.Info, exec bool) (*Graph, []string) {
 	vars := append([]string{CtlVar}, g.VarNames...)
 	if exec {
 		vars = append(vars, IOVar)
@@ -347,9 +371,6 @@ func buildWithInfo(g *cfg.Graph, info *regions.Info, exec bool) (*Graph, error) 
 		d.switchOf[i] = NoOp
 	}
 
-	// Phase 1: which variables does each region block (define or use)?
-	blocks := d.regionBlocks()
-
 	// Def operators exist per defining node, shared across the per-variable
 	// passes (created eagerly so DefOf is total).
 	for _, nd := range g.Nodes {
@@ -371,17 +392,7 @@ func buildWithInfo(g *cfg.Graph, info *regions.Info, exec bool) (*Graph, error) 
 			}
 		}
 	}
-
-	// Phase 2: per-variable forward flow with region bypassing.
-	for _, v := range vars {
-		if err := d.flowVar(v, blocks); err != nil {
-			return nil, err
-		}
-	}
-
-	// Phase 3: dead-edge removal.
-	d.removeDeadEdges()
-	return d, nil
+	return d, vars
 }
 
 func (d *Graph) newOp(kind OpKind, v string, node cfg.NodeID) OpID {

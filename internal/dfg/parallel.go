@@ -1,0 +1,303 @@
+// Region-parallel DFG construction.
+//
+// The serial builder (buildWithInfo) runs flowVar once per variable, and the
+// graph it produces partitions cleanly along exactly that axis: flowVar(v)
+// creates only v's operators and use sites, every def operator defines
+// exactly one variable, and a consumer list attaches to a source port only
+// from the flow of the port's own variable. The only cross-variable state is
+// ordering — the append order of d.Ops/d.Uses and the contents of the
+// node×variable operator tables. So the parallel builder runs each
+// variable's flow as an isolated *fragment* on the work-sharing executor and
+// reproduces the serial layout with a deterministic join:
+//
+//	OpID space:  [prefix: def ops in node order, io-def ops]
+//	             [vars[0]'s ops in DFS creation order]
+//	             [vars[1]'s ops] ...
+//
+// Fragments number their operators provisionally from prefixLen (prefix IDs
+// pass through unchanged; fragment-local op n is prefixLen+n) and the join
+// rebases variable i's block to prefixLen + Σ len(frag[j].ops), j<i — which
+// is exactly where the serial builder would have put it. Uses concatenate in
+// variable order with the same rebasing; consumer logs replay per fragment,
+// and since each source port's consumers come from a single fragment, every
+// per-port list keeps its serial order. Dead-edge removal then runs serially
+// on the joined graph. The result is byte-identical to BuildWithInfo —
+// pinned by TestBuildParallelIdentical here and the golden-report
+// differentials in internal/pipeline.
+//
+// Per-region splicing (fragment per SESE region, not per variable) was
+// considered and rejected: the serial DFS interleaves parent-continuation
+// operators (created after a region's exit is reached) with the region's own
+// remaining false-branch operators, so region fragments cannot reproduce the
+// serial numbering without replaying that interleave — see DESIGN.md §11.
+package dfg
+
+import (
+	"fmt"
+
+	"dfg/internal/cfg"
+	"dfg/internal/parallel"
+	"dfg/internal/regions"
+)
+
+// ParallelMinNodes is the CFG size below which BuildParallelWithInfo uses
+// the serial builder: small programs fit in cache and finish in microseconds,
+// so goroutine handoff would only add latency — and the GOMAXPROCS==1 cold
+// benchmark gate requires the small-program path to be exactly the serial
+// code.
+const ParallelMinNodes = 64
+
+// BuildParallel is BuildParallelWithInfo with the SESE analysis computed
+// internally.
+func BuildParallel(g *cfg.Graph, workers int) (*Graph, error) {
+	info, err := regions.Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	return BuildParallelWithInfo(g, info, workers)
+}
+
+// BuildParallelWithInfo constructs the DFG using up to workers goroutines
+// (workers <= 0 means GOMAXPROCS), producing a graph byte-identical to
+// BuildWithInfo. It falls back to the serial builder when only one worker is
+// available or the program is below ParallelMinNodes.
+func BuildParallelWithInfo(g *cfg.Graph, info *regions.Info, workers int) (*Graph, error) {
+	w := parallel.Workers(workers)
+	if w <= 1 || g.NumNodes() < ParallelMinNodes {
+		return BuildWithInfo(g, info)
+	}
+	return buildParallel(g, info, false, w)
+}
+
+// varFragment is one variable's isolated share of the build: its operators
+// (IDs provisional: prefix IDs final, locals numbered from prefixLen), its
+// use sites, and an append-only log of consumer attachments, all joined
+// deterministically afterwards.
+type varFragment struct {
+	ops  []Op
+	uses []UseSite
+	cons []consRecord
+	err  error
+}
+
+// consRecord is one consumer attachment in provisional ID space: c.UseIdx is
+// fragment-local, src.Op/c.Op are provisional.
+type consRecord struct {
+	src Src
+	c   Consumer
+}
+
+// buildArena is one worker's reusable scratch for fragment flows: the
+// per-edge visited set and the per-node merge/switch interception marks,
+// epoch-stamped so successive variables on the same worker reuse the
+// allocations without clearing.
+type buildArena struct {
+	visited     []int32
+	visitEpoch  int32
+	mergeAt     []OpID
+	mergeEpoch  []int32
+	switchEpoch []int32
+	nodeEpoch   int32
+}
+
+func newBuildArena(g *cfg.Graph) *buildArena {
+	return &buildArena{
+		visited:     make([]int32, g.NumEdges()),
+		mergeAt:     make([]OpID, g.NumNodes()),
+		mergeEpoch:  make([]int32, g.NumNodes()),
+		switchEpoch: make([]int32, g.NumNodes()),
+	}
+}
+
+func buildParallel(g *cfg.Graph, info *regions.Info, exec bool, workers int) (*Graph, error) {
+	d, vars := newGraphPrefix(g, info, exec)
+	blocks := d.regionBlocks()
+	prefixLen := len(d.Ops)
+
+	// From here to the join, d is read-only: fragments call usesVar/defsVar/
+	// defOp (reads of g, DefOf, ioDefOf, varIdx) and consult Info/blocks, but
+	// write exclusively into their own fragment and worker arena.
+	frags := make([]varFragment, len(vars))
+	arenas := parallel.Arenas[*buildArena]{New: func() *buildArena { return newBuildArena(g) }}
+	arenas.Grow(workers)
+	parallel.Do(len(vars), workers, func(w, i int) {
+		frags[i].err = d.fragmentFlowVar(vars[i], prefixLen, blocks, arenas.Get(w), &frags[i])
+	})
+	// First error in variable order, matching the serial builder's reporting.
+	for fi := range frags {
+		if frags[fi].err != nil {
+			return nil, frags[fi].err
+		}
+	}
+
+	// Join. Variable i's ops land at opBase[i] = prefixLen + Σ len(ops[j<i]),
+	// its uses at useBase[i] — the serial layout.
+	opBase := make([]int, len(frags)+1)
+	useBase := make([]int, len(frags)+1)
+	opBase[0] = prefixLen
+	for fi := range frags {
+		opBase[fi+1] = opBase[fi] + len(frags[fi].ops)
+		useBase[fi+1] = useBase[fi] + len(frags[fi].uses)
+	}
+	remapOp := func(fi int, op OpID) OpID {
+		if int(op) < prefixLen { // prefix IDs (and NoOp) are already final
+			return op
+		}
+		return OpID(opBase[fi] + int(op) - prefixLen)
+	}
+	remapSrc := func(fi int, s Src) Src {
+		s.Op = remapOp(fi, s.Op)
+		return s
+	}
+
+	for fi := range frags {
+		f := &frags[fi]
+		v := vars[fi]
+		for li := range f.ops {
+			op := f.ops[li]
+			op.ID = remapOp(fi, op.ID)
+			for j := range op.In {
+				op.In[j] = remapSrc(fi, op.In[j])
+			}
+			d.Ops = append(d.Ops, op)
+			d.consumers = append(d.consumers, nil, nil)
+			// The serial builder records these as it creates each operator;
+			// the kind determines which table the ID belongs in.
+			switch op.Kind {
+			case OpInit:
+				d.InitOf[v] = op.ID
+			case OpMerge:
+				d.mergeOf[d.nvIndex(op.Node, v)] = op.ID
+			case OpSwitch:
+				d.switchOf[d.nvIndex(op.Node, v)] = op.ID
+			}
+		}
+		for _, u := range f.uses {
+			u.Src = remapSrc(fi, u.Src)
+			d.Uses = append(d.Uses, u)
+		}
+	}
+	// Consumer replay. Each port's consumers come from exactly one fragment
+	// (ports belong to variables; only the owning variable's flow reaches
+	// them), so replaying fragment logs in order preserves every per-port
+	// list's serial DFS order.
+	for fi := range frags {
+		for _, rec := range frags[fi].cons {
+			src := remapSrc(fi, rec.src)
+			c := rec.c
+			if c.UseIdx >= 0 {
+				c.UseIdx += useBase[fi]
+			}
+			if c.Op != NoOp {
+				c.Op = remapOp(fi, c.Op)
+			}
+			i := srcIndex(src)
+			d.consumers[i] = append(d.consumers[i], c)
+		}
+	}
+
+	d.removeDeadEdges()
+	return d, nil
+}
+
+// fragmentFlowVar is flowVar restricted to one fragment: the same DFS over
+// the same CFG with the same region bypassing, but operators, uses, and
+// consumer attachments go to the fragment (in provisional ID space) and the
+// visited/interception state lives in the worker arena instead of the graph.
+// Any change to the traversal here must mirror flowVar — the differential
+// tests pin the two together.
+func (d *Graph) fragmentFlowVar(v string, prefixLen int, blocks [][]bool, ar *buildArena, frag *varFragment) error {
+	g := d.G
+	vi := d.varIdx[v]
+	newLocal := func(kind OpKind, node cfg.NodeID) OpID {
+		id := OpID(prefixLen + len(frag.ops))
+		frag.ops = append(frag.ops, Op{ID: id, Kind: kind, Var: v, Node: node})
+		return id
+	}
+	addCons := func(src Src, c Consumer) {
+		frag.cons = append(frag.cons, consRecord{src: src, c: c})
+	}
+	init := newLocal(OpInit, g.Start)
+
+	ar.visitEpoch++
+	epoch := ar.visitEpoch
+	visited := ar.visited
+	ar.nodeEpoch++
+	nodeEpoch := ar.nodeEpoch
+
+	var visit func(eid cfg.EdgeID, src Src) error
+	deliver := func(eid cfg.EdgeID, src Src) error {
+		node := g.Edge(eid).Dst
+		nd := g.Node(node)
+
+		// Operand use at this node.
+		if d.usesVar(node, v) {
+			frag.uses = append(frag.uses, UseSite{Node: node, Var: v, Src: src})
+			addCons(src, Consumer{UseIdx: len(frag.uses) - 1, Op: NoOp})
+		}
+
+		switch nd.Kind {
+		case cfg.KindEnd:
+			return nil
+
+		case cfg.KindMerge:
+			first := ar.mergeEpoch[node] != nodeEpoch
+			var mid OpID
+			if first {
+				mid = newLocal(OpMerge, node)
+				ar.mergeAt[node] = mid
+				ar.mergeEpoch[node] = nodeEpoch
+			} else {
+				mid = ar.mergeAt[node]
+			}
+			li := int(mid) - prefixLen
+			frag.ops[li].In = append(frag.ops[li].In, src)
+			frag.ops[li].InEdges = append(frag.ops[li].InEdges, eid)
+			addCons(src, Consumer{UseIdx: -1, Op: mid, InIdx: len(frag.ops[li].In) - 1})
+			if first {
+				return visit(g.OutEdges(node)[0], Src{Op: mid, Out: cfg.BranchNone})
+			}
+			return nil
+
+		case cfg.KindSwitch:
+			if ar.switchEpoch[node] == nodeEpoch {
+				return fmt.Errorf("dfg: switch node %d visited twice for %s", node, v)
+			}
+			ar.switchEpoch[node] = nodeEpoch
+			sid := newLocal(OpSwitch, node)
+			frag.ops[int(sid)-prefixLen].In = []Src{src}
+			addCons(src, Consumer{UseIdx: -1, Op: sid, InIdx: 0})
+			tEdge := g.SwitchEdge(node, cfg.BranchTrue)
+			fEdge := g.SwitchEdge(node, cfg.BranchFalse)
+			if err := visit(tEdge, Src{Op: sid, Out: cfg.BranchTrue}); err != nil {
+				return err
+			}
+			return visit(fEdge, Src{Op: sid, Out: cfg.BranchFalse})
+
+		default: // assign, read, print, nop, (start cannot be a dst)
+			out := src
+			if d.defsVar(node, v) {
+				out = Src{Op: d.defOp(node, v), Out: cfg.BranchNone}
+			}
+			return visit(g.OutEdges(node)[0], out)
+		}
+	}
+
+	visit = func(eid cfg.EdgeID, src Src) error {
+		for {
+			if visited[eid] == epoch {
+				return fmt.Errorf("dfg: edge %d visited twice for %s", eid, v)
+			}
+			visited[eid] = epoch
+			// Region bypassing: while eid is the entry of a canonical region
+			// that does not block v, jump to its exit.
+			rid := d.Info.EntryOf[eid]
+			if rid < 0 || blocks[rid][vi] {
+				return deliver(eid, src)
+			}
+			eid = d.Info.Regions[rid].Exit
+		}
+	}
+
+	return visit(g.OutEdges(g.Start)[0], Src{Op: init, Out: cfg.BranchNone})
+}

@@ -1,0 +1,16 @@
+package envinfo
+
+import "testing"
+
+func TestCollect(t *testing.T) {
+	info := Collect()
+	if info.CPU == "" {
+		t.Error("empty CPU model")
+	}
+	if info.NumCPU < 1 || info.GOMAXPROCS < 1 {
+		t.Errorf("implausible CPU counts: %+v", info)
+	}
+	if info.Go == "" {
+		t.Error("empty go version")
+	}
+}

@@ -541,11 +541,26 @@ var PatchCheck = os.Getenv("EPR_PATCH_CHECK") != ""
 // shared dependence graph is maintained in place across transformations
 // (dfg.PatchEPR), falling back to a full rebuild when a patch fails.
 func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, Stats, error) {
+	return ApplyPlacedWorkers(g, driver, placement, 1)
+}
+
+// ApplyPlacedWorkers is ApplyPlaced with intra-program parallel solving:
+// at workers > 1 every batched re-solve partitions its candidate words
+// across up to workers goroutines (see analyzeFamilyPar), with per-worker
+// scratch arenas pooled across the whole run. Output is identical to
+// ApplyPlaced at any worker count — the solvers are bit-identical and the
+// transformation loop itself stays sequential (each accepted candidate
+// mutates the graph the next one is analyzed against).
+func ApplyPlacedWorkers(g *cfg.Graph, driver Driver, placement Placement, workers int) (*cfg.Graph, Stats, error) {
 	out := Clone(g)
 	var st Stats
 	tmp := 0
 	var d *dfg.Graph
 	var sc anticip.Scratch // solver buffers reused across every re-solve
+	var pool *anticip.ScratchPool
+	if workers > 1 {
+		pool = anticip.NewScratchPool(workers)
+	}
 	// Iterate until no expression yields a transformation: replacing an
 	// inner expression can expose an outer redundancy.
 	for rounds := 0; rounds < maxRounds; rounds++ {
@@ -567,7 +582,7 @@ func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, 
 		if fam.Words > st.SolverWords {
 			st.SolverWords = fam.Words
 		}
-		b, err := analyzeFamily(fam, driver, d, &sc)
+		b, err := analyzeFamilyPar(fam, driver, d, &sc, pool, workers)
 		if err != nil {
 			return nil, st, err
 		}
@@ -606,7 +621,7 @@ func ApplyPlaced(g *cfg.Graph, driver Driver, placement Placement) (*cfg.Graph, 
 			// Re-solve the remaining candidates against the mutated graph.
 			if k+1 < len(exprs) {
 				fam.Update(append(append([]cfg.NodeID{}, ed.NewNodes...), ed.Rewritten...))
-				if b, err = analyzeFamily(fam, driver, d, &sc); err != nil {
+				if b, err = analyzeFamilyPar(fam, driver, d, &sc, pool, workers); err != nil {
 					return nil, st, err
 				}
 			}

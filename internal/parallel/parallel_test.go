@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ in, want int }{
+		{0, max}, {-3, max}, {1, 1}, {max, max}, {max + 7, max},
+	}
+	for _, c := range cases {
+		if got := Workers(c.in); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDoCoversAllItemsOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, items := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]int32, items)
+			Do(items, workers, func(w, i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d items=%d: item %d run %d times", workers, items, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoWorkerIndexDense(t *testing.T) {
+	const items = 64
+	workers := 4
+	var seen [4]int32
+	Do(items, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range [0,%d)", w, workers)
+			return
+		}
+		atomic.AddInt32(&seen[w], 1)
+	})
+	// Worker 0 is the calling goroutine and always runs.
+	if seen[0] == 0 {
+		t.Error("worker 0 (the caller) processed no items")
+	}
+}
+
+func TestDoInlineWhenSingleWorker(t *testing.T) {
+	// workers<=1 must run on the calling goroutine, in order.
+	var order []int
+	Do(5, 1, func(w, i int) {
+		if w != 0 {
+			t.Errorf("worker = %d, want 0", w)
+		}
+		order = append(order, i) // not atomic: proves single-goroutine under -race
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order = %v", order)
+		}
+	}
+}
+
+func TestDoClampsWorkersToItems(t *testing.T) {
+	// With more workers than items every item still runs exactly once and
+	// worker indices stay below the item count.
+	var hits [3]int32
+	Do(3, 100, func(w, i int) {
+		if w >= 3 {
+			t.Errorf("worker index %d >= clamped worker count 3", w)
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d run %d times", i, h)
+		}
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	Do(100, 4, func(w, i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Do returned instead of panicking")
+}
+
+func TestArenas(t *testing.T) {
+	made := int32(0)
+	a := Arenas[*[]int]{New: func() *[]int {
+		atomic.AddInt32(&made, 1)
+		s := make([]int, 0, 8)
+		return &s
+	}}
+	a.Grow(4)
+	// Two rounds of Do: arenas must be created once per worker and reused.
+	for round := 0; round < 2; round++ {
+		Do(32, 4, func(w, i int) {
+			buf := a.Get(w)
+			*buf = append((*buf)[:0], i)
+		})
+	}
+	if n := atomic.LoadInt32(&made); n > 4 {
+		t.Errorf("New called %d times for 4 workers", n)
+	}
+	// Growing again must preserve existing slots.
+	a.Grow(8)
+	if len(a.slots) != 8 {
+		t.Errorf("slots = %d after Grow(8)", len(a.slots))
+	}
+}

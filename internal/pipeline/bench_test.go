@@ -63,6 +63,23 @@ func BenchmarkPipelineBatch(b *testing.B) {
 		progsPerSec(b)
 	})
 
+	b.Run("stream-cold-1worker", func(b *testing.B) {
+		// AnalyzeBatchStream with results dropped as they are delivered:
+		// the streaming caller's shape. Nothing is retained, so this runs
+		// against the serial-cold baseline, not serial-cold-retained — the
+		// gap between this row and batch-cold-1worker is the GC cost of
+		// AnalyzeBatch's returned slice keeping all 100 Results alive.
+		for i := 0; i < b.N; i++ {
+			e := New(Config{Workers: 1, DisableCache: true})
+			e.AnalyzeBatchStream(ctx, reqs, func(br BatchResult) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			})
+		}
+		progsPerSec(b)
+	})
+
 	b.Run("batch-cold-1worker", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := New(Config{Workers: 1, DisableCache: true})
@@ -125,7 +142,7 @@ func BenchmarkStageCold(b *testing.B) {
 			for i, src := range srcs {
 				res := &Result{src: src, Stages: map[Stage]StageInfo{}}
 				for _, dep := range plan[:len(plan)-1] {
-					v, err := compute(dep, Options{}, res)
+					v, err := compute(dep, Options{}, res, 1)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -137,7 +154,7 @@ func BenchmarkStageCold(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, res := range deps {
-					if _, err := compute(st, Options{}, res); err != nil {
+					if _, err := compute(st, Options{}, res, 1); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -57,6 +57,16 @@ func (c *lruCache) put(key string, val any) {
 	}
 }
 
+// contains reports presence without promoting the entry — the batch
+// scheduler's warm/cold classification peeks at hundreds of keys and must
+// not reorder the eviction queue while doing so.
+func (c *lruCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 func (c *lruCache) stats() (entries int, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"expvar"
+	"runtime"
 	rtmetrics "runtime/metrics"
 	"sync/atomic"
 
@@ -44,8 +45,11 @@ func heapAllocs() (bytes, objects int64) {
 type metrics struct {
 	requests atomic.Int64
 	batches  atomic.Int64
-	stages   map[Stage]*stageCounters
-	epr      eprCounters
+	// Warm/cold lane classification of batch slots (see analyzeBatchCore).
+	batchWarm atomic.Int64
+	batchCold atomic.Int64
+	stages    map[Stage]*stageCounters
+	epr       eprCounters
 
 	// Two-tier report cache counters (AnalyzeReport).
 	reportHits     atomic.Int64 // in-memory report-LRU hits
@@ -140,9 +144,14 @@ type ReportCacheStats struct {
 // Snapshot is a point-in-time copy of every engine counter, for /statsz
 // and for tests.
 type Snapshot struct {
-	Requests int64                `json:"requests"`
-	Batches  int64                `json:"batches"`
-	Stages   map[Stage]StageStats `json:"stages"`
+	Requests   int64 `json:"requests"`
+	Batches    int64 `json:"batches"`
+	BatchWarm  int64 `json:"batch_warm"` // batch slots classified cache-warm
+	BatchCold  int64 `json:"batch_cold"` // batch slots classified cache-cold
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	NumCPU     int   `json:"num_cpu"`
+
+	Stages map[Stage]StageStats `json:"stages"`
 	Cache    CacheStats           `json:"cache"`
 	EPR      EPRStats             `json:"epr"`
 	// ReportCache and Store appear only on engines configured with a
@@ -154,9 +163,13 @@ type Snapshot struct {
 // Snapshot returns a consistent-enough copy of the engine's counters.
 func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
-		Requests: e.metrics.requests.Load(),
-		Batches:  e.metrics.batches.Load(),
-		Stages:   make(map[Stage]StageStats, len(stageOrder)),
+		Requests:   e.metrics.requests.Load(),
+		Batches:    e.metrics.batches.Load(),
+		BatchWarm:  e.metrics.batchWarm.Load(),
+		BatchCold:  e.metrics.batchCold.Load(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Stages:     make(map[Stage]StageStats, len(stageOrder)),
 	}
 	for _, st := range stageOrder {
 		c := e.metrics.stage(st)

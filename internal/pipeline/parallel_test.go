@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"dfg/internal/workload"
+)
+
+// differentialCorpus is the satellite corpus of the region-parallel PR:
+// 200 programs spanning the three structural extremes — Mixed (random
+// structured), LoopNest (deep and narrow), Wide (shallow and broad) — on
+// which the parallel pipeline must be byte-identical to the serial one.
+func differentialCorpus(t *testing.T) []string {
+	t.Helper()
+	nMixed, nNest, nWide := 150, 25, 25
+	if testing.Short() {
+		nMixed, nNest, nWide = 20, 5, 5
+	}
+	var srcs []string
+	for seed := int64(1); seed <= int64(nMixed); seed++ {
+		srcs = append(srcs, workload.Mixed(15, seed).String())
+	}
+	for seed := int64(1); seed <= int64(nNest); seed++ {
+		srcs = append(srcs, workload.LoopNest(3, 2+int(seed%4), seed).String())
+	}
+	for seed := int64(1); seed <= int64(nWide); seed++ {
+		srcs = append(srcs, workload.Wide(100, seed).String())
+	}
+	return srcs
+}
+
+// TestReportIdenticalAcrossIntraWorkers is the golden differential of the
+// region-parallel work: the full report of every corpus program must be
+// byte-identical at IntraWorkers ∈ {1, 4, GOMAXPROCS}. IntraWorkers=1
+// takes the pre-existing serial code paths (the parallel entry points fall
+// back), so this pins the parallel builder, the word-partitioned solvers,
+// and the parallel EPR loop to the serial semantics in one sweep.
+func TestReportIdenticalAcrossIntraWorkers(t *testing.T) {
+	srcs := differentialCorpus(t)
+	ref := make([]string, len(srcs))
+	{
+		e := New(Config{DisableCache: true, IntraWorkers: 1})
+		for i, src := range srcs {
+			res := mustAnalyze(t, e, Request{Source: src})
+			ref[i] = reportJSON(t, res.Report())
+		}
+	}
+	counts := []int{4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 4 && gmp > 1 {
+		counts = append(counts, gmp)
+	}
+	for _, intra := range counts {
+		e := New(Config{DisableCache: true, IntraWorkers: intra})
+		for i, src := range srcs {
+			res := mustAnalyze(t, e, Request{Source: src})
+			if got := reportJSON(t, res.Report()); got != ref[i] {
+				t.Fatalf("intra=%d: report differs from serial on corpus[%d]:\nserial:   %s\nparallel: %s",
+					intra, i, ref[i], got)
+			}
+		}
+	}
+}
+
+// TestBatchWarmPriority pins the two-lane scheduler: with one worker, every
+// request classified cache-warm must be delivered before any cold one, no
+// matter how they interleave in the input, so a burst of cold analyses can
+// never starve warm-cache traffic.
+func TestBatchWarmPriority(t *testing.T) {
+	e := New(Config{Workers: 1})
+	srcs := []string{
+		workload.Mixed(15, 101).String(), // cold
+		workload.Mixed(15, 102).String(), // warm
+		workload.Mixed(15, 103).String(), // cold
+		workload.Mixed(15, 104).String(), // warm
+		workload.Mixed(15, 105).String(), // cold
+		workload.Mixed(15, 106).String(), // warm
+	}
+	warm := map[int]bool{1: true, 3: true, 5: true}
+	for i := range srcs {
+		if warm[i] {
+			mustAnalyze(t, e, Request{Source: srcs[i]})
+		}
+	}
+	reqs := make([]Request, len(srcs))
+	for i, src := range srcs {
+		reqs[i] = Request{Source: src}
+	}
+	var order []int
+	e.AnalyzeBatchStream(context.Background(), reqs, func(br BatchResult) {
+		if br.Err != nil {
+			t.Errorf("slot %d: %v", br.Index, br.Err)
+		}
+		order = append(order, br.Index)
+	})
+	if len(order) != len(srcs) {
+		t.Fatalf("delivered %d results, want %d", len(order), len(srcs))
+	}
+	seenCold := false
+	for _, i := range order {
+		if !warm[i] {
+			seenCold = true
+		} else if seenCold {
+			t.Fatalf("warm request %d delivered after a cold one: order %v", i, order)
+		}
+	}
+	snap := e.Snapshot()
+	if snap.BatchWarm != 3 || snap.BatchCold != 3 {
+		t.Errorf("warm/cold counters = %d/%d, want 3/3", snap.BatchWarm, snap.BatchCold)
+	}
+}
+
+// TestAnalyzeBatchStreamMatchesBatch checks the streaming variant delivers
+// exactly the results AnalyzeBatch returns, once per request.
+func TestAnalyzeBatchStreamMatchesBatch(t *testing.T) {
+	e := New(Config{Workers: 4, DisableCache: true})
+	var reqs []Request
+	for seed := int64(1); seed <= 12; seed++ {
+		reqs = append(reqs, Request{Source: workload.Mixed(15, seed).String()})
+	}
+	want := e.AnalyzeBatch(context.Background(), reqs)
+	got := make(map[int]string, len(reqs))
+	e.AnalyzeBatchStream(context.Background(), reqs, func(br BatchResult) {
+		if _, dup := got[br.Index]; dup {
+			t.Errorf("slot %d delivered twice", br.Index)
+		}
+		if br.Err != nil {
+			t.Errorf("slot %d: %v", br.Index, br.Err)
+			got[br.Index] = ""
+			return
+		}
+		got[br.Index] = reportJSON(t, br.Result.Report())
+	})
+	if len(got) != len(reqs) {
+		t.Fatalf("delivered %d results, want %d", len(got), len(reqs))
+	}
+	for i, br := range want {
+		if br.Err != nil {
+			t.Fatalf("batch slot %d: %v", i, br.Err)
+		}
+		if got[i] != reportJSON(t, br.Result.Report()) {
+			t.Errorf("slot %d: streamed report differs from batch report", i)
+		}
+	}
+}
+
+// TestProbablyWarmNilCache: an engine without a cache classifies everything
+// cold rather than panicking.
+func TestProbablyWarmNilCache(t *testing.T) {
+	e := New(Config{DisableCache: true})
+	if e.probablyWarm(Request{Source: "read a; print a;"}) {
+		t.Fatal("cache-less engine classified a request warm")
+	}
+	out := e.AnalyzeBatch(context.Background(), []Request{{Source: "read a; print a;"}})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if snap := e.Snapshot(); snap.BatchCold != 1 || snap.BatchWarm != 0 {
+		t.Errorf("warm/cold counters = %d/%d, want 0/1", snap.BatchWarm, snap.BatchCold)
+	}
+}

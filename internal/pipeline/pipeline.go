@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dfg/internal/anticip"
+	"dfg/internal/bitset"
 	"dfg/internal/cdg"
 	"dfg/internal/cfg"
 	"dfg/internal/constprop"
@@ -259,6 +260,14 @@ type Config struct {
 	DisableCache   bool          // bypass memoization entirely (cold-path measurement)
 	DefaultTimeout time.Duration // per-request timeout when Request.Timeout is 0; <=0 means 30s
 
+	// IntraWorkers bounds intra-program parallelism for a single Analyze
+	// call: the region-parallel DFG build and the word-partitioned solver
+	// fixpoints. <=0 means GOMAXPROCS. Batch slots ignore it — a saturated
+	// worker pool already uses every core on distinct programs, so each slot
+	// runs its stages serially (the outputs are byte-identical either way;
+	// see internal/dfg/parallel.go and internal/anticip/parallel.go).
+	IntraWorkers int
+
 	// Store, when set, adds the persistent tier behind AnalyzeReport's
 	// in-memory report LRU: computed reports are written through to it and
 	// survive process restarts. Open it with schema ReportSchemaVersion.
@@ -310,6 +319,15 @@ func New(c Config) *Engine {
 // Workers reports the engine's batch worker-pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
+// IntraWorkers reports the resolved intra-program worker bound for single
+// Analyze calls.
+func (e *Engine) IntraWorkers() int {
+	if e.cfg.IntraWorkers > 0 {
+		return e.cfg.IntraWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // key returns the content address of (source, options): the cache identity
 // of all stage artifacts for that pair.
 func key(source string, o Options) string {
@@ -323,6 +341,12 @@ func key(source string, o Options) string {
 // down by a malformed program. Cancellation and deadlines on ctx are
 // observed at stage boundaries.
 func (e *Engine) Analyze(ctx context.Context, req Request) (*Result, error) {
+	return e.analyzeIntra(ctx, req, e.IntraWorkers())
+}
+
+// analyzeIntra is Analyze with an explicit intra-program worker bound:
+// single requests get the engine's IntraWorkers, batch slots run with 1.
+func (e *Engine) analyzeIntra(ctx context.Context, req Request, intra int) (*Result, error) {
 	e.metrics.requests.Add(1)
 	stages := req.Stages
 	if len(stages) == 0 {
@@ -348,7 +372,7 @@ func (e *Engine) Analyze(ctx context.Context, req Request) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := e.runStage(st, req, res); err != nil {
+		if err := e.runStage(st, req, res, intra); err != nil {
 			return nil, err
 		}
 	}
@@ -357,11 +381,8 @@ func (e *Engine) Analyze(ctx context.Context, req Request) (*Result, error) {
 
 // runStage satisfies one stage of one request from the cache or by
 // computing it, updating metrics either way.
-func (e *Engine) runStage(st Stage, req Request, res *Result) error {
-	ck := res.Key + "/" + string(st)
-	if st == StageExec {
-		ck += fmt.Sprintf("/inputs=%v", req.Options.ExecInputs)
-	}
+func (e *Engine) runStage(st Stage, req Request, res *Result, intra int) error {
+	ck := stageKey(res.Key, st, req.Options)
 	if e.cache != nil {
 		if v, ok := e.cache.get(ck); ok {
 			e.metrics.stage(st).hits.Add(1)
@@ -372,7 +393,7 @@ func (e *Engine) runStage(st Stage, req Request, res *Result) error {
 	}
 	ab0, ao0 := heapAllocs()
 	start := time.Now()
-	v, err := e.computeStage(st, req, res)
+	v, err := e.computeStage(st, req, res, intra)
 	elapsed := time.Since(start)
 	ab1, ao1 := heapAllocs()
 	m := e.metrics.stage(st)
@@ -395,8 +416,19 @@ func (e *Engine) runStage(st Stage, req Request, res *Result) error {
 	return nil
 }
 
+// stageKey derives the cache key of one stage's artifact from the request's
+// content address. The exec stage folds in its input vector: executing a
+// program is parameterized by inputs, the pure stages are not.
+func stageKey(resKey string, st Stage, opts Options) string {
+	ck := resKey + "/" + string(st)
+	if st == StageExec {
+		ck += fmt.Sprintf("/inputs=%v", opts.ExecInputs)
+	}
+	return ck
+}
+
 // computeStage dispatches to the analysis packages with panic isolation.
-func (e *Engine) computeStage(st Stage, req Request, res *Result) (v any, err error) {
+func (e *Engine) computeStage(st Stage, req Request, res *Result, intra int) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &StageError{Stage: st, Panicked: true, Err: fmt.Errorf("%v", r)}
@@ -405,7 +437,7 @@ func (e *Engine) computeStage(st Stage, req Request, res *Result) (v any, err er
 	if e.cfg.StageHook != nil {
 		e.cfg.StageHook(st, req.Source)
 	}
-	v, cerr := compute(st, req.Options, res)
+	v, cerr := compute(st, req.Options, res, intra)
 	if cerr != nil {
 		return nil, &StageError{Stage: st, Err: cerr}
 	}
@@ -416,8 +448,10 @@ func (e *Engine) computeStage(st Stage, req Request, res *Result) (v any, err er
 }
 
 // compute produces the artifact of one stage from its (already installed)
-// dependencies. It must not mutate anything reachable from res.
-func compute(st Stage, opts Options, res *Result) (any, error) {
+// dependencies. It must not mutate anything reachable from res. intra
+// bounds intra-program parallelism; every stage's output is byte-identical
+// at any intra value, so cache keys are unaffected.
+func compute(st Stage, opts Options, res *Result, intra int) (any, error) {
 	switch st {
 	case StageParse:
 		return parser.Parse(res.source())
@@ -428,7 +462,7 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 	case StageCDG:
 		return cdg.BuildFactored(res.CFG), nil
 	case StageDFG:
-		return dfg.BuildWithInfo(res.CFG, res.Regions)
+		return dfg.BuildParallelWithInfo(res.CFG, res.Regions, intra)
 	case StageSSA:
 		out := &SSAResult{Base: ssa.Cytron(res.CFG), Derived: ssa.FromDFG(res.DFG)}
 		if err := ssa.EquivalentOnUses(out.Base, out.Derived); err != nil {
@@ -459,7 +493,12 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 		exprs := epr.CandidateExprs(res.CFG)
 		fam := anticip.NewFamily(res.CFG, exprs)
 		var cost dataflow.Counter
-		ant, pan := fam.SolveDFG(res.DFG, &cost)
+		var ant, pan *bitset.Matrix
+		if intra > 1 {
+			ant, pan = fam.SolveDFGOpsParallel(res.DFG, res.DFG.OpsByVar(), nil, intra, &cost)
+		} else {
+			ant, pan = fam.SolveDFG(res.DFG, &cost)
+		}
 		for k, ex := range exprs {
 			ea := ExprAnticip{Expr: ex.String()}
 			for eid := 0; eid < res.CFG.NumEdges(); eid++ {
@@ -475,7 +514,7 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 		return out, nil
 	case StageEPR:
 		out := &EPRResult{}
-		b, err := epr.AnalyzeBatch(res.CFG, epr.CandidateExprs(res.CFG), epr.DriverDFG, res.DFG)
+		b, err := epr.AnalyzeBatchWorkers(res.CFG, epr.CandidateExprs(res.CFG), epr.DriverDFG, res.DFG, intra)
 		if err != nil {
 			return nil, err
 		}
@@ -492,7 +531,7 @@ func compute(st Stage, opts Options, res *Result) (any, error) {
 			sort.Ints(pe.Delete)
 			out.PerExpr = append(out.PerExpr, pe)
 		}
-		opt, st2, err := epr.Apply(res.CFG, epr.DriverDFG)
+		opt, st2, err := epr.ApplyWorkers(res.CFG, epr.DriverDFG, intra)
 		if err != nil {
 			return nil, err
 		}

@@ -9,7 +9,8 @@
 //
 //   - Named scaling families that exhibit the paper's asymptotic claims:
 //     StraightLine, DiamondLadder (def-use blow-up, E10), LoopNest,
-//     WideSwitch (constant propagation V-sweep, E4), and GotoMess
+//     WideSwitch (constant propagation V-sweep, E4), Wide (breadth-heavy
+//     sibling regions for the parallel analyses), and GotoMess
 //     (irreducible control flow for the cycle-equivalence benches, E8).
 package workload
 
@@ -260,6 +261,35 @@ func WideSwitch(n, v int, seed int64) *ast.Program {
 		fmt.Fprintf(&b, "print x%d;\n", j)
 	}
 	b.WriteString("print y;\n")
+	return parser.MustParse(b.String())
+}
+
+// Wide returns a breadth-heavy structured program of roughly n statements:
+// a flat fan of sibling single-entry single-exit blocks at the top level,
+// each a small if-diamond plus a bounded loop over its own variable, with
+// nesting never deeper than one level. The program structure tree is wide
+// and shallow and the variable set grows with the sibling count, which is
+// exactly the shape the region-parallel DFG builder and word-partitioned
+// solvers distribute best: one independent unit of work per sibling. The
+// complement of LoopNest (deep, narrow) in the scaling experiments.
+func Wide(n int, seed int64) *ast.Program {
+	rng := rand.New(rand.NewSource(seed))
+	// Each sibling block below contributes ~8 statements.
+	siblings := n / 8
+	if siblings < 1 {
+		siblings = 1
+	}
+	var b strings.Builder
+	b.WriteString("read p;\ns := 0;\n")
+	for i := 0; i < siblings; i++ {
+		fmt.Fprintf(&b, "w%d := %d;\n", i, rng.Intn(9))
+		fmt.Fprintf(&b, "if (p > %d) { w%d := w%d + %d; } else { w%d := w%d - %d; }\n",
+			i, i, i, 1+rng.Intn(5), i, i, 1+rng.Intn(5))
+		fmt.Fprintf(&b, "k%d := 0;\n", i)
+		fmt.Fprintf(&b, "while (k%d < 2) { w%d := w%d * 2 + 1; k%d := k%d + 1; }\n", i, i, i, i, i)
+		fmt.Fprintf(&b, "s := s + w%d;\n", i)
+	}
+	b.WriteString("print s;\n")
 	return parser.MustParse(b.String())
 }
 

@@ -121,6 +121,36 @@ func TestWideSwitchVariableCount(t *testing.T) {
 	}
 }
 
+func TestWideShapeAndTermination(t *testing.T) {
+	p := Wide(400, 1)
+	if a, b := p.String(), Wide(400, 1).String(); a != b {
+		t.Error("same seed must give the same program")
+	}
+	g := buildOK(t, p, "wide")
+	// The fan must be genuinely wide: one diamond and one loop per sibling,
+	// so 400/8 = 50 siblings mean >= 100 switch nodes.
+	switches := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind == cfg.KindSwitch {
+			switches++
+		}
+	}
+	if switches < 100 {
+		t.Errorf("wide program too narrow: %d switches, want >= 100", switches)
+	}
+	// Variable breadth grows with the sibling count (w_i, k_i, p, s).
+	if len(g.VarNames) < 100 {
+		t.Errorf("VarNames = %d, want >= 100", len(g.VarNames))
+	}
+	res, err := interp.Run(g, []int64{7}, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) == 0 {
+		t.Error("no observable output")
+	}
+}
+
 func TestGotoMessValidAndTerminating(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		g := buildOK(t, GotoMess(10, seed), "gotomess")

@@ -66,6 +66,41 @@ func TestPipelineAtScale(t *testing.T) {
 	}
 }
 
+func TestWideAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	// 4000-statement breadth-heavy program: hundreds of sibling SESE
+	// regions and a variable set in the hundreds. This is the shape the
+	// region-parallel builder distributes; the parallel result must match
+	// the serial one exactly even at this size.
+	g, err := cfg.Build(workload.Wide(4000, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := regions.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Regions) < 400 {
+		t.Errorf("wide program should have hundreds of regions, got %d", len(info.Regions))
+	}
+	d, err := dfg.BuildWithInfo(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := dfg.BuildParallelWithInfo(g, info, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != dp.String() {
+		t.Fatal("parallel DFG differs from serial at scale")
+	}
+	if err := ssa.EquivalentOnUses(ssa.Cytron(g), ssa.FromDFG(d)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDeepStraightLineNoOverflow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
