@@ -9,6 +9,7 @@
 //	dfg-bench [-exp E1|E2|...|E12|all] [-quick] [-cpuprofile f] [-memprofile f]
 //	dfg-bench -stagejson BENCH.json [-stagerepeats n]
 //	dfg-bench -sweep BENCH_parallel.json [-sweeprepeats n]
+//	dfg-bench -bytecode BENCH_bytecode.json [-bcrepeats n]
 //
 // -quick shrinks the scaling sweeps (used by the repository's tests to keep
 // CI fast); the full sweeps take a few seconds. -cpuprofile and -memprofile
@@ -38,6 +39,8 @@ var (
 	flagStageReps = flag.Int("stagerepeats", 5, "cold corpus passes averaged by -stagejson")
 	flagSweep     = flag.String("sweep", "", "skip experiments; run the GOMAXPROCS parallelism sweep and write its JSON record (BENCH_parallel.json) to this file ('-' for stdout)")
 	flagSweepReps = flag.Int("sweeprepeats", 3, "passes per sweep point (best-of)")
+	flagBCJSON    = flag.String("bytecode", "", "skip experiments; emit the bytecode-frontend timing JSON record (BENCH_bytecode.json) to this file ('-' for stdout)")
+	flagBCReps    = flag.Int("bcrepeats", 5, "corpus passes averaged by -bytecode")
 )
 
 // experiment couples an id with its runner. Runners return an error only
@@ -89,6 +92,13 @@ func run() int {
 	if *flagStageJSON != "" {
 		if err := runStageJSON(*flagStageJSON, *flagStageReps); err != nil {
 			log.Printf("dfg-bench: -stagejson: %v", err)
+			return 2
+		}
+		return 0
+	}
+	if *flagBCJSON != "" {
+		if err := runBytecodeJSON(*flagBCJSON, *flagBCReps); err != nil {
+			log.Printf("dfg-bench: -bytecode: %v", err)
 			return 2
 		}
 		return 0

@@ -288,7 +288,7 @@ func (fl *fleet) analyzer(cfg loadConfig) analyzeFn {
 		if err != nil {
 			return "", err
 		}
-		res, err := fl.front.Analyze(ctx, key, backend.Item(program, nil, false, nil, cfg.Timeout))
+		res, err := fl.front.Analyze(ctx, key, backend.Item(program, nil, pipeline.Options{}, cfg.Timeout))
 		if err != nil {
 			return "", err
 		}

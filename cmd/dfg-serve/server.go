@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dfg/internal/backend"
 	"dfg/internal/frontier"
 	"dfg/internal/pipeline"
 	"dfg/internal/wire"
@@ -24,6 +25,10 @@ type analyzeRequest struct {
 	Stages []string `json:"stages,omitempty"`
 	// Predicates enables the x == c refinement in constprop.
 	Predicates bool `json:"predicates,omitempty"`
+	// SourceKind selects the frontend for Program: "" (default) for
+	// toy-language source, "bytecode" for bytecode assembly text recovered
+	// into a CFG by abstract interpretation.
+	SourceKind string `json:"source_kind,omitempty"`
 	// Inputs is the input stream for the "exec" stage, which runs the
 	// program under the CFG interpreter and the token-driven DFG executor
 	// and reports whether they agree.
@@ -152,10 +157,22 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) (ok 
 	return true
 }
 
+// options builds the pipeline options one analyzeRequest asks for.
+func (req *analyzeRequest) options() pipeline.Options {
+	return pipeline.Options{
+		Predicates: req.Predicates,
+		SourceKind: pipeline.SourceKind(req.SourceKind),
+		ExecInputs: req.Inputs,
+	}
+}
+
 // validate checks one analyzeRequest, returning the expanded stage list.
 func validate(req *analyzeRequest, allowDOT bool) ([]pipeline.Stage, error) {
 	if strings.TrimSpace(req.Program) == "" {
 		return nil, errors.New("empty program")
+	}
+	if !pipeline.ValidSourceKind(pipeline.SourceKind(req.SourceKind)) {
+		return nil, fmt.Errorf("unknown source kind %q", req.SourceKind)
 	}
 	stages := make([]pipeline.Stage, 0, len(req.Stages))
 	for _, st := range req.Stages {
@@ -207,7 +224,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	res, err := s.eng.Analyze(r.Context(), pipeline.Request{
 		Source:  req.Program,
 		Stages:  stages,
-		Options: pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs},
+		Options: req.options(),
 	})
 	if err != nil {
 		writeJSON(w, analysisErrCode(r, err), analyzeResponse{Error: err.Error()})
@@ -251,7 +268,7 @@ func (s *server) analyzeStored(r *http.Request, req *analyzeRequest) (analyzeRes
 	rr, err := s.eng.AnalyzeReport(r.Context(), pipeline.Request{
 		Source:  req.Program,
 		Stages:  toStages(req.Stages),
-		Options: pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs},
+		Options: req.options(),
 	})
 	if err != nil {
 		return analyzeResponse{Error: err.Error()}, analysisErrCode(r, err)
@@ -290,18 +307,12 @@ func (s *server) analyzeRemote(r *http.Request, req *analyzeRequest) (analyzeRes
 
 // wireItem builds the routing key and wire item for one request.
 func (s *server) wireItem(req *analyzeRequest) (string, wire.Item, error) {
-	opts := pipeline.Options{Predicates: req.Predicates, ExecInputs: req.Inputs}
+	opts := req.options()
 	key, err := pipeline.ReportKey(req.Program, opts, toStages(req.Stages))
 	if err != nil {
 		return "", wire.Item{}, err
 	}
-	return key, wire.Item{
-		Program:    req.Program,
-		Stages:     req.Stages,
-		Predicates: req.Predicates,
-		Inputs:     req.Inputs,
-		TimeoutMS:  s.opts.Timeout.Milliseconds(),
-	}, nil
+	return key, backend.Item(req.Program, req.Stages, opts, s.opts.Timeout), nil
 }
 
 func toStages(names []string) []pipeline.Stage {

@@ -276,3 +276,39 @@ func TestAnalyzeExecStage(t *testing.T) {
 		t.Fatalf("exec report missing per-granularity runs: %+v", ex.Runs)
 	}
 }
+
+// TestAnalyzeBytecodeSourceKind drives a source_kind=bytecode request
+// through the HTTP layer: assembly text in, a report with the bytecode
+// section out, and an unknown kind rejected up front with a 400.
+func TestAnalyzeBytecodeSourceKind(t *testing.T) {
+	ts := newTestServer(t)
+	asm := "\tread x\n\tload x\n\tpushi 1\n\tadd\n\tprint\n"
+	code, out := postAnalyze(t, ts, reqBody(t, analyzeRequest{
+		Program:    asm,
+		SourceKind: "bytecode",
+		Inputs:     []int64{41},
+	}))
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("status=%d ok=%v error=%q", code, out.OK, out.Error)
+	}
+	if out.Report == nil || out.Report.Bytecode == nil {
+		t.Fatalf("report missing bytecode section: %+v", out.Report)
+	}
+	if out.Report.Bytecode.Instrs == 0 || out.Report.Bytecode.Blocks == 0 {
+		t.Errorf("implausible bytecode report: %+v", out.Report.Bytecode)
+	}
+	if out.Report.CFG == nil || out.Report.DFG == nil {
+		t.Fatalf("recovered CFG must feed the normal stages: %+v", out.Report)
+	}
+
+	code, out = postAnalyze(t, ts, `{"program":"read a;","source_kind":"wasm"}`)
+	if code != http.StatusBadRequest || out.OK {
+		t.Fatalf("unknown kind: status=%d ok=%v error=%q", code, out.OK, out.Error)
+	}
+
+	// Malformed assembly is the program's fault: 422, one-line diagnostic.
+	code, out = postAnalyze(t, ts, `{"program":"pushi nope","source_kind":"bytecode"}`)
+	if code != http.StatusUnprocessableEntity || out.OK {
+		t.Fatalf("bad assembly: status=%d ok=%v error=%q", code, out.OK, out.Error)
+	}
+}

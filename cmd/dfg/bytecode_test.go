@@ -1,0 +1,111 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"dfg/internal/bytecode"
+)
+
+// TestEmitBytecodeRoundTrips compiles the sample program to a container on
+// stdout, then feeds the container back through -bytecode: the recovered
+// program must run and agree with the DFG executor.
+func TestEmitBytecodeRoundTrips(t *testing.T) {
+	container := out(t, options{emitBC: true}, sample)
+	if !bytecode.IsBinary([]byte(container)) {
+		t.Fatalf("-emit-bytecode did not write a container: %.20q", container)
+	}
+	got := out(t, options{bytecode: true, runDFG: true, inputs: []int64{5}}, container)
+	if strings.TrimSpace(got) != "1\n1" {
+		t.Errorf("recovered run output = %q, want 1,1", got)
+	}
+}
+
+// TestBytecodeAssemblyModes drives assembly text through a few analysis
+// modes to prove the recovered CFG feeds the normal stages.
+func TestBytecodeAssemblyModes(t *testing.T) {
+	asm := "\tread x\n\tload x\n\tpushi 1\n\tadd\n\tstore y\n\tload y\n\tprint\n"
+	if got := out(t, options{bytecode: true, dot: "cfg"}, asm); !strings.HasPrefix(got, "digraph") {
+		t.Errorf("-bytecode -dot cfg: not Graphviz output:\n%s", got)
+	}
+	if got := out(t, options{bytecode: true, run: true, inputs: []int64{41}}, asm); strings.TrimSpace(got) != "42" {
+		t.Errorf("-bytecode -run = %q, want 42", got)
+	}
+	got := out(t, options{bytecode: true}, asm)
+	if !strings.Contains(got, "== CFG ==") || !strings.Contains(got, "== DFG:") {
+		t.Errorf("-bytecode summary missing sections:\n%s", got)
+	}
+}
+
+// TestBytecodeAssembleThenEmit uses -bytecode -emit-bytecode as an
+// assembler: text in, container out.
+func TestBytecodeAssembleThenEmit(t *testing.T) {
+	asm := "\tpushi 7\n\tprint\n"
+	container := out(t, options{bytecode: true, emitBC: true}, asm)
+	p, err := bytecode.DecodeBinary([]byte(container))
+	if err != nil {
+		t.Fatalf("emitted container does not decode: %v", err)
+	}
+	res, err := bytecode.Run(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs(); len(got) != 1 || got[0] != "7" {
+		t.Errorf("assembled program printed %v, want [7]", got)
+	}
+}
+
+// truncatedContainer builds a binary container whose one instruction lost
+// the tail of its operand.
+func truncatedContainer(t *testing.T) string {
+	t.Helper()
+	p := &bytecode.Program{Vars: []string{"x"}, Code: []byte{0x07, 0x00}}
+	return string(p.EncodeBinary())
+}
+
+// TestBytecodeDiagnostics pins the one-line "offset: opcode: reason" exit
+// path for malformed bytecode and unresolvable jumps.
+func TestBytecodeDiagnostics(t *testing.T) {
+	oneLine := regexp.MustCompile(`^dfg: [^\n]+$`)
+	cases := []struct {
+		name string
+		src  string
+		want *regexp.Regexp
+	}{
+		{
+			// A container whose final instruction lost its operand byte:
+			// decode-time bytecode.Error at the instruction's offset.
+			"truncated operand",
+			truncatedContainer(t),
+			regexp.MustCompile(`^dfg: 0000: load: `),
+		},
+		{
+			// A jump whose target the abstract interpreter cannot fold.
+			"unresolvable jump",
+			"\tread x\n\tload x\n\tjump\n",
+			regexp.MustCompile(`jump: .*unresolvable`),
+		},
+		{
+			"assembler error",
+			"\tpushi nope\n",
+			regexp.MustCompile(`^dfg: <stdin>:1: `),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := realMain(options{bytecode: true}, nil, strings.NewReader(tc.src), &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr=%q)", code, stderr.String())
+			}
+			diag := strings.TrimSpace(stderr.String())
+			if !oneLine.MatchString(diag) {
+				t.Errorf("diagnostic is not one line: %q", diag)
+			}
+			if !tc.want.MatchString(diag) {
+				t.Errorf("diagnostic %q does not match %v", diag, tc.want)
+			}
+		})
+	}
+}

@@ -32,6 +32,17 @@
 //	                printing the optimized program. Exits non-zero with a
 //	                minimized divergence report if a transformation is wrong.
 //
+// Bytecode frontend:
+//
+//	-bytecode        treat the input as stack bytecode — a binary container
+//	                 (magic "DFGB") or assembly text — and recover its CFG by
+//	                 abstract interpretation; every other mode then runs on
+//	                 the recovered graph. Malformed bytecode and unresolvable
+//	                 jumps print a one-line "offset: opcode: reason"
+//	                 diagnostic and exit 1.
+//	-emit-bytecode   compile the source program (or, with -bytecode, assemble
+//	                 the text) and write the binary container to stdout
+//
 // Shared flags:
 //
 //	-input  comma-separated integers consumed by read statements (also added
@@ -52,6 +63,9 @@ import (
 	"strconv"
 	"strings"
 
+	"dfg/internal/bccompile"
+	"dfg/internal/bcfront"
+	"dfg/internal/bytecode"
 	"dfg/internal/constprop"
 	"dfg/internal/defuse"
 	"dfg/internal/deps"
@@ -73,6 +87,8 @@ var (
 	flagRunDFG    = flag.Bool("run-dfg", false, "execute the DFG, cross-checked against the interpreter")
 	flagVerify    = flag.Bool("verify", false, "verify the DFG against Definition 6")
 	flagVerifyOpt = flag.Bool("verify-opt", false, "differentially verify the optimizers (with -constprop/-epr: that mode's pipeline; alone: all pipelines)")
+	flagBytecode  = flag.Bool("bytecode", false, "treat input as bytecode (binary container or assembly text)")
+	flagEmitBC    = flag.Bool("emit-bytecode", false, "compile (or assemble) the input and write a bytecode container to stdout")
 	flagInput     = flag.String("input", "", "comma-separated integers for read statements")
 	flagPred      = flag.Bool("pred", false, "enable predicate analysis in -constprop")
 )
@@ -92,6 +108,8 @@ type options struct {
 	runDFG    bool
 	verify    bool
 	verifyOpt bool
+	bytecode  bool
+	emitBC    bool
 	inputs    []int64
 	pred      bool
 }
@@ -117,6 +135,8 @@ func main() {
 		runDFG:    *flagRunDFG,
 		verify:    *flagVerify,
 		verifyOpt: *flagVerifyOpt,
+		bytecode:  *flagBytecode,
+		emitBC:    *flagEmitBC,
 		inputs:    parseInputs(*flagInput),
 		pred:      *flagPred,
 	}
@@ -142,6 +162,21 @@ func realMain(opts options, args []string, stdin io.Reader, stdout, stderr io.Wr
 // "dfg: file:line:col: message" (plus a count of any further errors); other
 // errors keep their first line.
 func diagnose(name string, err error) string {
+	// Bytecode-frontend failures carry an offset-addressed one-liner:
+	// "offset: opcode: reason" for decode/run traps and unresolvable jumps,
+	// "file:line: reason" for assembler errors.
+	var be *bytecode.Error
+	if errors.As(err, &be) {
+		return "dfg: " + be.Diagnostic()
+	}
+	var re *bcfront.RecoverError
+	if errors.As(err, &re) {
+		return "dfg: " + re.Diagnostic()
+	}
+	var ae *bytecode.AsmError
+	if errors.As(err, &ae) {
+		return fmt.Sprintf("dfg: %s:%d: %s", name, ae.Line, ae.Reason)
+	}
 	msg := err.Error()
 	var se *pipeline.StageError
 	prefix := ""
@@ -159,12 +194,46 @@ func diagnose(name string, err error) string {
 
 // runTool executes one tool invocation, writing human-readable output to w.
 func runTool(opts options, src []byte, w io.Writer) error {
+	source := string(src)
+	kind := pipeline.KindSource
+	if opts.bytecode {
+		kind = pipeline.KindBytecode
+		if bytecode.IsBinary(src) {
+			// The pipeline speaks assembly text; binary containers are
+			// disassembled at this edge (and on the serving edge), so cache
+			// keys and wire items stay printable.
+			p, err := bytecode.DecodeBinary(src)
+			if err != nil {
+				return err
+			}
+			asm, err := bytecode.Disassemble(p)
+			if err != nil {
+				return err
+			}
+			source = asm
+		}
+	}
 	analyze := func(stages ...pipeline.Stage) (*pipeline.Result, error) {
 		return eng.Analyze(context.Background(), pipeline.Request{
-			Source:  string(src),
+			Source:  source,
 			Stages:  stages,
-			Options: pipeline.Options{Predicates: opts.pred, ExecInputs: opts.inputs},
+			Options: pipeline.Options{Predicates: opts.pred, SourceKind: kind, ExecInputs: opts.inputs},
 		})
+	}
+
+	if opts.emitBC {
+		res, err := analyze(pipeline.StageParse)
+		if err != nil {
+			return err
+		}
+		bc := res.Bytecode
+		if bc == nil {
+			if bc, err = bccompile.Compile(res.Program); err != nil {
+				return err
+			}
+		}
+		_, err = w.Write(bc.EncodeBinary())
+		return err
 	}
 
 	// verifyOpt cross-checks the named optimizer pipelines through the

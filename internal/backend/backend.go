@@ -61,22 +61,31 @@ func toRequest(item wire.Item) (pipeline.Request, error) {
 		}
 		stages = append(stages, st)
 	}
+	kind := pipeline.SourceKind(item.SourceKind)
+	if !pipeline.ValidSourceKind(kind) {
+		return pipeline.Request{}, fmt.Errorf("unknown source kind %q", item.SourceKind)
+	}
 	return pipeline.Request{
-		Source:  item.Program,
-		Stages:  stages,
-		Options: pipeline.Options{Predicates: item.Predicates, ExecInputs: item.Inputs},
+		Source: item.Program,
+		Stages: stages,
+		Options: pipeline.Options{
+			Predicates: item.Predicates,
+			SourceKind: kind,
+			ExecInputs: item.Inputs,
+		},
 		Timeout: time.Duration(item.TimeoutMS) * time.Millisecond,
 	}, nil
 }
 
 // Item converts an HTTP-shaped analysis request into its wire form — the
 // inverse of toRequest, used by the frontier when routing to backends.
-func Item(program string, stages []string, predicates bool, inputs []int64, timeout time.Duration) wire.Item {
+func Item(program string, stages []string, opts pipeline.Options, timeout time.Duration) wire.Item {
 	return wire.Item{
 		Program:    program,
 		Stages:     stages,
-		Predicates: predicates,
-		Inputs:     inputs,
+		Predicates: opts.Predicates,
+		SourceKind: string(opts.SourceKind),
+		Inputs:     opts.ExecInputs,
 		TimeoutMS:  timeout.Milliseconds(),
 	}
 }

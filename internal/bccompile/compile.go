@@ -1,0 +1,347 @@
+// Package bccompile lowers the source-language AST to stack bytecode
+// (internal/bytecode), so every program the workload generators emit
+// doubles as a bytecode workload for CFG recovery.
+//
+// The compiler's contract is trap-equivalence with the source interpreter:
+// on any input stream, the compiled bytecode under the bytecode interpreter
+// prints the same values, consumes the same number of inputs, and halts or
+// traps exactly when the source program does. The three-way differential
+// oracle (internal/oracle) enforces this over the generated corpus.
+//
+// The delicate case is short-circuit && / ||. They compile to control flow,
+// and the lowering maintains one invariant throughout: the operand stack is
+// empty at every emitted jump. That keeps recovered basic blocks closed
+// (internal/bcfront never sees a value flowing across a compiler-emitted
+// block boundary) and is achieved by evaluating into compiler temporaries:
+// a strict operator whose operand contains && / || first evaluates both
+// operands into temps in source order, then loads them. Hoisting only the
+// short-circuit subtree would be unsound — in `(a==1) || (b&&c)` the source
+// never evaluates b&&c when a==1 holds, so evaluating it early could
+// introduce a trap the source program does not have.
+package bccompile
+
+import (
+	"fmt"
+
+	"dfg/internal/bytecode"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// TempPrefix starts every compiler temporary ("$t0", "$t1", ...). Source
+// identifiers cannot contain '$', so temps never collide with user
+// variables.
+const TempPrefix = "$t"
+
+type compiler struct {
+	p       *bytecode.Program
+	varIdx  map[string]int
+	labels  map[string]int // source label name → asm label id
+	nlabels int
+	ntemps  int
+	fixups  []fixup
+	offsets map[int]int // asm label id → byte offset
+	err     error
+}
+
+type fixup struct {
+	label int
+	patch int // offset of the 8-byte PUSHI immediate
+}
+
+// Compile lowers prog to a bytecode program. The variable table lists the
+// source variables in first-occurrence order followed by compiler
+// temporaries.
+func Compile(prog *ast.Program) (*bytecode.Program, error) {
+	c := &compiler{
+		p:       &bytecode.Program{},
+		varIdx:  map[string]int{},
+		labels:  map[string]int{},
+		offsets: map[int]int{},
+	}
+	for _, v := range prog.Vars() {
+		c.varIdx[v] = len(c.p.Vars)
+		c.p.Vars = append(c.p.Vars, v)
+	}
+	for _, s := range prog.Stmts {
+		if l, ok := s.(*ast.LabelStmt); ok {
+			if _, dup := c.labels[l.Name]; dup {
+				return nil, fmt.Errorf("bccompile: duplicate label %q", l.Name)
+			}
+			c.labels[l.Name] = c.newLabel()
+		}
+	}
+	c.stmts(prog.Stmts)
+	c.emit(bytecode.OpHalt, 0)
+	for _, f := range c.fixups {
+		off, ok := c.offsets[f.label]
+		if !ok {
+			return nil, fmt.Errorf("bccompile: internal: unplaced label L%d", f.label)
+		}
+		enc, _ := bytecode.Emit(nil, bytecode.Instr{Op: bytecode.OpPushI, Imm: int64(off)})
+		copy(c.p.Code[f.patch:], enc[1:])
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.p, nil
+}
+
+// MustCompile compiles prog and panics on error; for tests with fixed
+// inputs.
+func MustCompile(prog *ast.Program) *bytecode.Program {
+	p, err := Compile(prog)
+	if err != nil {
+		panic(fmt.Sprintf("bccompile.MustCompile: %v", err))
+	}
+	return p
+}
+
+func (c *compiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("bccompile: "+format, args...)
+	}
+}
+
+func (c *compiler) newLabel() int { c.nlabels++; return c.nlabels - 1 }
+
+func (c *compiler) place(l int) { c.offsets[l] = len(c.p.Code) }
+
+func (c *compiler) newTemp() int {
+	name := fmt.Sprintf("%s%d", TempPrefix, c.ntemps)
+	c.ntemps++
+	idx := len(c.p.Vars)
+	c.varIdx[name] = idx
+	c.p.Vars = append(c.p.Vars, name)
+	return idx
+}
+
+func (c *compiler) varOf(name string) int {
+	idx, ok := c.varIdx[name]
+	if !ok {
+		idx = len(c.p.Vars)
+		c.varIdx[name] = idx
+		c.p.Vars = append(c.p.Vars, name)
+	}
+	return idx
+}
+
+func (c *compiler) emit(op bytecode.Op, arg int) {
+	code, err := bytecode.Emit(c.p.Code, bytecode.Instr{Op: op, Arg: arg})
+	if err != nil {
+		c.fail("%v", err)
+		return
+	}
+	c.p.Code = code
+}
+
+func (c *compiler) emitPushI(v int64) {
+	c.p.Code, _ = bytecode.Emit(c.p.Code, bytecode.Instr{Op: bytecode.OpPushI, Imm: v})
+}
+
+// emitPushLabel pushes the byte offset of label l (patched after layout;
+// PUSHI is fixed-size so offsets are final on the first pass).
+func (c *compiler) emitPushLabel(l int) {
+	c.fixups = append(c.fixups, fixup{label: l, patch: len(c.p.Code) + 1})
+	c.emitPushI(0)
+}
+
+// emitJump emits an unconditional jump to label l.
+func (c *compiler) emitJump(l int) {
+	c.emitPushLabel(l)
+	c.emit(bytecode.OpJump, 0)
+}
+
+// emitJumpIf emits a conditional jump to label l consuming the boolean on
+// top of the stack (traps at runtime if it is not boolean, exactly like a
+// source switch on a non-boolean predicate). JUMPI pops the target then the
+// condition, so pushing the target above the condition is already the right
+// order.
+func (c *compiler) emitJumpIf(l int) {
+	c.emitPushLabel(l)
+	c.emit(bytecode.OpJumpI, 0)
+}
+
+func (c *compiler) stmts(ss []ast.Stmt) {
+	for _, s := range ss {
+		c.stmt(s)
+	}
+}
+
+func (c *compiler) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.value(s.RHS)
+		c.emit(bytecode.OpStore, c.varOf(s.Name))
+	case *ast.ReadStmt:
+		c.emit(bytecode.OpRead, c.varOf(s.Name))
+	case *ast.PrintStmt:
+		c.value(s.Arg)
+		c.emit(bytecode.OpPrint, 0)
+	case *ast.SkipStmt:
+		// No code; a skip is not observable.
+	case *ast.IfStmt:
+		lThen, lEnd := c.newLabel(), c.newLabel()
+		c.value(s.Cond)
+		c.emitJumpIf(lThen)
+		c.stmts(s.Else)
+		c.emitJump(lEnd)
+		c.place(lThen)
+		c.stmts(s.Then)
+		c.place(lEnd)
+	case *ast.WhileStmt:
+		lHead, lBody, lEnd := c.newLabel(), c.newLabel(), c.newLabel()
+		c.place(lHead)
+		c.value(s.Cond)
+		c.emitJumpIf(lBody)
+		c.emitJump(lEnd)
+		c.place(lBody)
+		c.stmts(s.Body)
+		c.emitJump(lHead)
+		c.place(lEnd)
+	case *ast.GotoStmt:
+		l, ok := c.labels[s.Target]
+		if !ok {
+			c.fail("goto undefined label %q", s.Target)
+			return
+		}
+		c.emitJump(l)
+	case *ast.LabelStmt:
+		c.place(c.labels[s.Name])
+	default:
+		c.fail("unknown statement type %T", s)
+	}
+}
+
+// hasSC reports whether e contains a short-circuit operator anywhere.
+func hasSC(e ast.Expr) bool {
+	found := false
+	ast.WalkExpr(e, func(x ast.Expr) {
+		if b, ok := x.(*ast.BinaryExpr); ok && (b.Op == token.AND || b.Op == token.OR) {
+			found = true
+		}
+	})
+	return found
+}
+
+// value compiles e, leaving its value on top of the stack. The stack is
+// empty at every jump emitted inside (see the package comment).
+func (c *compiler) value(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		c.emitPushI(e.Value)
+	case *ast.BoolLit:
+		arg := 0
+		if e.Value {
+			arg = 1
+		}
+		c.emit(bytecode.OpPushB, arg)
+	case *ast.VarRef:
+		c.emit(bytecode.OpLoad, c.varOf(e.Name))
+	case *ast.UnaryExpr:
+		if hasSC(e.X) {
+			t := c.newTemp()
+			c.valueTo(e.X, t)
+			c.emit(bytecode.OpLoad, t)
+		} else {
+			c.value(e.X)
+		}
+		c.emitUnary(e.Op)
+	case *ast.BinaryExpr:
+		if e.Op == token.AND || e.Op == token.OR {
+			t := c.newTemp()
+			c.shortCircuit(e, t)
+			c.emit(bytecode.OpLoad, t)
+			return
+		}
+		if hasSC(e.X) || hasSC(e.Y) {
+			// Evaluate both operands into temps in source order so the
+			// stack is empty during the operands' internal jumps, then
+			// apply the operator. Order and traps match eval exactly.
+			t1, t2 := c.newTemp(), c.newTemp()
+			c.valueTo(e.X, t1)
+			c.valueTo(e.Y, t2)
+			c.emit(bytecode.OpLoad, t1)
+			c.emit(bytecode.OpLoad, t2)
+		} else {
+			c.value(e.X)
+			c.value(e.Y)
+		}
+		c.emitBinary(e.Op)
+	default:
+		c.fail("unknown expression type %T", e)
+	}
+}
+
+// valueTo compiles e and stores its value into variable t, with an empty
+// stack on exit (and at every internal jump).
+func (c *compiler) valueTo(e ast.Expr, t int) {
+	if b, ok := e.(*ast.BinaryExpr); ok && (b.Op == token.AND || b.Op == token.OR) {
+		c.shortCircuit(b, t)
+		return
+	}
+	c.value(e)
+	c.emit(bytecode.OpStore, t)
+}
+
+// shortCircuit compiles X && Y / X || Y into t. The source semantics
+// (interp.eval): evaluate X; trap if X is not boolean; if X decides, the
+// result is X; otherwise evaluate Y, trap if Y is not boolean, result Y.
+// The boolean-ness checks are compiled as NOT applications (NOT traps on
+// integers precisely when eval reports "&&/|| applied to integer").
+func (c *compiler) shortCircuit(e *ast.BinaryExpr, t int) {
+	lDone := c.newLabel()
+	c.valueTo(e.X, t)
+	c.emit(bytecode.OpLoad, t)
+	if e.Op == token.AND {
+		// X false → skip Y. NOT both checks X's type and yields the
+		// branch condition.
+		c.emit(bytecode.OpNot, 0)
+		c.emitJumpIf(lDone)
+	} else {
+		// X true → skip Y. JUMPI's own condition check traps on
+		// non-boolean X.
+		c.emitJumpIf(lDone)
+	}
+	c.valueTo(e.Y, t)
+	// Type-check Y like eval does, discarding the result: NOT traps on an
+	// integer, and the POP keeps the stack empty.
+	c.emit(bytecode.OpLoad, t)
+	c.emit(bytecode.OpNot, 0)
+	c.emit(bytecode.OpPop, 0)
+	c.place(lDone)
+}
+
+func (c *compiler) emitUnary(op token.Kind) {
+	switch op {
+	case token.MINUS:
+		c.emit(bytecode.OpNeg, 0)
+	case token.NOT:
+		c.emit(bytecode.OpNot, 0)
+	default:
+		c.fail("unknown unary operator %s", op)
+	}
+}
+
+var binaryOp = map[token.Kind]bytecode.Op{
+	token.PLUS:    bytecode.OpAdd,
+	token.MINUS:   bytecode.OpSub,
+	token.STAR:    bytecode.OpMul,
+	token.SLASH:   bytecode.OpDiv,
+	token.PERCENT: bytecode.OpMod,
+	token.EQ:      bytecode.OpEq,
+	token.NEQ:     bytecode.OpNeq,
+	token.LT:      bytecode.OpLt,
+	token.LE:      bytecode.OpLe,
+	token.GT:      bytecode.OpGt,
+	token.GE:      bytecode.OpGe,
+}
+
+func (c *compiler) emitBinary(op token.Kind) {
+	bop, ok := binaryOp[op]
+	if !ok {
+		c.fail("unknown binary operator %s", op)
+		return
+	}
+	c.emit(bop, 0)
+}

@@ -1,0 +1,156 @@
+package bccompile
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/bytecode"
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+// checkAgainstSource compiles src and demands the bytecode interpreter
+// reproduce the source interpreter's observable behaviour exactly: outputs,
+// inputs consumed, and whether the run trapped. Compilation preserves
+// statement order, so even trap runs must agree byte-for-byte.
+func checkAgainstSource(t *testing.T, src string, inputs []int64) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	want, werr := interp.Run(g, inputs, 200_000)
+	bc, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got, gerr := bytecode.Run(bc, inputs, 2_000_000)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("termination mismatch: source err=%v, bytecode err=%v\n%s", werr, gerr, src)
+	}
+	w := strings.Join(want.Outputs(), " ")
+	o := strings.Join(got.Outputs(), " ")
+	if w != o {
+		t.Fatalf("output mismatch: source %q, bytecode %q\n%s", w, o, src)
+	}
+	if want.Reads != got.Reads {
+		t.Fatalf("reads mismatch: source %d, bytecode %d\n%s", want.Reads, got.Reads, src)
+	}
+}
+
+func TestCompileStatements(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		inputs []int64
+	}{
+		{"straight line", `x := 2; y := x * 3 + 1; print y - x;`, nil},
+		{"read print", `read a; read b; print b - a; print a;`, []int64{4, 10}},
+		{"if else", `read a; if (a > 0) { print 1; } else { print 0 - 1; }`, []int64{5}},
+		{"if no else", `read a; if (a > 0) { print a; } print 9;`, []int64{-2}},
+		{"while", `i := 0; s := 0; while (i < 5) { s := s + i; i := i + 1; } print s;`, nil},
+		{"nested", `i := 0; while (i < 3) { j := 0; while (j < i) { print i * 10 + j; j := j + 1; } i := i + 1; }`, nil},
+		{"goto forward", `read a; if (a > 0) { goto done; } print 0; label done: print 1;`, []int64{1}},
+		{"goto loop", `i := 0; label top: print i; i := i + 1; if (i < 3) { goto top; }`, nil},
+		{"skip", `skip; print 7; skip;`, nil},
+		{"unary", `x := 3; print -x; print !(x > 2);`, nil},
+		{"comparisons", `print 1 < 2; print 2 <= 2; print 3 > 4; print 3 >= 4; print 5 == 5; print 5 != 5;`, nil},
+		{"div mod", `print 17 / 5; print 17 % 5; print (0 - 17) / 5;`, nil},
+		{"empty", ``, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkAgainstSource(t, tc.src, tc.inputs) })
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		inputs []int64
+	}{
+		// Lazy Y: the right operand must not evaluate (or trap) when the
+		// left decides.
+		{"and skips trap", `read a; if (a > 10 && 1 / (a - a) == 0) { print 1; } else { print 0; }`, []int64{3}},
+		{"or skips trap", `read a; if (a < 10 || 1 / (a - a) == 0) { print 1; } else { print 0; }`, []int64{3}},
+		// Y's trap must fire when the left does not decide.
+		{"and reaches trap", `read a; if (a > 0 && 1 / (a - 1) == 1) { print 1; }`, []int64{1}},
+		// Type traps on the deciding operand.
+		{"non-bool left", `read a; if ((a + 1) && true) { print 1; }`, []int64{0}},
+		{"non-bool right reached", `read a; if (a > 0 && (a + 1)) { print 1; }`, []int64{2}},
+		{"non-bool right skipped", `read a; if (a > 0 && (a + 1)) { print 1; } else { print 0; }`, []int64{-2}},
+		// Short-circuit inside a strict operand: hoisting the subtree out
+		// of the enclosing expression must preserve evaluation order. With
+		// a=1 the || decides at its left arm and b&&c never evaluates.
+		{"sc under strict", `read a; b := 0; print (a == 1 || (b > 0 && 1 / b == 0)) == true;`, []int64{1}},
+		{"sc both operands", `read a; read b; print ((a > 0 || a < 0 - 9) == (b > 0 && b < 9));`, []int64{3, 4}},
+		{"nested sc", `read a; read b; read c; if ((a > 0 && b > 0) || c > 0) { print 1; } else { print 0; }`, []int64{0, 5, 2}},
+		{"sc in rhs", `read a; x := a > 0 && a < 10; print x;`, []int64{4}},
+		{"sc under unary", `read a; print !(a > 0 || a < 0 - 9);`, []int64{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkAgainstSource(t, tc.src, tc.inputs) })
+	}
+}
+
+// TestCompileNeverEmitsStrictBoolOps pins the lowering discipline: source
+// && and || become control flow, never the strict AND/OR opcodes (those
+// exist for hand-written bytecode).
+func TestCompileNeverEmitsStrictBoolOps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		bc := MustCompile(workload.Mixed(25, seed))
+		instrs, err := bc.Instrs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range instrs {
+			if in.Op == bytecode.OpAnd || in.Op == bytecode.OpOr {
+				t.Fatalf("seed %d: compiler emitted strict %s at @%04d", seed, in.Op, in.Offset)
+			}
+		}
+	}
+}
+
+// TestCompileTempsAreHygienic pins the temp namespace: every synthetic
+// variable the compiler invents starts with TempPrefix, which cannot lex as
+// a source identifier.
+func TestCompileTempsAreHygienic(t *testing.T) {
+	prog := parser.MustParse(`read a; read b; print (a > 0 && b > 0) == (a < 0 || b < 0);`)
+	bc := MustCompile(prog)
+	declared := map[string]bool{}
+	for _, v := range prog.Vars() {
+		declared[v] = true
+	}
+	temps := 0
+	for _, v := range bc.Vars {
+		if declared[v] {
+			continue
+		}
+		if !strings.HasPrefix(v, TempPrefix) {
+			t.Fatalf("synthetic variable %q lacks the %q prefix", v, TempPrefix)
+		}
+		temps++
+	}
+	if temps == 0 {
+		t.Fatal("short-circuit lowering should have introduced temps")
+	}
+}
+
+func TestCompileGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		srcs := []string{
+			workload.Mixed(20, seed).String(),
+			workload.GotoMess(5+int(seed%6), seed).String(),
+			workload.Irreducible(3, seed).String(),
+		}
+		for _, src := range srcs {
+			checkAgainstSource(t, src, []int64{seed, -seed, 7, 0, 3})
+		}
+	}
+}

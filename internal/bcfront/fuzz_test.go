@@ -1,0 +1,76 @@
+package bcfront
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dfg/internal/bccompile"
+	"dfg/internal/bytecode"
+	"dfg/internal/interp"
+	"dfg/internal/workload"
+)
+
+// FuzzRecoverCFG feeds arbitrary bytes through container decode + CFG
+// recovery: the abstract interpreter and decompiler must never panic, and
+// whenever recovery succeeds the recovered graph must validate and its
+// interpretation must match the bytecode machine's run exactly.
+func FuzzRecoverCFG(f *testing.F) {
+	seeds := []*bytecode.Program{
+		bccompile.MustCompile(workload.Mixed(10, 1)),
+		bccompile.MustCompile(workload.Irreducible(2, 1)),
+	}
+	asmSeeds := []string{
+		".var i\npushi 0\nstore i\nhead:\nload i\nprint\nload i\npushi 1\nadd\nstore i\nload i\npushi 3\nlt\npushi @head\njumpi\n",
+		"read a\npushi 40\nload a\npushi 0\ngt\npushi @p\njumpi\npushi 1\nadd\npushi @d\njump\np:\npushi 2\nadd\nd:\nprint\n",
+		"pushb false\npushi 1\nand\nprint\n",
+	}
+	for _, s := range asmSeeds {
+		p, err := bytecode.Assemble(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, p)
+	}
+	for _, p := range seeds {
+		f.Add(p.EncodeBinary(), int64(3))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, in0 int64) {
+		if len(data) > 1<<14 {
+			return
+		}
+		p, err := bytecode.DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		info, err := Recover(p)
+		if err != nil {
+			// Recovery failures must be typed and render a diagnostic.
+			var _ = err.Error()
+			return
+		}
+		if err := info.CFG.Validate(); err != nil {
+			t.Fatalf("recovered graph invalid: %v", err)
+		}
+		inputs := []int64{in0, -in0}
+		want, werr := bytecode.Run(p, inputs, 3_000)
+		got, gerr := interp.Run(info.CFG, inputs, 30_000)
+		// Budget exhaustion on either side is inconclusive: the two
+		// machines count steps differently.
+		if bytecode.IsStepLimit(werr) || errors.Is(gerr, interp.ErrStepLimit) {
+			return
+		}
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("termination mismatch: bytecode err=%v, recovered err=%v", werr, gerr)
+		}
+		w := strings.Join(want.Outputs(), " ")
+		g := strings.Join(got.Outputs(), " ")
+		if w != g {
+			t.Fatalf("output mismatch: bytecode %q, recovered %q", w, g)
+		}
+		if want.Reads != got.Reads {
+			t.Fatalf("reads mismatch: bytecode %d, recovered %d", want.Reads, got.Reads)
+		}
+	})
+}

@@ -1,0 +1,472 @@
+package bcfront
+
+import (
+	"fmt"
+
+	"dfg/internal/bytecode"
+	"dfg/internal/cfg"
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/token"
+)
+
+// Info is the outcome of a successful recovery.
+type Info struct {
+	CFG *cfg.Graph
+
+	Instrs        int // decoded instructions
+	Reached       int // instructions the fixpoint proved reachable
+	Blocks        int // recovered basic blocks
+	ResolvedJumps int // dynamic jump targets resolved to constants
+	SynthVars     int // synthetic variables introduced by decompilation
+	Visits        int // worklist iterations to fixpoint
+}
+
+// Recover builds a CFG from p by abstract interpretation. The result
+// satisfies cfg.Validate and feeds the analysis pipeline exactly like a
+// graph from cfg.Build. Decode failures surface as *bytecode.Error,
+// recovery failures as *RecoverError; arbitrary inputs never panic.
+func Recover(p *bytecode.Program) (*Info, error) {
+	a, err := newAbsint(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.run(); err != nil {
+		return nil, err
+	}
+	d := newDecompiler(a)
+	g, err := d.emit()
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		CFG:           g,
+		Instrs:        len(a.instrs),
+		Blocks:        len(d.blocks),
+		ResolvedJumps: d.resolved,
+		SynthVars:     len(d.synth),
+		Visits:        a.visits,
+	}
+	for _, st := range a.states {
+		if st != nil {
+			info.Reached++
+		}
+	}
+	return info, nil
+}
+
+// RecoverCFG is Recover returning only the graph.
+func RecoverCFG(p *bytecode.Program) (*cfg.Graph, error) {
+	info, err := Recover(p)
+	if err != nil {
+		return nil, err
+	}
+	return info.CFG, nil
+}
+
+// block is one recovered basic block: a run of reachable instructions
+// entered only at its head.
+type block struct {
+	start, end int // instruction index range [start, end]
+}
+
+// decompiler turns reachable blocks into CFG nodes. Each block is executed
+// symbolically: the abstract stack's slots become ast expressions, stack
+// effects become expression structure, and the side-effecting instructions
+// (store/read/print/jumpi) become CFG nodes. A block entered with a
+// non-empty stack names its entry slots with synthetic variables ($s0 at
+// the bottom, ...), and every exit materializes its leftover slots back
+// into those variables, so values flowing across block boundaries are
+// ordinary variable dataflow in the recovered graph. Compiler output keeps
+// the stack empty across jumps and never pays that cost; the machinery
+// exists for hand-written and fuzzed bytecode.
+type decompiler struct {
+	a        *absint
+	g        *cfg.Graph
+	blocks   []block
+	headOf   map[int]cfg.NodeID // block start instr index → entry merge node
+	leader   map[int]bool
+	used     map[string]bool // all variable names in play (table + synthetic)
+	synth    []string        // synthetic names in creation order
+	sVar     map[int]string  // boundary slot index → its synthetic name
+	resolved int
+	nPop     int
+	nSpill   int
+	nBound   int
+	nCond    int
+	nSC      int
+}
+
+func newDecompiler(a *absint) *decompiler {
+	d := &decompiler{
+		a:      a,
+		g:      cfg.New(),
+		headOf: map[int]cfg.NodeID{},
+		leader: map[int]bool{},
+		used:   map[string]bool{},
+		sVar:   map[int]string{},
+	}
+	for _, v := range a.p.Vars {
+		d.used[v] = true
+	}
+	return d
+}
+
+// fresh registers a synthetic variable name, uniquified against the
+// program's table (a hostile container may declare "$s0" itself).
+func (d *decompiler) fresh(base string) string {
+	name := base
+	for d.used[name] {
+		name += "_"
+	}
+	d.used[name] = true
+	d.synth = append(d.synth, name)
+	return name
+}
+
+// slotVar returns the boundary variable naming stack slot i across block
+// boundaries.
+func (d *decompiler) slotVar(i int) string {
+	if v, ok := d.sVar[i]; ok {
+		return v
+	}
+	v := d.fresh(fmt.Sprintf("$s%d", i))
+	d.sVar[i] = v
+	return v
+}
+
+// formBlocks splits the reachable instructions into basic blocks: leaders
+// are instruction 0 and every successor of a reachable jump/jumpi; a block
+// ends at a control transfer or just before the next leader.
+func (d *decompiler) formBlocks() error {
+	a := d.a
+	for i, st := range a.states {
+		if st == nil {
+			continue
+		}
+		in := a.instrs[i]
+		if in.Op != bytecode.OpJump && in.Op != bytecode.OpJumpI {
+			continue
+		}
+		f, err := a.step(i, st)
+		if err != nil {
+			return err
+		}
+		d.resolved++
+		for _, succ := range f.succs {
+			if succ != endTarget {
+				d.leader[succ] = true
+			}
+		}
+	}
+	if len(a.instrs) > 0 && a.states[0] != nil {
+		d.leader[0] = true
+	}
+	cur := -1
+	for i, st := range a.states {
+		if st == nil {
+			continue
+		}
+		if cur < 0 || d.leader[i] {
+			d.blocks = append(d.blocks, block{start: i, end: i})
+			cur = len(d.blocks) - 1
+		} else {
+			d.blocks[cur].end = i
+		}
+		switch a.instrs[i].Op {
+		case bytecode.OpJump, bytecode.OpJumpI, bytecode.OpHalt:
+			cur = -1
+		}
+	}
+	return nil
+}
+
+// emit decompiles every block and assembles the graph, then compacts and
+// validates it like cfg.Build does.
+func (d *decompiler) emit() (*cfg.Graph, error) {
+	if err := d.formBlocks(); err != nil {
+		return nil, err
+	}
+	g := d.g
+	if len(d.blocks) == 0 {
+		// No reachable code: the empty program, start → end.
+		g.AddEdge(g.Start, g.End, cfg.BranchNone)
+	} else {
+		for _, b := range d.blocks {
+			m := g.AddNode(cfg.KindMerge)
+			g.Nodes[m].Comment = fmt.Sprintf("bc @%04d", d.a.instrs[b.start].Offset)
+			d.headOf[b.start] = m
+		}
+		g.AddEdge(g.Start, d.headOf[d.blocks[0].start], cfg.BranchNone)
+		for _, b := range d.blocks {
+			if err := d.emitBlock(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.VarNames = append(append([]string{}, d.a.p.Vars...), d.synth...)
+	out, err := g.Compact()
+	if err != nil {
+		return nil, &RecoverError{Offset: -1, OpName: "cfg", Kind: ErrCFG, Reason: err.Error()}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, &RecoverError{Offset: -1, OpName: "cfg", Kind: ErrCFG, Reason: err.Error()}
+	}
+	return out, nil
+}
+
+// succNode maps a successor instruction index (or endTarget) to its CFG
+// node.
+func (d *decompiler) succNode(idx int) (cfg.NodeID, error) {
+	if idx == endTarget {
+		return d.g.End, nil
+	}
+	m, ok := d.headOf[idx]
+	if !ok {
+		return cfg.NoNode, fmt.Errorf("internal: successor instruction %d is not a block head", idx)
+	}
+	return m, nil
+}
+
+// emitBlock symbolically executes one block, appending its nodes to the
+// graph.
+func (d *decompiler) emitBlock(b block) error {
+	a := d.a
+	g := d.g
+	cur := d.headOf[b.start]
+	appendNode := func(kind cfg.NodeKind, varName string, expr ast.Expr) {
+		n := g.AddNode(kind)
+		g.Nodes[n].Var = varName
+		g.Nodes[n].Expr = expr
+		g.AddEdge(cur, n, cfg.BranchNone)
+		cur = n
+	}
+
+	// Entry slots are named by the boundary variables.
+	sym := make([]ast.Expr, len(a.states[b.start]))
+	for i := range sym {
+		sym[i] = &ast.VarRef{Name: d.slotVar(i)}
+	}
+	pop := func() ast.Expr {
+		e := sym[len(sym)-1]
+		sym = sym[:len(sym)-1]
+		return e
+	}
+	// spillUses protects pending stack expressions from a redefinition of
+	// name: any slot still referencing it is evaluated into a fresh
+	// temporary first. (The bytecode already consumed the old value when
+	// it pushed the expression's operands; the recovered program must not
+	// see the new one.)
+	spillUses := func(name string) {
+		for i, e := range sym {
+			if !exprUses(e, name) {
+				continue
+			}
+			t := d.fresh(fmt.Sprintf("$sp%d", d.nSpill))
+			d.nSpill++
+			appendNode(cfg.KindAssign, t, e)
+			sym[i] = &ast.VarRef{Name: t}
+		}
+	}
+	// flushBoundary materializes the leftover stack into the boundary
+	// variables before control leaves the block. Two phases (spill to
+	// fresh temporaries, then assign the boundary names) so an exit stack
+	// that permutes its entry slots cannot clobber a slot it still needs.
+	flushBoundary := func() {
+		type pending struct {
+			slot int
+			tmp  string
+		}
+		var writes []pending
+		for i, e := range sym {
+			if v, ok := e.(*ast.VarRef); ok && v.Name == d.slotVar(i) {
+				continue // already in place
+			}
+			t := d.fresh(fmt.Sprintf("$b%d", d.nBound))
+			d.nBound++
+			appendNode(cfg.KindAssign, t, e)
+			writes = append(writes, pending{slot: i, tmp: t})
+		}
+		for _, w := range writes {
+			appendNode(cfg.KindAssign, d.slotVar(w.slot), &ast.VarRef{Name: w.tmp})
+		}
+	}
+
+	for i := b.start; i <= b.end; i++ {
+		in := a.instrs[i]
+		switch in.Op {
+		case bytecode.OpNop:
+		case bytecode.OpPushI:
+			sym = append(sym, &ast.IntLit{Value: in.Imm})
+		case bytecode.OpPushB:
+			sym = append(sym, &ast.BoolLit{Value: in.Arg != 0})
+		case bytecode.OpLoad:
+			sym = append(sym, &ast.VarRef{Name: a.p.Vars[in.Arg]})
+		case bytecode.OpPop:
+			// A discarded computation can still trap; only literal and
+			// variable slots vanish without trace.
+			e := pop()
+			if !trivial(e) {
+				t := d.fresh(fmt.Sprintf("$pop%d", d.nPop))
+				d.nPop++
+				appendNode(cfg.KindAssign, t, e)
+			}
+		case bytecode.OpDup:
+			sym = append(sym, ast.CloneExpr(sym[len(sym)-in.Arg]))
+		case bytecode.OpSwap:
+			x, y := len(sym)-1, len(sym)-1-in.Arg
+			sym[x], sym[y] = sym[y], sym[x]
+		case bytecode.OpStore:
+			e := pop()
+			spillUses(a.p.Vars[in.Arg])
+			appendNode(cfg.KindAssign, a.p.Vars[in.Arg], e)
+		case bytecode.OpRead:
+			spillUses(a.p.Vars[in.Arg])
+			appendNode(cfg.KindRead, a.p.Vars[in.Arg], nil)
+		case bytecode.OpPrint:
+			appendNode(cfg.KindPrint, "", pop())
+		case bytecode.OpAnd, bytecode.OpOr:
+			// Strict and/or: both operands are already evaluated in the
+			// bytecode, and the op traps on a non-boolean either side. The
+			// source && / || short-circuit, so a lazy decompilation would
+			// drop Y's type trap when X decides. Instead evaluate both
+			// operands into temporaries here (where the bytecode evaluates
+			// the op) with explicit !-type-checks, then combine the proven
+			// booleans — short-circuit and strict agree on booleans.
+			y := pop()
+			x := pop()
+			tx := d.fresh(fmt.Sprintf("$and%da", d.nSC))
+			ty := d.fresh(fmt.Sprintf("$and%db", d.nSC))
+			kx := d.fresh(fmt.Sprintf("$and%dx", d.nSC))
+			ky := d.fresh(fmt.Sprintf("$and%dy", d.nSC))
+			d.nSC++
+			appendNode(cfg.KindAssign, tx, x)
+			appendNode(cfg.KindAssign, ty, y)
+			appendNode(cfg.KindAssign, kx, &ast.UnaryExpr{Op: token.NOT, X: &ast.VarRef{Name: tx}})
+			appendNode(cfg.KindAssign, ky, &ast.UnaryExpr{Op: token.NOT, X: &ast.VarRef{Name: ty}})
+			op := token.AND
+			if in.Op == bytecode.OpOr {
+				op = token.OR
+			}
+			sym = append(sym, &ast.BinaryExpr{Op: op, X: &ast.VarRef{Name: tx}, Y: &ast.VarRef{Name: ty}})
+		case bytecode.OpHalt:
+			g.AddEdge(cur, g.End, cfg.BranchNone)
+			return nil
+		case bytecode.OpJump, bytecode.OpJumpI:
+			// Every instruction has its own entry state from the fixpoint;
+			// re-stepping the jump resolves its target deterministically.
+			f, err := a.step(i, a.states[i])
+			if err != nil {
+				return err
+			}
+			pop() // the target: a folded constant, provably trap-free
+			var cond ast.Expr
+			if in.Op == bytecode.OpJumpI {
+				cond = pop()
+			}
+			// The switch node evaluates its predicate after the boundary
+			// writes below. If the condition reads a boundary variable
+			// about to be rewritten, evaluate it first.
+			if cond != nil && condClobbered(cond, sym, d) {
+				t := d.fresh(fmt.Sprintf("$c%d", d.nCond))
+				d.nCond++
+				appendNode(cfg.KindAssign, t, cond)
+				cond = &ast.VarRef{Name: t}
+			}
+			flushBoundary()
+			if in.Op == bytecode.OpJump {
+				dst, err := d.succNode(f.succs[0])
+				if err != nil {
+					return err
+				}
+				g.AddEdge(cur, dst, cfg.BranchNone)
+				return nil
+			}
+			sw := g.AddNode(cfg.KindSwitch)
+			g.Nodes[sw].Expr = cond
+			g.AddEdge(cur, sw, cfg.BranchNone)
+			tDst, err := d.succNode(f.succs[0])
+			if err != nil {
+				return err
+			}
+			fDst, err := d.succNode(f.succs[1])
+			if err != nil {
+				return err
+			}
+			g.AddEdge(sw, tDst, cfg.BranchTrue)
+			g.AddEdge(sw, fDst, cfg.BranchFalse)
+			return nil
+		default: // operators
+			sym = applyOp(sym, in)
+		}
+	}
+	// Fallthrough exit: the next reachable instruction heads the next
+	// block (or the code ends, which is an implicit halt).
+	flushBoundary()
+	next := b.end + 1
+	if next >= len(a.instrs) || a.states[next] == nil {
+		g.AddEdge(cur, g.End, cfg.BranchNone)
+		return nil
+	}
+	dst, err := d.succNode(next)
+	if err != nil {
+		return err
+	}
+	g.AddEdge(cur, dst, cfg.BranchNone)
+	return nil
+}
+
+// trivial reports whether an expression cannot trap (literals and variable
+// reads).
+func trivial(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.IntLit, *ast.BoolLit, *ast.VarRef:
+		return true
+	}
+	return false
+}
+
+// exprUses reports whether e references variable name.
+func exprUses(e ast.Expr, name string) bool {
+	found := false
+	ast.WalkExpr(e, func(x ast.Expr) {
+		if v, ok := x.(*ast.VarRef); ok && v.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+// condClobbered reports whether the switch condition reads a boundary
+// variable that flushBoundary is about to rewrite (slot i is rewritten
+// unless it already holds exactly VarRef($s_i)).
+func condClobbered(cond ast.Expr, sym []ast.Expr, d *decompiler) bool {
+	for i, e := range sym {
+		if v, ok := e.(*ast.VarRef); ok && v.Name == d.slotVar(i) {
+			continue
+		}
+		if exprUses(cond, d.slotVar(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyOp folds an operator instruction into the symbolic stack.
+func applyOp(sym []ast.Expr, in bytecode.Instr) []ast.Expr {
+	switch in.Op {
+	case bytecode.OpNeg, bytecode.OpNot:
+		x := sym[len(sym)-1]
+		op := token.NOT
+		if in.Op == bytecode.OpNeg {
+			op = token.MINUS
+		}
+		sym[len(sym)-1] = &ast.UnaryExpr{Op: op, X: x}
+	default:
+		k, _ := bytecode.BinaryToken(in.Op)
+		y := sym[len(sym)-1]
+		x := sym[len(sym)-2]
+		sym = sym[:len(sym)-2]
+		sym = append(sym, &ast.BinaryExpr{Op: k, X: x, Y: y})
+	}
+	return sym
+}

@@ -1,0 +1,396 @@
+package bcfront
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dfg/internal/bccompile"
+	"dfg/internal/bytecode"
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func mustAsm(t *testing.T, text string) *bytecode.Program {
+	t.Helper()
+	p, err := bytecode.Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func recoverErrKind(t *testing.T, text string) *RecoverError {
+	t.Helper()
+	_, err := Recover(mustAsm(t, text))
+	var re *RecoverError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RecoverError, got %v", err)
+	}
+	return re
+}
+
+// checkRecovered runs the bytecode interpreter and the CFG interpreter on
+// the recovered graph and demands identical observable behaviour.
+func checkRecovered(t *testing.T, p *bytecode.Program, inputs []int64) *Info {
+	t.Helper()
+	info, err := Recover(p)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := info.CFG.Validate(); err != nil {
+		t.Fatalf("recovered graph invalid: %v", err)
+	}
+	want, werr := bytecode.Run(p, inputs, 100_000)
+	got, gerr := interp.Run(info.CFG, inputs, 100_000)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("termination mismatch: bytecode err=%v, recovered err=%v", werr, gerr)
+	}
+	w := strings.Join(want.Outputs(), " ")
+	g := strings.Join(got.Outputs(), " ")
+	if w != g {
+		t.Fatalf("output mismatch: bytecode %q, recovered %q", w, g)
+	}
+	if want.Reads != got.Reads {
+		t.Fatalf("reads mismatch: bytecode %d, recovered %d", want.Reads, got.Reads)
+	}
+	return info
+}
+
+func TestRecoverStraightLine(t *testing.T) {
+	info := checkRecovered(t, mustAsm(t, `
+		read a
+		load a
+		pushi 2
+		mul
+		print
+	`), []int64{21})
+	if info.Blocks != 1 {
+		t.Fatalf("blocks = %d, want 1", info.Blocks)
+	}
+}
+
+func TestRecoverDynamicLoop(t *testing.T) {
+	info := checkRecovered(t, mustAsm(t, `
+		.var i
+		pushi 0
+		store i
+	head:
+		load i
+		print
+		load i
+		pushi 1
+		add
+		store i
+		load i
+		pushi 4
+		lt
+		pushi @head
+		jumpi
+	`), nil)
+	if info.ResolvedJumps != 1 {
+		t.Fatalf("resolved jumps = %d, want 1", info.ResolvedJumps)
+	}
+}
+
+// TestRecoverComputedTarget pins the point of the abstract interpretation:
+// the jump target is computed arithmetic, constant-folded in the lattice.
+func TestRecoverComputedTarget(t *testing.T) {
+	checkRecovered(t, mustAsm(t, `
+		pushi 10
+		pushi @skip
+		pushi 0
+		add       ; target = @skip + 0, folded to a constant
+		jump
+		pushi 99
+		print
+	skip:
+		print
+	`), nil)
+}
+
+// TestRecoverStackAcrossBlocks exercises the boundary-variable machinery:
+// a value pushed before a branch is consumed after the join, so it crosses
+// two block boundaries. The compiler never emits this shape.
+func TestRecoverStackAcrossBlocks(t *testing.T) {
+	info := checkRecovered(t, mustAsm(t, `
+		.var a
+		read a
+		pushi 40      ; stays on the stack across the branch
+		load a
+		pushi 0
+		gt
+		pushi @pos
+		jumpi
+		pushi 1
+		add
+		pushi @done
+		jump
+	pos:
+		pushi 2
+		add
+	done:
+		print         ; prints 41 or 42 off the carried stack slot
+	`), []int64{7})
+	if info.SynthVars == 0 {
+		t.Fatal("carrying a stack slot across blocks should introduce boundary variables")
+	}
+	for _, in := range []int64{7, -7} {
+		checkRecovered(t, mustAsm(t, `
+			.var a
+			read a
+			pushi 40
+			load a
+			pushi 0
+			gt
+			pushi @pos
+			jumpi
+			pushi 1
+			add
+			pushi @done
+			jump
+		pos:
+			pushi 2
+			add
+		done:
+			print
+		`), []int64{in})
+	}
+}
+
+// TestRecoverStrictBoolOps pins the eager lowering of strict AND/OR: the
+// bytecode traps on a non-boolean operand even when the other side decides,
+// and the recovered program must preserve that trap.
+func TestRecoverStrictBoolOps(t *testing.T) {
+	p := mustAsm(t, `
+		pushb false
+		pushi 1
+		and
+		print
+	`)
+	info, err := Recover(p)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	_, werr := bytecode.Run(p, nil, 1000)
+	_, gerr := interp.Run(info.CFG, nil, 1000)
+	if werr == nil || gerr == nil {
+		t.Fatalf("both must trap: bytecode=%v recovered=%v", werr, gerr)
+	}
+	// The happy path agrees on values too.
+	checkRecovered(t, mustAsm(t, `
+		pushb true
+		pushb false
+		or
+		print
+		pushb true
+		pushb false
+		and
+		print
+	`), nil)
+}
+
+func TestRecoverPopPreservesTrap(t *testing.T) {
+	// The discarded division still traps at runtime; recovery must keep it.
+	p := mustAsm(t, `
+		pushi 1
+		pushi 0
+		div
+		pop
+		pushi 7
+		print
+	`)
+	info, err := Recover(p)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if _, gerr := interp.Run(info.CFG, nil, 1000); gerr == nil {
+		t.Fatal("recovered program must preserve the discarded division's trap")
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		kind ErrKind
+	}{
+		{"top target", ".var x\nread x\nload x\njump", ErrUnresolvable},
+		{"top target jumpi", ".var x\nread x\npushb true\nload x\njumpi", ErrUnresolvable},
+		{"bad target", "pushi 5\njump", ErrBadTarget},
+		{"bool target", "pushb true\njump", ErrBadTarget},
+		{"negative target", "pushi -9\njump", ErrBadTarget},
+		{"underflow", "pop", ErrUnderflow},
+		{"underflow dup", "pushi 1\ndup 2", ErrUnderflow},
+		{"underflow swap", "pushi 1\nswap 1", ErrUnderflow},
+		{"depth clash", `
+			.var a
+			read a
+			load a
+			pushi 0
+			gt
+			pushi @more
+			jumpi
+			pushi 7        ; this arm pushes an extra slot
+		more:
+			pushi 1
+			print
+		`, ErrDepthClash},
+		{"spin cannot reach end", "head:\npushi @head\njump", ErrCFG},
+	}
+	for _, tc := range cases {
+		re := recoverErrKind(t, tc.text)
+		if re.Kind != tc.kind {
+			t.Errorf("%s: kind %q, want %q (err: %v)", tc.name, re.Kind, tc.kind, re)
+		}
+		d := re.Diagnostic()
+		if parts := strings.SplitN(d, ": ", 3); len(parts) != 3 {
+			t.Errorf("%s: malformed diagnostic %q", tc.name, d)
+		}
+	}
+}
+
+// TestRecoverJumpToEnd covers the explicit halt forms: jump to len(code)
+// and a conditional jump past the end.
+func TestRecoverJumpToEnd(t *testing.T) {
+	checkRecovered(t, mustAsm(t, `
+		pushi 3
+		print
+		pushi @end
+		jump
+	end:
+	`), nil)
+	checkRecovered(t, mustAsm(t, `
+		.var a
+		read a
+		load a
+		pushi 0
+		gt
+		pushi @end
+		jumpi
+		pushi 0
+		print
+	end:
+	`), []int64{1})
+}
+
+func TestRecoverEmptyProgram(t *testing.T) {
+	info, err := Recover(&bytecode.Program{})
+	if err != nil {
+		t.Fatalf("empty program: %v", err)
+	}
+	if err := info.CFG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverCompiledNeedsNoBoundaryVars pins the compiler/recovery
+// contract: compiled bytecode keeps the operand stack empty across every
+// jump, so recovery introduces boundary variables only for the synthetic
+// expression temps, never for carried stack slots.
+func TestRecoverCompiledNeedsNoBoundaryVars(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		bc := bccompile.MustCompile(workload.Mixed(25, seed))
+		info, err := Recover(bc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range info.CFG.VarNames {
+			if strings.HasPrefix(v, "$s") && !strings.HasPrefix(v, "$sp") {
+				t.Fatalf("seed %d: compiled bytecode produced boundary variable %q", seed, v)
+			}
+		}
+	}
+}
+
+// reduceT1T2 runs the classic T1 (remove self-loop) / T2 (merge a node with
+// its unique predecessor) reduction over the recovered graph's edge
+// structure; a graph that reduces to a single node is reducible.
+func reduceT1T2(g *cfg.Graph) int {
+	succs := map[cfg.NodeID]map[cfg.NodeID]bool{}
+	preds := map[cfg.NodeID]map[cfg.NodeID]bool{}
+	nodes := map[cfg.NodeID]bool{}
+	add := func(m map[cfg.NodeID]map[cfg.NodeID]bool, k, v cfg.NodeID) {
+		if m[k] == nil {
+			m[k] = map[cfg.NodeID]bool{}
+		}
+		m[k][v] = true
+	}
+	for _, eid := range g.LiveEdges() {
+		e := g.Edge(eid)
+		nodes[e.Src] = true
+		nodes[e.Dst] = true
+		add(succs, e.Src, e.Dst)
+		add(preds, e.Dst, e.Src)
+	}
+	for changed := true; changed; {
+		changed = false
+		for n := range nodes {
+			// T1: drop a self-loop.
+			if succs[n][n] {
+				delete(succs[n], n)
+				delete(preds[n], n)
+				changed = true
+			}
+			// T2: absorb n into its unique predecessor.
+			if len(preds[n]) == 1 && n != g.Start {
+				var p cfg.NodeID
+				for q := range preds[n] {
+					p = q
+				}
+				for s := range succs[n] {
+					delete(preds[s], n)
+					add(succs, p, s)
+					add(preds, s, p)
+				}
+				delete(succs[p], n)
+				delete(succs, n)
+				delete(preds, n)
+				delete(nodes, n)
+				changed = true
+			}
+		}
+	}
+	return len(nodes)
+}
+
+// TestIrreducibleWorkloadIsIrreducible pins the generator's contract: the
+// CFG recovered from compiled Irreducible programs does not T1/T2-reduce,
+// while a structured program's does.
+func TestIrreducibleWorkloadIsIrreducible(t *testing.T) {
+	structured := parser.MustParse(`i := 0; while (i < 3) { i := i + 1; } print i;`)
+	info, err := Recover(bccompile.MustCompile(structured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left := reduceT1T2(info.CFG); left != 1 {
+		t.Fatalf("structured program should T1/T2-reduce to 1 node, got %d", left)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		prog := workload.Irreducible(3, seed)
+		info, err := Recover(bccompile.MustCompile(prog))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if left := reduceT1T2(info.CFG); left <= 1 {
+			t.Fatalf("seed %d: Irreducible workload reduced to %d nodes; generator lost its point", seed, left)
+		}
+	}
+}
+
+// TestRecoverInfoCounters sanity-checks the recovery statistics.
+func TestRecoverInfoCounters(t *testing.T) {
+	bc := bccompile.MustCompile(workload.Mixed(15, 3))
+	info, err := Recover(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Instrs == 0 || info.Reached == 0 || info.Blocks == 0 || info.Visits < info.Reached {
+		t.Fatalf("implausible counters: %+v", info)
+	}
+	if info.Reached > info.Instrs {
+		t.Fatalf("reached %d > decoded %d", info.Reached, info.Instrs)
+	}
+}

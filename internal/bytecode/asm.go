@@ -1,0 +1,261 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembly syntax, one directive or instruction per line:
+//
+//	; comment (also after any instruction)
+//	.var x            declare a variable (table order = declaration order)
+//	.var "odd name"   quoted form for names that are not bare words
+//	L3:               label the next instruction's offset
+//	pushi 42          integer push
+//	pushi @L3         integer push of a label's byte offset (jump targets)
+//	pushb true        boolean push
+//	load x            variable operands by name (quoted form accepted)
+//	dup 2 / swap 1    depth operands
+//	add, jump, ...    everything else is a bare mnemonic
+//
+// Variables referenced by load/store/read without a .var declaration are
+// declared implicitly in first-use order, so hand-written listings can skip
+// the prologue; the disassembler always emits explicit .var lines.
+
+// AsmError is a typed assembly failure with its 1-based source line.
+type AsmError struct {
+	Line   int
+	Reason string
+}
+
+// Error implements error.
+func (e *AsmError) Error() string { return fmt.Sprintf("asm:%d: %s", e.Line, e.Reason) }
+
+func asmErr(line int, format string, args ...any) *AsmError {
+	return &AsmError{Line: line, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses assembly text into a Program. Labels may be used before
+// they are defined: PUSHI is fixed-size, so instruction offsets are known on
+// the first pass and label references are patched afterwards.
+func Assemble(text string) (*Program, error) {
+	p := &Program{}
+	varIdx := map[string]int{}
+	declare := func(name string) int {
+		if i, ok := varIdx[name]; ok {
+			return i
+		}
+		i := len(p.Vars)
+		varIdx[name] = i
+		p.Vars = append(p.Vars, name)
+		return i
+	}
+	labels := map[string]int{}
+	type fixup struct {
+		line  int
+		label string
+		patch int // offset of the 8-byte immediate within Code
+	}
+	var fixups []fixup
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := lineNo + 1
+		s := strings.TrimSpace(stripComment(raw))
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, ".var"):
+			name, rest, err := operand(strings.TrimSpace(s[len(".var"):]))
+			if err != nil || name == "" || rest != "" {
+				return nil, asmErr(line, "malformed .var directive %q", s)
+			}
+			if _, ok := varIdx[name]; ok {
+				return nil, asmErr(line, "duplicate variable %q", name)
+			}
+			if len(p.Vars) >= maxVars {
+				return nil, asmErr(line, "too many variables (max %d)", maxVars)
+			}
+			declare(name)
+			continue
+		case strings.HasSuffix(s, ":"):
+			name := strings.TrimSpace(s[:len(s)-1])
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, asmErr(line, "malformed label %q", s)
+			}
+			if _, ok := labels[name]; ok {
+				return nil, asmErr(line, "duplicate label %q", name)
+			}
+			labels[name] = len(p.Code)
+			continue
+		}
+
+		mnemonic, rest := s, ""
+		if i := strings.IndexAny(s, " \t"); i >= 0 {
+			mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+		}
+		op, ok := nameToOp[mnemonic]
+		if !ok {
+			return nil, asmErr(line, "unknown mnemonic %q", mnemonic)
+		}
+		in := Instr{Op: op}
+		info := opTable[op]
+		switch {
+		case info.imm == 0:
+			if rest != "" {
+				return nil, asmErr(line, "%s takes no operand", mnemonic)
+			}
+		case op == OpPushI:
+			if strings.HasPrefix(rest, "@") {
+				label := strings.TrimSpace(rest[1:])
+				if label == "" {
+					return nil, asmErr(line, "empty label reference")
+				}
+				fixups = append(fixups, fixup{line: line, label: label, patch: len(p.Code) + 1})
+			} else {
+				v, err := strconv.ParseInt(rest, 10, 64)
+				if err != nil {
+					return nil, asmErr(line, "bad integer operand %q", rest)
+				}
+				in.Imm = v
+			}
+		case op == OpPushB:
+			switch rest {
+			case "true":
+				in.Arg = 1
+			case "false":
+				in.Arg = 0
+			default:
+				return nil, asmErr(line, "bad boolean operand %q (want true/false)", rest)
+			}
+		case op == OpDup || op == OpSwap:
+			v, err := strconv.Atoi(rest)
+			if err != nil || v < 1 || v > 255 {
+				return nil, asmErr(line, "bad depth operand %q (want 1..255)", rest)
+			}
+			in.Arg = v
+		default: // load/store/read: variable by name
+			name, extra, err := operand(rest)
+			if err != nil || name == "" || extra != "" {
+				return nil, asmErr(line, "bad variable operand %q", rest)
+			}
+			if _, ok := varIdx[name]; !ok && len(p.Vars) >= maxVars {
+				return nil, asmErr(line, "too many variables (max %d)", maxVars)
+			}
+			in.Arg = declare(name)
+		}
+		var err error
+		p.Code, err = Emit(p.Code, in)
+		if err != nil {
+			return nil, asmErr(line, "%v", err)
+		}
+	}
+
+	for _, f := range fixups {
+		off, ok := labels[f.label]
+		if !ok {
+			return nil, asmErr(f.line, "undefined label %q", f.label)
+		}
+		patched, _ := Emit(nil, Instr{Op: OpPushI, Imm: int64(off)})
+		copy(p.Code[f.patch:], patched[1:])
+	}
+	return p, nil
+}
+
+// stripComment removes a trailing ; comment, ignoring semicolons inside a
+// double-quoted operand (variable names may contain them).
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inStr = !inStr
+		case !inStr && s[i] == ';':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// operand parses one operand token: a double-quoted Go string or a bare
+// word (no whitespace). It returns the value and any trailing text.
+func operand(s string) (string, string, error) {
+	if strings.HasPrefix(s, `"`) {
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated string")
+		}
+		v, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return "", "", err
+		}
+		return v, strings.TrimSpace(s[end+1:]), nil
+	}
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:]), nil
+	}
+	return s, "", nil
+}
+
+// bareWord reports whether a name can be printed unquoted: it must lex as a
+// single operand token and not collide with syntax (comments, directives,
+// label references).
+func bareWord(name string) bool {
+	if name == "" || strings.ContainsAny(name, " \t\r\n;\"@") {
+		return false
+	}
+	if strings.HasPrefix(name, ".") || strings.HasSuffix(name, ":") {
+		return false
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+func quoteName(name string) string {
+	if bareWord(name) {
+		return name
+	}
+	return strconv.Quote(name)
+}
+
+// Disassemble renders the program as assembly text that Assemble maps back
+// to an identical Program (the round-trip property test and FuzzDisassemble
+// enforce this). Byte offsets appear as trailing comments; jump targets are
+// not rendered as labels because targets are dynamic values, not syntax.
+func Disassemble(p *Program) (string, error) {
+	instrs, err := p.Instrs()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, v := range p.Vars {
+		fmt.Fprintf(&b, ".var %s\n", quoteName(v))
+	}
+	for _, in := range instrs {
+		switch in.Op {
+		case OpLoad, OpStore, OpRead:
+			fmt.Fprintf(&b, "\t%s %s", in.Op, quoteName(p.Vars[in.Arg]))
+		default:
+			fmt.Fprintf(&b, "\t%s", in)
+		}
+		fmt.Fprintf(&b, " \t; @%04d\n", in.Offset)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,150 @@
+package bytecode
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"unknown mnemonic", "frobnicate", "unknown mnemonic"},
+		{"stray operand", "add 3", "no operand"},
+		{"bad integer", "pushi abc", "bad integer"},
+		{"bad boolean", "pushb maybe", "boolean operand"},
+		{"bad depth", "dup 0", "depth"},
+		{"huge depth", "swap 300", "depth"},
+		{"undefined label", "pushi @nowhere\njump", "undefined label"},
+		{"duplicate label", "a:\na:", "duplicate label"},
+		{"duplicate var", ".var x\n.var x", "duplicate variable"},
+		{"malformed var", ".var", "malformed .var"},
+		{"malformed label", "a b:", "malformed label"},
+		{"empty label ref", "pushi @", "empty label"},
+		{"unterminated string", `load "x`, "bad variable operand"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.text)
+		if err == nil {
+			t.Errorf("%s: should fail", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q should mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAssembleErrorCarriesLine(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus")
+	ae, ok := err.(*AsmError)
+	if !ok {
+		t.Fatalf("want *AsmError, got %T", err)
+	}
+	if ae.Line != 3 {
+		t.Fatalf("line %d, want 3", ae.Line)
+	}
+}
+
+func TestAssembleImplicitVarDeclaration(t *testing.T) {
+	p, err := Assemble("read b\nload a\nstore b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(p.Vars, ",") != "b,a" {
+		t.Fatalf("vars %v, want first-use order [b a]", p.Vars)
+	}
+}
+
+func TestAssembleCommentInsideQuotedName(t *testing.T) {
+	p, err := Assemble(".var \"a;b\"\nread \"a;b\" ; trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vars) != 1 || p.Vars[0] != "a;b" {
+		t.Fatalf("vars %v, want [a;b]", p.Vars)
+	}
+}
+
+// randomProgram builds a structurally arbitrary (not necessarily runnable)
+// program: round-tripping is a syntax property, not a semantic one.
+func randomProgram(rng *rand.Rand) *Program {
+	p := &Program{}
+	nvars := rng.Intn(5)
+	seen := map[string]bool{}
+	for i := 0; i < nvars; i++ {
+		name := randomName(rng)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		p.Vars = append(p.Vars, name)
+	}
+	ops := make([]Op, 0, len(opTable))
+	for op := range opTable {
+		ops = append(ops, op)
+	}
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		in := Instr{Op: op}
+		switch op {
+		case OpPushI:
+			in.Imm = rng.Int63() - rng.Int63()
+		case OpPushB:
+			in.Arg = rng.Intn(2)
+		case OpDup, OpSwap:
+			in.Arg = 1 + rng.Intn(255)
+		case OpLoad, OpStore, OpRead:
+			if len(p.Vars) == 0 {
+				continue
+			}
+			in.Arg = rng.Intn(len(p.Vars))
+		}
+		var err error
+		if p.Code, err = Emit(p.Code, in); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// randomName draws from a hostile alphabet: whitespace, comment and quote
+// characters, directive-looking prefixes, non-ASCII.
+func randomName(rng *rand.Rand) string {
+	alphabet := []rune{'a', 'b', 'x', '0', ' ', '\t', ';', '"', '\\', '@', '.', ':', 'é', '$'}
+	n := 1 + rng.Intn(6)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestDisassembleRoundTrip is the property test: for random programs over a
+// hostile name alphabet, Disassemble then Assemble reproduces the program
+// exactly — same variable table, same code bytes.
+func TestDisassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		p := randomProgram(rng)
+		asm, err := Disassemble(p)
+		if err != nil {
+			t.Fatalf("trial %d: disassemble: %v", trial, err)
+		}
+		back, err := Assemble(asm)
+		if err != nil {
+			t.Fatalf("trial %d: reassemble failed: %v\nlisting:\n%s", trial, err, asm)
+		}
+		if strings.Join(back.Vars, "\x00") != strings.Join(p.Vars, "\x00") {
+			t.Fatalf("trial %d: vars %q != %q\nlisting:\n%s", trial, back.Vars, p.Vars, asm)
+		}
+		if !bytes.Equal(back.Code, p.Code) {
+			t.Fatalf("trial %d: code changed across round-trip\nlisting:\n%s", trial, asm)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package bytecode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"unicode/utf8"
+)
+
+// The binary container: magic, a format version byte, a uvarint variable
+// count, each variable name as uvarint length + UTF-8 bytes, then a uvarint
+// code length + the code itself.
+const (
+	magic         = "DFGB"
+	formatVersion = 1
+
+	// maxVars matches the 2-byte variable operand encoding; maxNameLen and
+	// maxCodeLen bound decoder allocations on hostile inputs.
+	maxVars    = 1 << 16
+	maxNameLen = 1 << 10
+	maxCodeLen = 1 << 24
+)
+
+// EncodeBinary serializes the program in the container format.
+func (p *Program) EncodeBinary() []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	b.WriteByte(formatVersion)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(n uint64) { b.Write(tmp[:binary.PutUvarint(tmp[:], n)]) }
+	put(uint64(len(p.Vars)))
+	for _, v := range p.Vars {
+		put(uint64(len(v)))
+		b.WriteString(v)
+	}
+	put(uint64(len(p.Code)))
+	b.Write(p.Code)
+	return b.Bytes()
+}
+
+// IsBinary reports whether data starts with the container magic, which is
+// how cmd/dfg distinguishes a binary container from assembly text.
+func IsBinary(data []byte) bool { return bytes.HasPrefix(data, []byte(magic)) }
+
+// DecodeBinary parses a container, validates the variable table (names must
+// be non-empty valid UTF-8 and pairwise distinct; the assembler round-trip
+// depends on names being unambiguous), and linear-sweep decodes the code so
+// a successfully decoded Program always has well-formed instructions. All
+// failures are typed *Error values; arbitrary bytes never panic.
+func DecodeBinary(data []byte) (*Program, error) {
+	r := bytes.NewReader(data)
+	var hdr [len(magic) + 1]byte
+	if _, err := r.Read(hdr[:]); err != nil || string(hdr[:len(magic)]) != magic {
+		return nil, errAt(-1, "", "not a bytecode container (missing %q magic)", magic)
+	}
+	if hdr[len(magic)] != formatVersion {
+		return nil, errAt(-1, "", "unsupported container version %d (want %d)", hdr[len(magic)], formatVersion)
+	}
+	uvarint := func(what string, max uint64) (uint64, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, errAt(-1, "", "truncated container: %s", what)
+		}
+		if n > max {
+			return 0, errAt(-1, "", "%s %d exceeds limit %d", what, n, max)
+		}
+		return n, nil
+	}
+	nvars, err := uvarint("variable count", maxVars)
+	if err != nil {
+		return nil, err
+	}
+	capHint := nvars
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	p := &Program{Vars: make([]string, 0, capHint)}
+	seen := make(map[string]bool, nvars)
+	for i := uint64(0); i < nvars; i++ {
+		nlen, err := uvarint("variable name length", maxNameLen)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nlen)
+		if _, err := r.Read(name); err != nil || uint64(len(name)) != nlen {
+			return nil, errAt(-1, "", "truncated container: variable name %d", i)
+		}
+		s := string(name)
+		if s == "" || !utf8.ValidString(s) {
+			return nil, errAt(-1, "", "variable %d: name must be non-empty valid UTF-8", i)
+		}
+		if seen[s] {
+			return nil, errAt(-1, "", "duplicate variable name %q", s)
+		}
+		seen[s] = true
+		p.Vars = append(p.Vars, s)
+	}
+	clen, err := uvarint("code length", maxCodeLen)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(r.Len()) < clen {
+		return nil, errAt(-1, "", "truncated container: code claims %d bytes, %d remain", clen, r.Len())
+	}
+	p.Code = make([]byte, clen)
+	r.Read(p.Code)
+	if r.Len() != 0 {
+		return nil, errAt(-1, "", "%d trailing bytes after code", r.Len())
+	}
+	if _, err := p.Instrs(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,335 @@
+package bytecode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustAssemble(t *testing.T, text string) *Program {
+	t.Helper()
+	p, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, text string, inputs ...int64) *Result {
+	t.Helper()
+	res, err := Run(mustAssemble(t, text), inputs, 10_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func runTrap(t *testing.T, text string, inputs ...int64) *TrapError {
+	t.Helper()
+	_, err := Run(mustAssemble(t, text), inputs, 10_000)
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("want *TrapError, got %v", err)
+	}
+	return trap
+}
+
+func TestEmitDecodeRoundTrip(t *testing.T) {
+	ins := []Instr{
+		{Op: OpPushI, Imm: -(1 << 62)},
+		{Op: OpPushB, Arg: 1},
+		{Op: OpDup, Arg: 255},
+		{Op: OpSwap, Arg: 1},
+		{Op: OpLoad, Arg: 0xFFFF},
+		{Op: OpStore, Arg: 0},
+		{Op: OpJumpI},
+		{Op: OpHalt},
+	}
+	var code []byte
+	var err error
+	off := 0
+	for i := range ins {
+		ins[i].Offset = off
+		if code, err = Emit(code, ins[i]); err != nil {
+			t.Fatalf("emit %v: %v", ins[i], err)
+		}
+		off += ins[i].Size()
+	}
+	got, err := Decode(code, -1)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("decoded %d instrs, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Fatalf("instr %d: got %+v, want %+v", i, got[i], ins[i])
+		}
+	}
+}
+
+func TestEmitRangeChecks(t *testing.T) {
+	for _, in := range []Instr{
+		{Op: OpDup, Arg: 0},
+		{Op: OpDup, Arg: 256},
+		{Op: OpSwap, Arg: -1},
+		{Op: OpPushB, Arg: 2},
+		{Op: OpLoad, Arg: 1 << 16},
+		{Op: OpLoad, Arg: -1},
+		{Op: Op(0xEE)},
+	} {
+		if _, err := Emit(nil, in); err == nil {
+			t.Errorf("emit %+v should fail", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		code  []byte
+		nvars int
+		want  string
+	}{
+		{"unknown opcode", []byte{0xEE}, -1, "unknown opcode"},
+		{"truncated pushi", []byte{byte(OpPushI), 1, 2}, -1, "truncated"},
+		{"truncated load", []byte{byte(OpLoad), 0}, -1, "truncated"},
+		{"zero depth", []byte{byte(OpDup), 0}, -1, "depth"},
+		{"bad boolean", []byte{byte(OpPushB), 7}, -1, "boolean"},
+		{"var out of range", []byte{byte(OpLoad), 0, 3}, 2, "variable index"},
+	}
+	for _, tc := range cases {
+		_, err := Decode(tc.code, tc.nvars)
+		var be *Error
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: want *Error, got %v", tc.name, err)
+		}
+		if !strings.Contains(be.Reason, tc.want) {
+			t.Errorf("%s: reason %q should mention %q", tc.name, be.Reason, tc.want)
+		}
+		// The diagnostic is the "offset: opcode: reason" line cmd/dfg prints.
+		if parts := strings.SplitN(be.Diagnostic(), ": ", 3); len(parts) != 3 {
+			t.Errorf("%s: malformed diagnostic %q", tc.name, be.Diagnostic())
+		}
+	}
+}
+
+func TestBinaryContainerRoundTrip(t *testing.T) {
+	p := mustAssemble(t, `
+		.var x
+		.var "weird name;@"
+		read x
+		load x
+		pushi 2
+		mul
+		store "weird name;@"
+		load "weird name;@"
+		print
+		halt
+	`)
+	data := p.EncodeBinary()
+	if !IsBinary(data) {
+		t.Fatal("encoded container should be recognized")
+	}
+	back, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatalf("decode binary: %v", err)
+	}
+	if strings.Join(back.Vars, "\x00") != strings.Join(p.Vars, "\x00") {
+		t.Fatalf("vars %q != %q", back.Vars, p.Vars)
+	}
+	if string(back.Code) != string(p.Code) {
+		t.Fatal("code changed across the container round-trip")
+	}
+}
+
+func TestBinaryContainerRejects(t *testing.T) {
+	p := mustAssemble(t, ".var x\nread x\nload x\nprint")
+	good := p.EncodeBinary()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE\x01")},
+		{"truncated", good[:len(good)-2]},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBinary(tc.data); err == nil {
+			t.Errorf("%s: DecodeBinary should fail", tc.name)
+		}
+	}
+	// Duplicate variable names share one table slot semantically; reject them.
+	dup := &Program{Vars: []string{"x", "x"}}
+	if _, err := DecodeBinary(dup.EncodeBinary()); err == nil {
+		t.Error("duplicate variable names should be rejected")
+	}
+}
+
+func TestRunArithmeticAndPrint(t *testing.T) {
+	res := run(t, `
+		pushi 6
+		pushi 7
+		mul
+		print
+		pushi 10
+		pushi 3
+		mod
+		print
+	`)
+	if got := strings.Join(res.Outputs(), " "); got != "42 1" {
+		t.Fatalf("output %q, want %q", got, "42 1")
+	}
+}
+
+func TestRunOperandOrder(t *testing.T) {
+	// Binary operators compute x OP y where x was pushed first.
+	res := run(t, "pushi 10\npushi 3\nsub\nprint")
+	if res.Outputs()[0] != "7" {
+		t.Fatalf("10 - 3 = %s, want 7", res.Outputs()[0])
+	}
+	res = run(t, "pushi 1\npushi 2\nlt\nprint")
+	if res.Outputs()[0] != "true" {
+		t.Fatalf("1 < 2 = %s, want true", res.Outputs()[0])
+	}
+}
+
+func TestRunDupSwap(t *testing.T) {
+	res := run(t, `
+		pushi 1
+		pushi 2
+		pushi 3
+		swap 2   ; stack: 3 2 1
+		print    ; 1
+		dup 2    ; stack: 3 2 3
+		print    ; 3
+		print    ; 2
+		print    ; 3
+	`)
+	if got := strings.Join(res.Outputs(), " "); got != "1 3 2 3" {
+		t.Fatalf("output %q, want %q", got, "1 3 2 3")
+	}
+}
+
+func TestRunVariablesAndReads(t *testing.T) {
+	res := run(t, `
+		read a
+		read b
+		load a
+		load b
+		add
+		print
+		read c   ; input stream exhausted: reads as 0
+		load c
+		load d   ; never written: reads as 0
+		add
+		print
+	`, 30, 12)
+	if got := strings.Join(res.Outputs(), " "); got != "42 0" {
+		t.Fatalf("output %q, want %q", got, "42 0")
+	}
+	if res.Reads != 3 {
+		t.Fatalf("reads = %d, want 3", res.Reads)
+	}
+}
+
+func TestRunDynamicJump(t *testing.T) {
+	// The loop counter drives a computed jump target back to the head.
+	res := run(t, `
+		.var i
+		pushi 0
+		store i
+	head:
+		load i
+		print
+		load i
+		pushi 1
+		add
+		store i
+		load i
+		pushi 3
+		lt
+		pushi @head
+		jumpi
+	`)
+	if got := strings.Join(res.Outputs(), " "); got != "0 1 2" {
+		t.Fatalf("output %q, want %q", got, "0 1 2")
+	}
+}
+
+func TestRunJumpToCodeEndHalts(t *testing.T) {
+	// A label after the last instruction is offset len(code): jumping there
+	// is the explicit form of running off the end, a normal halt.
+	p := mustAssemble(t, "pushi 1\nprint\npushi @end\njump\nend:")
+	res, err := Run(p, nil, 100)
+	if err != nil {
+		t.Fatalf("jump to len(code) should halt: %v", err)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output %v, want one value", res.Outputs())
+	}
+}
+
+func TestRunTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"underflow", "pop", "underflow"},
+		{"dup too deep", "pushi 1\ndup 2", "dup 2"},
+		{"swap too deep", "pushi 1\nswap 1", "swap 1"},
+		{"type trap add", "pushi 1\npushb true\nadd", "boolean"},
+		{"div by zero", "pushi 1\npushi 0\ndiv", "zero"},
+		{"mod by zero", "pushi 1\npushi 0\nmod", "zero"},
+		{"neg bool", "pushb true\nneg", "boolean"},
+		{"not int", "pushi 1\nnot", "integer"},
+		{"strict and int", "pushb false\npushi 1\nand", "integer"},
+		{"strict or int", "pushi 1\npushb true\nor", "integer"},
+		{"jumpi non-bool cond", "pushi 1\npushi 0\njumpi", "not boolean"},
+		{"jump bool target", "pushb true\njump", "not an integer"},
+		{"jump mid-instruction", "pushi 1\njump", "instruction boundary"},
+		{"jump negative", "pushi -8\njump", "instruction boundary"},
+	}
+	for _, tc := range cases {
+		trap := runTrap(t, tc.text)
+		if !strings.Contains(trap.Msg, tc.want) {
+			t.Errorf("%s: trap %q should mention %q", tc.name, trap.Msg, tc.want)
+		}
+		if IsStepLimit(trap) {
+			t.Errorf("%s: ordinary trap misclassified as budget exhaustion", tc.name)
+		}
+	}
+}
+
+func TestRunStrictAndEvaluatesBothSides(t *testing.T) {
+	// Unlike source &&, bytecode AND traps on a non-boolean right operand
+	// even when the left operand already decides the result.
+	trap := runTrap(t, "pushb false\npushi 1\nand")
+	if !strings.Contains(trap.Msg, "integer") {
+		t.Fatalf("strict and must trap on integer operand, got %q", trap.Msg)
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	_, err := Run(mustAssemble(t, "head:\npushi @head\njump"), nil, 500)
+	if !IsStepLimit(err) {
+		t.Fatalf("infinite loop should exhaust the step budget, got %v", err)
+	}
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("budget exhaustion should be a *TrapError, got %T", err)
+	}
+}
+
+func TestRunOffEndHalts(t *testing.T) {
+	res, err := Run(mustAssemble(t, "pushi 5\nprint"), nil, 100)
+	if err != nil {
+		t.Fatalf("running off the end is an implicit halt: %v", err)
+	}
+	if res.Outputs()[0] != "5" {
+		t.Fatalf("output %v", res.Outputs())
+	}
+}

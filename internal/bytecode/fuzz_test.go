@@ -1,0 +1,78 @@
+package bytecode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDisassemble feeds arbitrary bytes through the container decoder, the
+// linear-sweep instruction decoder, and the disassembler: none may panic,
+// and anything that decodes must survive the disassemble→assemble
+// round-trip byte-for-byte. The raw bytes are additionally tried as a bare
+// code stream (no container) and as assembly text.
+func FuzzDisassemble(f *testing.F) {
+	seed := &Program{Vars: []string{"x", "a b;\"c"}}
+	for _, in := range []Instr{
+		{Op: OpRead, Arg: 0},
+		{Op: OpLoad, Arg: 0},
+		{Op: OpPushI, Imm: 30},
+		{Op: OpJumpI},
+		{Op: OpLoad, Arg: 1},
+		{Op: OpPrint},
+		{Op: OpHalt},
+	} {
+		seed.Code, _ = Emit(seed.Code, in)
+	}
+	f.Add(seed.EncodeBinary())
+	f.Add([]byte("DFGB\x01\x00\x00"))
+	f.Add([]byte{byte(OpPushI), 0, 0, 0, 0, 0, 0, 0, 9, byte(OpJump)})
+	f.Add([]byte(".var x\nread x\nload x\nprint\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		p, err := DecodeBinary(data)
+		if err != nil {
+			// Not a well-formed container; still exercise the raw decoders.
+			Decode(data, -1)
+			if q, err := Assemble(string(data)); err == nil {
+				if _, err := Disassemble(q); err != nil {
+					t.Fatalf("assembled program must disassemble: %v", err)
+				}
+			}
+			return
+		}
+		asm, err := Disassemble(p)
+		if err != nil {
+			t.Fatalf("decoded container must disassemble: %v", err)
+		}
+		back, err := Assemble(asm)
+		if err != nil {
+			t.Fatalf("disassembly must reassemble: %v\nlisting:\n%s", err, asm)
+		}
+		if strings.Join(back.Vars, "\x00") != strings.Join(p.Vars, "\x00") || !bytes.Equal(back.Code, p.Code) {
+			t.Fatalf("round-trip changed the program\nlisting:\n%s", asm)
+		}
+	})
+}
+
+// FuzzRun executes arbitrary decodable bytecode under a small budget: the
+// interpreter must return a typed result or error, never panic.
+func FuzzRun(f *testing.F) {
+	f.Add([]byte{byte(OpPushI), 0, 0, 0, 0, 0, 0, 0, 0, byte(OpJump)}, int64(1))
+	f.Add([]byte{byte(OpRead), 0, 0, byte(OpLoad), 0, 0, byte(OpPrint)}, int64(-3))
+	f.Fuzz(func(t *testing.T, code []byte, in0 int64) {
+		if len(code) > 1<<12 {
+			return
+		}
+		p := &Program{Vars: []string{"x"}, Code: code}
+		if _, err := p.Instrs(); err != nil {
+			return
+		}
+		if _, err := Run(p, []int64{in0}, 2_000); err != nil {
+			var _ = err.Error() // errors must render
+		}
+	})
+}

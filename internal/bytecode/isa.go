@@ -1,0 +1,267 @@
+// Package bytecode defines a small stack-machine ISA: the repository's
+// second program representation, below the toy source language. A program
+// is a flat byte string plus a variable table; control transfer is by
+// dynamic JUMP/JUMPI whose target comes off the operand stack, so a
+// bytecode program carries no explicit control flow graph — recovering one
+// is an analysis problem (internal/bcfront), in the spirit of EVM-style
+// binaries.
+//
+// The package provides the instruction set with encoder/decoder, a binary
+// container format, a textual assembler/disassembler (round-trip stable),
+// and a direct interpreter used as ground truth by the three-way
+// differential oracle. The decoder and interpreter return typed errors and
+// never panic on arbitrary bytes.
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a one-byte opcode.
+type Op byte
+
+// The instruction set. Binary operators pop y then x (x was pushed first)
+// and push x OP y; their semantics — including type traps and
+// division/modulo-by-zero traps — are exactly interp.ApplyBinary's.
+const (
+	OpHalt Op = 0x00 // stop; running off the end of code is an implicit halt
+	OpNop  Op = 0x01
+
+	OpPushI Op = 0x02 // push integer immediate (8-byte big-endian two's complement)
+	OpPushB Op = 0x03 // push boolean immediate (1 byte: 0 or 1)
+	OpPop   Op = 0x04 // discard top of stack
+	OpDup   Op = 0x05 // push a copy of the n-th value from the top (1 byte n >= 1)
+	OpSwap  Op = 0x06 // swap top with the value n below it (1 byte n >= 1)
+
+	OpLoad  Op = 0x07 // push variable (2-byte big-endian index into the var table)
+	OpStore Op = 0x08 // pop into variable (2-byte index)
+	OpRead  Op = 0x09 // read next input into variable (2-byte index)
+	OpPrint Op = 0x0A // pop and print
+
+	OpJump  Op = 0x0B // pop target offset, jump
+	OpJumpI Op = 0x0C // pop target offset, pop condition; jump if true (trap if not boolean)
+
+	OpAdd Op = 0x10
+	OpSub Op = 0x11
+	OpMul Op = 0x12
+	OpDiv Op = 0x13
+	OpMod Op = 0x14
+	OpNeg Op = 0x15 // unary minus
+
+	OpEq  Op = 0x16
+	OpNeq Op = 0x17
+	OpLt  Op = 0x18
+	OpLe  Op = 0x19
+	OpGt  Op = 0x1A
+	OpGe  Op = 0x1B
+
+	OpAnd Op = 0x1C // strict boolean and (both operands evaluated; trap on non-boolean)
+	OpOr  Op = 0x1D // strict boolean or
+	OpNot Op = 0x1E // boolean negation
+)
+
+// opInfo is the static shape of one opcode.
+type opInfo struct {
+	name string
+	// imm is the immediate operand size in bytes (0, 1, 2 or 8).
+	imm int
+	// pop/push are the stack effect (dup pushes without popping; swap is 0/0).
+	pop, push int
+}
+
+var opTable = map[Op]opInfo{
+	OpHalt:  {"halt", 0, 0, 0},
+	OpNop:   {"nop", 0, 0, 0},
+	OpPushI: {"pushi", 8, 0, 1},
+	OpPushB: {"pushb", 1, 0, 1},
+	OpPop:   {"pop", 0, 1, 0},
+	OpDup:   {"dup", 1, 0, 1},
+	OpSwap:  {"swap", 1, 0, 0},
+	OpLoad:  {"load", 2, 0, 1},
+	OpStore: {"store", 2, 1, 0},
+	OpRead:  {"read", 2, 0, 0},
+	OpPrint: {"print", 0, 1, 0},
+	OpJump:  {"jump", 0, 1, 0},
+	OpJumpI: {"jumpi", 0, 2, 0},
+	OpAdd:   {"add", 0, 2, 1},
+	OpSub:   {"sub", 0, 2, 1},
+	OpMul:   {"mul", 0, 2, 1},
+	OpDiv:   {"div", 0, 2, 1},
+	OpMod:   {"mod", 0, 2, 1},
+	OpNeg:   {"neg", 0, 1, 1},
+	OpEq:    {"eq", 0, 2, 1},
+	OpNeq:   {"neq", 0, 2, 1},
+	OpLt:    {"lt", 0, 2, 1},
+	OpLe:    {"le", 0, 2, 1},
+	OpGt:    {"gt", 0, 2, 1},
+	OpGe:    {"ge", 0, 2, 1},
+	OpAnd:   {"and", 0, 2, 1},
+	OpOr:    {"or", 0, 2, 1},
+	OpNot:   {"not", 0, 1, 1},
+}
+
+// nameToOp is the inverse of opTable's name column, built once.
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opTable))
+	for op, info := range opTable {
+		m[info.name] = op
+	}
+	return m
+}()
+
+// String returns the mnemonic, or a hex form for unknown opcodes.
+func (op Op) String() string {
+	if info, ok := opTable[op]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("op(0x%02x)", byte(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { _, ok := opTable[op]; return ok }
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Offset int // byte offset of the opcode within Code
+	Op     Op
+	Imm    int64 // PUSHI immediate
+	Arg    int   // PUSHB value (0/1), DUP/SWAP depth, LOAD/STORE/READ var index
+}
+
+// Size returns the encoded size of the instruction in bytes.
+func (in Instr) Size() int { return 1 + opTable[in.Op].imm }
+
+// String renders the instruction without its operand-name context (var
+// operands print as #index; the disassembler substitutes names).
+func (in Instr) String() string {
+	switch in.Op {
+	case OpPushI:
+		return fmt.Sprintf("pushi %d", in.Imm)
+	case OpPushB:
+		if in.Arg != 0 {
+			return "pushb true"
+		}
+		return "pushb false"
+	case OpDup, OpSwap:
+		return fmt.Sprintf("%s %d", in.Op, in.Arg)
+	case OpLoad, OpStore, OpRead:
+		return fmt.Sprintf("%s #%d", in.Op, in.Arg)
+	}
+	return in.Op.String()
+}
+
+// Program is a bytecode unit: a variable table plus flat code. Variable
+// operands index Vars; the interpreter's variable store and the recovered
+// CFG's VarNames both follow the table order.
+type Program struct {
+	Vars []string
+	Code []byte
+}
+
+// Error is the typed error for malformed bytecode: decode failures,
+// container-format violations, and assembly-time encoding limits. Offset is
+// a byte offset into the code (or -1 when the error is not tied to one);
+// OpName is the mnemonic or a hex form of the offending opcode ("" when
+// unknown).
+type Error struct {
+	Offset int
+	OpName string
+	Reason string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "bytecode: " + e.Diagnostic() }
+
+// Diagnostic renders the one-line "offset: opcode: reason" form that
+// cmd/dfg prints for malformed bytecode.
+func (e *Error) Diagnostic() string {
+	off := "----"
+	if e.Offset >= 0 {
+		off = fmt.Sprintf("%04d", e.Offset)
+	}
+	op := e.OpName
+	if op == "" {
+		op = "-"
+	}
+	return fmt.Sprintf("%s: %s: %s", off, op, e.Reason)
+}
+
+func errAt(off int, op string, format string, args ...any) *Error {
+	return &Error{Offset: off, OpName: op, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Emit appends the encoding of one instruction to dst and returns the
+// extended slice. Depth and index operands are range-checked.
+func Emit(dst []byte, in Instr) ([]byte, error) {
+	info, ok := opTable[in.Op]
+	if !ok {
+		return dst, errAt(-1, in.Op.String(), "unknown opcode")
+	}
+	dst = append(dst, byte(in.Op))
+	switch info.imm {
+	case 0:
+	case 1:
+		v := in.Arg
+		if in.Op == OpPushB {
+			if v != 0 && v != 1 {
+				return dst, errAt(-1, info.name, "boolean immediate must be 0 or 1, got %d", v)
+			}
+		} else if v < 1 || v > 255 {
+			return dst, errAt(-1, info.name, "depth %d out of range [1,255]", v)
+		}
+		dst = append(dst, byte(v))
+	case 2:
+		if in.Arg < 0 || in.Arg > 0xFFFF {
+			return dst, errAt(-1, info.name, "variable index %d out of range [0,65535]", in.Arg)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(in.Arg))
+	case 8:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(in.Imm))
+	}
+	return dst, nil
+}
+
+// Decode linear-sweep decodes code into instructions. It returns a typed
+// *Error (never panics) on an unknown opcode, a truncated immediate, an
+// out-of-range depth, or an out-of-range variable index (checked against
+// nvars; pass -1 to skip the variable check).
+func Decode(code []byte, nvars int) ([]Instr, error) {
+	var out []Instr
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		info, ok := opTable[op]
+		if !ok {
+			return nil, errAt(pc, op.String(), "unknown opcode 0x%02x", byte(op))
+		}
+		if pc+1+info.imm > len(code) {
+			return nil, errAt(pc, info.name, "truncated immediate: need %d bytes, have %d", info.imm, len(code)-pc-1)
+		}
+		in := Instr{Offset: pc, Op: op}
+		switch info.imm {
+		case 1:
+			in.Arg = int(code[pc+1])
+			if op == OpPushB {
+				if in.Arg > 1 {
+					return nil, errAt(pc, info.name, "boolean immediate must be 0 or 1, got %d", in.Arg)
+				}
+			} else if in.Arg < 1 {
+				return nil, errAt(pc, info.name, "depth must be >= 1")
+			}
+		case 2:
+			in.Arg = int(binary.BigEndian.Uint16(code[pc+1:]))
+			if nvars >= 0 && in.Arg >= nvars {
+				return nil, errAt(pc, info.name, "variable index %d out of range (program has %d)", in.Arg, nvars)
+			}
+		case 8:
+			in.Imm = int64(binary.BigEndian.Uint64(code[pc+1:]))
+		}
+		out = append(out, in)
+		pc += in.Size()
+	}
+	return out, nil
+}
+
+// Instrs decodes the program's code, validating variable operands against
+// its table.
+func (p *Program) Instrs() ([]Instr, error) { return Decode(p.Code, len(p.Vars)) }

@@ -1,0 +1,250 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+
+	"dfg/internal/interp"
+	"dfg/internal/lang/token"
+)
+
+// Result is the observable outcome of a bytecode run, shaped like
+// interp.Result so the differential oracle compares them directly.
+type Result struct {
+	Output []interp.Value
+	Steps  int // instructions executed
+	Reads  int // inputs consumed
+}
+
+// Outputs renders the printed sequence as strings.
+func (r *Result) Outputs() []string {
+	out := make([]string, len(r.Output))
+	for i, v := range r.Output {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// TrapError is a runtime failure of the bytecode machine: a type trap,
+// division by zero, stack underflow, a bad jump target, or step-budget
+// exhaustion (Cause = interp.ErrStepLimit, tested with errors.Is so
+// harnesses classify budget exhaustion exactly as they do for the source
+// interpreter).
+type TrapError struct {
+	Offset int
+	Op     Op
+	Msg    string
+	Cause  error
+}
+
+// Error implements error.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("bytecode: at %04d (%s): %s", e.Offset, e.Op, e.Msg)
+}
+
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *TrapError) Unwrap() error { return e.Cause }
+
+// binaryToken maps strict binary opcodes to the operator token whose
+// interp.ApplyBinary semantics they execute.
+var binaryToken = map[Op]token.Kind{
+	OpAdd: token.PLUS,
+	OpSub: token.MINUS,
+	OpMul: token.STAR,
+	OpDiv: token.SLASH,
+	OpMod: token.PERCENT,
+	OpEq:  token.EQ,
+	OpNeq: token.NEQ,
+	OpLt:  token.LT,
+	OpLe:  token.LE,
+	OpGt:  token.GT,
+	OpGe:  token.GE,
+}
+
+// BinaryToken exposes the opcode→operator mapping to the CFG recovery
+// decompiler, which rebuilds ast expressions from stack code.
+func BinaryToken(op Op) (token.Kind, bool) {
+	k, ok := binaryToken[op]
+	return k, ok
+}
+
+// DefaultMaxSteps is the default instruction budget. Bytecode counts every
+// instruction where the source interpreter counts CFG nodes, so the default
+// is a few times the source interpreter's one-million node budget.
+const DefaultMaxSteps = 8_000_000
+
+// Run executes the program with the given input stream. Reads beyond the
+// end of inputs yield 0; uninitialized variables read as 0 — identical to
+// the source interpreter. maxSteps <= 0 means DefaultMaxSteps. Running off
+// the end of the code halts normally.
+func Run(p *Program, inputs []int64, maxSteps int) (*Result, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	instrs, err := p.Instrs()
+	if err != nil {
+		return nil, err
+	}
+	// Jump targets are byte offsets; they must land on an instruction
+	// boundary of the decoded sweep.
+	at := make(map[int]int, len(instrs))
+	for i, in := range instrs {
+		at[in.Offset] = i
+	}
+
+	res := &Result{}
+	vars := make([]interp.Value, len(p.Vars))
+	var stack []interp.Value
+	trap := func(in Instr, cause error, format string, args ...any) (*Result, error) {
+		return res, &TrapError{Offset: in.Offset, Op: in.Op, Msg: fmt.Sprintf(format, args...), Cause: cause}
+	}
+	pop := func() (interp.Value, bool) {
+		if len(stack) == 0 {
+			return interp.Value{}, false
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, true
+	}
+
+	for pc := 0; pc < len(instrs); {
+		if res.Steps >= maxSteps {
+			return res, &TrapError{Offset: instrs[pc].Offset, Op: instrs[pc].Op,
+				Msg: fmt.Sprintf("step limit %d exceeded", maxSteps), Cause: interp.ErrStepLimit}
+		}
+		res.Steps++
+		in := instrs[pc]
+		next := pc + 1
+
+		switch in.Op {
+		case OpHalt:
+			return res, nil
+		case OpNop:
+		case OpPushI:
+			stack = append(stack, interp.IntVal(in.Imm))
+		case OpPushB:
+			stack = append(stack, interp.BoolVal(in.Arg != 0))
+		case OpPop:
+			if _, ok := pop(); !ok {
+				return trap(in, nil, "stack underflow")
+			}
+		case OpDup:
+			if in.Arg > len(stack) {
+				return trap(in, nil, "dup %d on stack of %d", in.Arg, len(stack))
+			}
+			stack = append(stack, stack[len(stack)-in.Arg])
+		case OpSwap:
+			if in.Arg >= len(stack) {
+				return trap(in, nil, "swap %d on stack of %d", in.Arg, len(stack))
+			}
+			i, j := len(stack)-1, len(stack)-1-in.Arg
+			stack[i], stack[j] = stack[j], stack[i]
+		case OpLoad:
+			stack = append(stack, vars[in.Arg])
+		case OpStore:
+			v, ok := pop()
+			if !ok {
+				return trap(in, nil, "stack underflow")
+			}
+			vars[in.Arg] = v
+		case OpRead:
+			var v int64
+			if res.Reads < len(inputs) {
+				v = inputs[res.Reads]
+			}
+			res.Reads++
+			vars[in.Arg] = interp.IntVal(v)
+		case OpPrint:
+			v, ok := pop()
+			if !ok {
+				return trap(in, nil, "stack underflow")
+			}
+			res.Output = append(res.Output, v)
+		case OpJump, OpJumpI:
+			tgt, ok := pop()
+			if !ok {
+				return trap(in, nil, "stack underflow")
+			}
+			take := true
+			if in.Op == OpJumpI {
+				cond, ok := pop()
+				if !ok {
+					return trap(in, nil, "stack underflow")
+				}
+				if !cond.B {
+					return trap(in, nil, "branch condition is not boolean: %s", cond)
+				}
+				take = cond.Bool
+			}
+			if take {
+				if tgt.B {
+					return trap(in, nil, "jump target is not an integer: %s", tgt)
+				}
+				// Target == len(code) is the explicit form of running off
+				// the end: a normal halt.
+				if tgt.I == int64(len(p.Code)) {
+					return res, nil
+				}
+				idx, ok := at[int(tgt.I)]
+				if !ok || tgt.I < 0 {
+					return trap(in, nil, "jump target %d is not an instruction boundary", tgt.I)
+				}
+				next = idx
+			}
+		case OpNeg:
+			x, ok := pop()
+			if !ok {
+				return trap(in, nil, "stack underflow")
+			}
+			v, err := interp.ApplyUnary(token.MINUS, x)
+			if err != nil {
+				return trap(in, nil, "%v", err)
+			}
+			stack = append(stack, v)
+		case OpNot:
+			x, ok := pop()
+			if !ok {
+				return trap(in, nil, "stack underflow")
+			}
+			v, err := interp.ApplyUnary(token.NOT, x)
+			if err != nil {
+				return trap(in, nil, "%v", err)
+			}
+			stack = append(stack, v)
+		case OpAnd, OpOr:
+			y, ok1 := pop()
+			x, ok2 := pop()
+			if !ok1 || !ok2 {
+				return trap(in, nil, "stack underflow")
+			}
+			if !x.B || !y.B {
+				return trap(in, nil, "%s applied to integer", in.Op)
+			}
+			if in.Op == OpAnd {
+				stack = append(stack, interp.BoolVal(x.Bool && y.Bool))
+			} else {
+				stack = append(stack, interp.BoolVal(x.Bool || y.Bool))
+			}
+		default:
+			k, ok := binaryToken[in.Op]
+			if !ok {
+				return trap(in, nil, "unknown opcode")
+			}
+			y, ok1 := pop()
+			x, ok2 := pop()
+			if !ok1 || !ok2 {
+				return trap(in, nil, "stack underflow")
+			}
+			v, err := interp.ApplyBinary(k, x, y)
+			if err != nil {
+				return trap(in, nil, "%v", err)
+			}
+			stack = append(stack, v)
+		}
+		pc = next
+	}
+	return res, nil
+}
+
+// IsStepLimit reports whether err is a budget-exhaustion trap.
+func IsStepLimit(err error) bool { return errors.Is(err, interp.ErrStepLimit) }

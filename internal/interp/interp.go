@@ -312,6 +312,31 @@ func applyBinary(op token.Kind, x, y Value) (Value, error) {
 	return Value{}, fmt.Errorf("unknown binary operator %s", op)
 }
 
+// ApplyBinary applies a non-short-circuit binary operator with the
+// interpreter's exact semantics (type traps, division/modulo by zero). The
+// bytecode interpreter (internal/bytecode) and the CFG recovery constant
+// folder (internal/bcfront) evaluate through it so the three-way
+// differential oracle compares frontends, never divergent arithmetic.
+func ApplyBinary(op token.Kind, x, y Value) (Value, error) { return applyBinary(op, x, y) }
+
+// ApplyUnary applies a unary operator (MINUS or NOT) with the interpreter's
+// exact semantics. See ApplyBinary.
+func ApplyUnary(op token.Kind, x Value) (Value, error) {
+	switch op {
+	case token.MINUS:
+		if x.B {
+			return Value{}, fmt.Errorf("unary - applied to boolean")
+		}
+		return IntVal(-x.I), nil
+	case token.NOT:
+		if !x.B {
+			return Value{}, fmt.Errorf("! applied to integer")
+		}
+		return BoolVal(!x.Bool), nil
+	}
+	return Value{}, fmt.Errorf("unknown unary operator %s", op)
+}
+
 // EvalConst evaluates an expression with no variable references (constant
 // folding helper shared with the optimizers). Returns ok=false if the
 // expression references variables or traps (division by zero).

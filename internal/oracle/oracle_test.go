@@ -40,6 +40,7 @@ func TestOracleSweep(t *testing.T) {
 			{"mixed", workload.Mixed(20+int(seed%25), seed).String()},
 			{"gotomess", workload.GotoMess(4+int(seed%10), seed).String()},
 			{"wideswitch", workload.WideSwitch(3+int(seed%8), 2+int(seed%5), seed).String()},
+			{"irreducible", workload.Irreducible(1+int(seed%3), seed).String()},
 		}
 		rng := rand.New(rand.NewSource(seed ^ 0x0dac1e))
 		for _, pc := range progs {

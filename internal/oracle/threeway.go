@@ -1,0 +1,190 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"dfg/internal/bccompile"
+	"dfg/internal/bcfront"
+	"dfg/internal/bytecode"
+	"dfg/internal/cfg"
+	"dfg/internal/interp"
+	"dfg/internal/lang/ast"
+)
+
+// ThreeWayConfig parameterizes one three-way check. Zero values mean
+// defaults: no inputs, a 1M-node source budget, an 8M-instruction bytecode
+// budget, and an 8M-node budget for the recovered graph (which carries
+// extra merge/temporary nodes per source statement).
+type ThreeWayConfig struct {
+	Inputs     []int64
+	SrcSteps   int
+	BCSteps    int
+	RecSteps   int
+	MaxFirings int
+}
+
+// RunSummary is one execution's observable outcome, classified for
+// comparison: "ok", "trap", or "budget".
+type RunSummary struct {
+	Class  string   `json:"class"`
+	Output []string `json:"output,omitempty"`
+	Reads  int      `json:"reads"`
+	Err    string   `json:"err,omitempty"`
+}
+
+// ThreeWayReport is the outcome of one three-way differential check of the
+// bytecode frontend: the source interpreter (ground truth), the bytecode
+// interpreter on the compiled program, and the recovered-CFG runs (the CFG
+// interpreter plus the DFG executor, via the two-way oracle).
+//
+// Comparison policy: the source and bytecode interpreters execute in
+// statement order, and compilation preserves evaluation order exactly, so
+// those two are compared byte-for-byte — outputs, reads, and termination
+// class — even on trap runs. The recovered-CFG interpreter is held to the
+// same strict standard (for compiled bytecode the decompilation is
+// statement-for-statement). The DFG executor inherits the two-way oracle's
+// policy: on trap runs only the termination class is compared, because the
+// output prefix before a trap is scheduling-dependent in a dataflow
+// execution. Dynamic operator counts (BinOps) are never compared across
+// frontends — lowering short-circuit operators to control flow legitimately
+// changes them — but the two-way oracle still compares them within the
+// recovered graph.
+type ThreeWayReport struct {
+	Agree  bool   `json:"agree"`
+	Detail string `json:"detail,omitempty"` // first divergence
+
+	Source    RunSummary `json:"source"`
+	Bytecode  RunSummary `json:"bytecode"`
+	Recovered RunSummary `json:"recovered"`
+	DFG       *Report    `json:"dfg,omitempty"` // two-way oracle on the recovered CFG
+
+	CompileErr string        `json:"compile_err,omitempty"`
+	RecoverErr string        `json:"recover_err,omitempty"`
+	Info       *bcfront.Info `json:"-"`
+}
+
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case bytecode.IsStepLimit(err):
+		return "budget"
+	}
+	return "trap"
+}
+
+func summarize(out []string, reads int, err error) RunSummary {
+	s := RunSummary{Class: classify(err), Output: out, Reads: reads}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	return s
+}
+
+// strictCompare demands byte-identical outputs, reads, and termination
+// class between two statement-ordered runs.
+func strictCompare(name string, ref, got RunSummary) (bool, string) {
+	if ref.Class != got.Class {
+		return false, fmt.Sprintf("%s: termination mismatch: source %s (%s) vs %s (%s)",
+			name, ref.Class, ref.Err, got.Class, got.Err)
+	}
+	for i := 0; i < len(ref.Output) && i < len(got.Output); i++ {
+		if ref.Output[i] != got.Output[i] {
+			return false, fmt.Sprintf("%s: first diverging output at index %d: source printed %s, got %s",
+				name, i, ref.Output[i], got.Output[i])
+		}
+	}
+	if len(ref.Output) != len(got.Output) {
+		return false, fmt.Sprintf("%s: output length mismatch: source printed %d values, got %d",
+			name, len(ref.Output), len(got.Output))
+	}
+	if ref.Reads != got.Reads {
+		return false, fmt.Sprintf("%s: inputs consumed mismatch: source read %d, got %d", name, ref.Reads, got.Reads)
+	}
+	return true, ""
+}
+
+// CheckThreeWay compiles prog to bytecode, recovers a CFG from the
+// bytecode, and demands that the bytecode interpreter and the recovered
+// graph's executions reproduce the source interpreter's observable
+// behaviour. It is the end-to-end proof obligation of the bytecode
+// frontend: compiler, ISA semantics, abstract-interpretation CFG recovery,
+// and decompilation all sit between the compared runs.
+func CheckThreeWay(prog *ast.Program, c ThreeWayConfig) *ThreeWayReport {
+	rep := &ThreeWayReport{Agree: true}
+	fail := func(format string, args ...any) *ThreeWayReport {
+		rep.Agree = false
+		rep.Detail = fmt.Sprintf(format, args...)
+		return rep
+	}
+
+	srcCFG, err := cfg.Build(prog)
+	if err != nil {
+		return fail("source cfg build: %v", err)
+	}
+	sres, serr := interp.Run(srcCFG, c.Inputs, c.SrcSteps)
+	rep.Source = summarize(sres.Outputs(), sres.Reads, serr)
+
+	bc, err := bccompile.Compile(prog)
+	if err != nil {
+		rep.CompileErr = err.Error()
+		return fail("bytecode compile: %v", err)
+	}
+	bsteps := c.BCSteps
+	if bsteps <= 0 {
+		bsteps = bytecode.DefaultMaxSteps
+	}
+	bres, berr := bytecode.Run(bc, c.Inputs, bsteps)
+	rep.Bytecode = summarize(bres.Outputs(), bres.Reads, berr)
+	if ok, detail := strictCompare("bytecode interpreter", rep.Source, rep.Bytecode); !ok {
+		return fail("%s", detail)
+	}
+
+	info, err := bcfront.Recover(bc)
+	if err != nil {
+		rep.RecoverErr = err.Error()
+		return fail("cfg recovery: %v", err)
+	}
+	rep.Info = info
+
+	rsteps := c.RecSteps
+	if rsteps <= 0 {
+		rsteps = 8_000_000
+	}
+	rres, rerr := interp.Run(info.CFG, c.Inputs, rsteps)
+	rep.Recovered = summarize(rres.Outputs(), rres.Reads, rerr)
+	if ok, detail := strictCompare("recovered-cfg interpreter", rep.Source, rep.Recovered); !ok {
+		return fail("%s", detail)
+	}
+
+	rep.DFG = Check(info.CFG, Config{Inputs: c.Inputs, MaxSteps: rsteps, MaxFirings: c.MaxFirings})
+	if !rep.DFG.Agree {
+		return fail("dfg executor on recovered cfg: %s", strings.TrimSpace(rep.DFG.Diff()))
+	}
+	return rep
+}
+
+// DiagnoseThreeWay renders a failed three-way report with the program
+// source, its bytecode disassembly, and the recovered graph.
+func DiagnoseThreeWay(prog *ast.Program, c ThreeWayConfig) string {
+	rep := CheckThreeWay(prog, c)
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== three-way oracle report (agree=%v) ===\n", rep.Agree)
+	if rep.Detail != "" {
+		fmt.Fprintf(&b, "divergence: %s\n", rep.Detail)
+	}
+	fmt.Fprintf(&b, "--- program ---\n%s\n--- inputs: %v ---\n", prog, c.Inputs)
+	fmt.Fprintf(&b, "source:    class=%s reads=%d output: %s\n", rep.Source.Class, rep.Source.Reads, strings.Join(rep.Source.Output, " "))
+	fmt.Fprintf(&b, "bytecode:  class=%s reads=%d output: %s\n", rep.Bytecode.Class, rep.Bytecode.Reads, strings.Join(rep.Bytecode.Output, " "))
+	fmt.Fprintf(&b, "recovered: class=%s reads=%d output: %s\n", rep.Recovered.Class, rep.Recovered.Reads, strings.Join(rep.Recovered.Output, " "))
+	if bc, err := bccompile.Compile(prog); err == nil {
+		if asm, err := bytecode.Disassemble(bc); err == nil {
+			fmt.Fprintf(&b, "--- bytecode ---\n%s", asm)
+		}
+		if info, err := bcfront.Recover(bc); err == nil {
+			fmt.Fprintf(&b, "--- recovered cfg ---\n%s", info.CFG.String())
+		}
+	}
+	return b.String()
+}

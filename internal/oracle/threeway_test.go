@@ -1,0 +1,134 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dfg/internal/lang/ast"
+	"dfg/internal/lang/parser"
+	"dfg/internal/workload"
+)
+
+func checkThreeWay(t *testing.T, name string, prog *ast.Program, inputs []int64) {
+	t.Helper()
+	c := ThreeWayConfig{Inputs: inputs}
+	rep := CheckThreeWay(prog, c)
+	if !rep.Agree {
+		t.Fatalf("%s inputs=%v:\n%s", name, inputs, DiagnoseThreeWay(prog, c))
+	}
+}
+
+// TestThreeWaySweep is the bytecode frontend's acceptance sweep: every
+// workload family — including the irreducible one — through source
+// interpreter vs bytecode interpreter vs recovered-CFG interpreter vs DFG
+// executor, over 200+ programs with several input vectors each.
+func TestThreeWaySweep(t *testing.T) {
+	programs := 0
+	for seed := int64(0); seed < 40; seed++ {
+		progs := []struct {
+			name string
+			prog *ast.Program
+		}{
+			{"mixed", workload.Mixed(15+int(seed%20), seed)},
+			{"gotomess", workload.GotoMess(4+int(seed%8), seed)},
+			{"wideswitch", workload.WideSwitch(3+int(seed%6), 2+int(seed%4), seed)},
+			{"irreducible", workload.Irreducible(1+int(seed%4), seed)},
+			{"straightline", workload.StraightLine(10+int(seed%30), 4, seed)},
+			{"loopnest", workload.LoopNest(1+int(seed%3), 2, seed)},
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x3b9d))
+		for _, pc := range progs {
+			for trial := 0; trial < 2; trial++ {
+				inputs := make([]int64, rng.Intn(6))
+				for i := range inputs {
+					inputs[i] = int64(rng.Intn(30) - 15)
+				}
+				checkThreeWay(t, pc.name, pc.prog, inputs)
+			}
+			programs++
+		}
+	}
+	if programs < 200 {
+		t.Fatalf("sweep covered only %d programs, want >= 200", programs)
+	}
+}
+
+// TestThreeWayTrapRuns pins the strict comparison policy on runs that trap:
+// the compiled and recovered programs must trap with the same output prefix
+// and read count as the source.
+func TestThreeWayTrapRuns(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		inputs []int64
+	}{
+		{"div by zero", `read a; print a; print 10 / (a - a);`, []int64{4}},
+		{"late trap", `i := 0; while (i < 3) { print i; i := i + 1; } print 1 / 0;`, nil},
+		{"type trap", `read a; x := (a > 0) + 1; print x;`, []int64{1}},
+		{"sc right trap", `read a; if (a > 0 && (a + 1)) { print 1; }`, []int64{2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := parser.MustParse(tc.src)
+			rep := CheckThreeWay(prog, ThreeWayConfig{Inputs: tc.inputs})
+			if !rep.Agree {
+				t.Fatalf("trap runs must agree:\n%s", DiagnoseThreeWay(prog, ThreeWayConfig{Inputs: tc.inputs}))
+			}
+			if rep.Source.Class != "trap" {
+				t.Fatalf("source class %q, want trap", rep.Source.Class)
+			}
+		})
+	}
+}
+
+// TestThreeWayBudgetRuns pins the budget classification: matching
+// non-termination counts as agreement.
+func TestThreeWayBudgetRuns(t *testing.T) {
+	prog := parser.MustParse(`i := 0; while (true) { i := i + 1; }`)
+	c := ThreeWayConfig{SrcSteps: 2_000, BCSteps: 20_000, RecSteps: 20_000, MaxFirings: 100_000}
+	rep := CheckThreeWay(prog, c)
+	if !rep.Agree {
+		t.Fatalf("matching budget exhaustion must agree: %s", rep.Detail)
+	}
+	if rep.Source.Class != "budget" || rep.Bytecode.Class != "budget" || rep.Recovered.Class != "budget" {
+		t.Fatalf("classes %s/%s/%s, want budget/budget/budget",
+			rep.Source.Class, rep.Bytecode.Class, rep.Recovered.Class)
+	}
+}
+
+func TestThreeWayReportsRecoveryStats(t *testing.T) {
+	rep := CheckThreeWay(workload.Mixed(20, 5), ThreeWayConfig{Inputs: []int64{3}})
+	if !rep.Agree {
+		t.Fatal(rep.Detail)
+	}
+	if rep.Info == nil || rep.Info.Blocks == 0 || rep.Info.ResolvedJumps == 0 {
+		t.Fatalf("recovery stats missing: %+v", rep.Info)
+	}
+	if rep.DFG == nil || !rep.DFG.Agree {
+		t.Fatal("two-way oracle report missing from three-way report")
+	}
+}
+
+func TestStrictCompareDivergences(t *testing.T) {
+	ref := RunSummary{Class: "ok", Output: []string{"1", "2"}, Reads: 2}
+	cases := []struct {
+		name string
+		got  RunSummary
+		want string
+	}{
+		{"class", RunSummary{Class: "trap", Output: []string{"1", "2"}, Reads: 2}, "termination"},
+		{"value", RunSummary{Class: "ok", Output: []string{"1", "9"}, Reads: 2}, "index 1"},
+		{"length", RunSummary{Class: "ok", Output: []string{"1"}, Reads: 2}, "length"},
+		{"reads", RunSummary{Class: "ok", Output: []string{"1", "2"}, Reads: 3}, "consumed"},
+	}
+	for _, tc := range cases {
+		ok, detail := strictCompare("x", ref, tc.got)
+		if ok || !strings.Contains(detail, tc.want) {
+			t.Errorf("%s: ok=%v detail=%q, want mention of %q", tc.name, ok, detail, tc.want)
+		}
+	}
+	if ok, _ := strictCompare("x", ref, ref); !ok {
+		t.Error("identical summaries must agree")
+	}
+}

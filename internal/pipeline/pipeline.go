@@ -32,7 +32,9 @@ import (
 	"time"
 
 	"dfg/internal/anticip"
+	"dfg/internal/bcfront"
 	"dfg/internal/bitset"
+	"dfg/internal/bytecode"
 	"dfg/internal/cdg"
 	"dfg/internal/cfg"
 	"dfg/internal/constprop"
@@ -138,12 +140,36 @@ func expandStages(req []Stage) ([]Stage, error) {
 	return out, nil
 }
 
+// SourceKind says which frontend interprets Request.Source.
+type SourceKind string
+
+// The source kinds. The zero value is the toy-language frontend.
+const (
+	// KindSource: Source is toy-language text, parsed and lowered by
+	// parser.Parse + cfg.Build.
+	KindSource SourceKind = ""
+	// KindBytecode: Source is bytecode assembly text (bytecode.Assemble's
+	// syntax); the CFG comes from abstract-interpretation recovery
+	// (bcfront.Recover). Binary containers are disassembled to this form at
+	// the edges (cmd/dfg, the wire protocol), keeping Request.Source a
+	// string everywhere.
+	KindBytecode SourceKind = "bytecode"
+)
+
+// ValidSourceKind reports whether k names a known frontend.
+func ValidSourceKind(k SourceKind) bool { return k == KindSource || k == KindBytecode }
+
 // Options parameterize the analyses of one request. The zero value is the
 // default configuration.
 type Options struct {
 	// Predicates enables the §4-extension predicate analysis (x == c
 	// refinement) in the constprop stage.
 	Predicates bool
+
+	// SourceKind selects the frontend for Request.Source. It is part of
+	// the cache fingerprint: the same bytes mean different programs under
+	// different frontends.
+	SourceKind SourceKind
 
 	// ExecInputs is the input stream for the exec stage's differential
 	// execution oracle. It contributes to the exec artifact's cache key
@@ -154,7 +180,7 @@ type Options struct {
 
 // fingerprint folds the options into the cache key.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("pred=%t", o.Predicates)
+	return fmt.Sprintf("pred=%t/kind=%s", o.Predicates, o.SourceKind)
 }
 
 // Request is one unit of work for the engine: a program plus the stages to
@@ -222,15 +248,20 @@ type Result struct {
 	Key     string // content address: sha256(source) + options fingerprint
 	src     string // request source, for the parse stage
 	Program *ast.Program
-	CFG     *cfg.Graph
-	Regions *regions.Info
-	CDG     *cdg.Factored
-	DFG     *dfg.Graph
-	SSA     *SSAResult
-	Cprop   *ConstpropResult
-	Anticip []ExprAnticip
-	EPR     *EPRResult
-	Exec    *oracle.Report
+	// Bytecode and BCInfo are populated instead of Program when the request's
+	// SourceKind is KindBytecode: the assembled program and the CFG-recovery
+	// statistics.
+	Bytecode *bytecode.Program
+	BCInfo   *bcfront.Info
+	CFG      *cfg.Graph
+	Regions  *regions.Info
+	CDG      *cdg.Factored
+	DFG      *dfg.Graph
+	SSA      *SSAResult
+	Cprop    *ConstpropResult
+	Anticip  []ExprAnticip
+	EPR      *EPRResult
+	Exec     *oracle.Report
 
 	Stages map[Stage]StageInfo
 }
@@ -356,6 +387,9 @@ func (e *Engine) analyzeIntra(ctx context.Context, req Request, intra int) (*Res
 	if err != nil {
 		return nil, err
 	}
+	if !ValidSourceKind(req.Options.SourceKind) {
+		return nil, fmt.Errorf("unknown source kind %q", req.Options.SourceKind)
+	}
 	timeout := req.Timeout
 	if timeout <= 0 {
 		timeout = e.cfg.DefaultTimeout
@@ -454,8 +488,17 @@ func (e *Engine) computeStage(st Stage, req Request, res *Result, intra int) (v 
 func compute(st Stage, opts Options, res *Result, intra int) (any, error) {
 	switch st {
 	case StageParse:
-		return parser.Parse(res.source())
+		switch opts.SourceKind {
+		case KindSource:
+			return parser.Parse(res.source())
+		case KindBytecode:
+			return bytecode.Assemble(res.source())
+		}
+		return nil, fmt.Errorf("unknown source kind %q", opts.SourceKind)
 	case StageCFG:
+		if res.Bytecode != nil {
+			return bcfront.Recover(res.Bytecode)
+		}
 		return cfg.Build(res.Program)
 	case StageRegions:
 		return regions.Analyze(res.CFG)
@@ -553,9 +596,20 @@ func (r *Result) source() string { return r.src }
 func (r *Result) install(st Stage, v any) {
 	switch st {
 	case StageParse:
-		r.Program = v.(*ast.Program)
+		switch p := v.(type) {
+		case *ast.Program:
+			r.Program = p
+		case *bytecode.Program:
+			r.Bytecode = p
+		}
 	case StageCFG:
-		r.CFG = v.(*cfg.Graph)
+		switch g := v.(type) {
+		case *cfg.Graph:
+			r.CFG = g
+		case *bcfront.Info:
+			r.BCInfo = g
+			r.CFG = g.CFG
+		}
 	case StageRegions:
 		r.Regions = v.(*regions.Info)
 	case StageCDG:

@@ -8,6 +8,7 @@ import "dfg/internal/oracle"
 // execution agree.
 type Report struct {
 	Parse     *ParseReport     `json:"parse,omitempty"`
+	Bytecode  *BytecodeReport  `json:"bytecode,omitempty"`
 	CFG       *CFGReport       `json:"cfg,omitempty"`
 	Regions   *RegionsReport   `json:"regions,omitempty"`
 	CDG       *CDGReport       `json:"cdg,omitempty"`
@@ -21,6 +22,19 @@ type Report struct {
 
 type ParseReport struct {
 	Stmts int `json:"stmts"`
+}
+
+// BytecodeReport summarizes the bytecode frontend's work on a KindBytecode
+// request: the assembled program's size and the CFG recovery statistics.
+// Present only when the request's SourceKind is KindBytecode.
+type BytecodeReport struct {
+	CodeBytes     int `json:"code_bytes"`
+	Vars          int `json:"vars"`
+	Instrs        int `json:"instrs"`
+	Reached       int `json:"reached"`
+	Blocks        int `json:"blocks"`
+	ResolvedJumps int `json:"resolved_jumps"`
+	SynthVars     int `json:"synth_vars"`
 }
 
 type CFGReport struct {
@@ -81,6 +95,19 @@ func (r *Result) Report() Report {
 	var rep Report
 	if r.Program != nil {
 		rep.Parse = &ParseReport{Stmts: len(r.Program.Stmts)}
+	}
+	if r.Bytecode != nil {
+		rep.Bytecode = &BytecodeReport{
+			CodeBytes: len(r.Bytecode.Code),
+			Vars:      len(r.Bytecode.Vars),
+		}
+		if r.BCInfo != nil {
+			rep.Bytecode.Instrs = r.BCInfo.Instrs
+			rep.Bytecode.Reached = r.BCInfo.Reached
+			rep.Bytecode.Blocks = r.BCInfo.Blocks
+			rep.Bytecode.ResolvedJumps = r.BCInfo.ResolvedJumps
+			rep.Bytecode.SynthVars = r.BCInfo.SynthVars
+		}
 	}
 	if r.CFG != nil {
 		rep.CFG = &CFGReport{

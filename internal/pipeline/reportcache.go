@@ -15,7 +15,13 @@ import (
 // so a bump atomically invalidates every stale artifact (the store's
 // open-time migration hook reclaims their space), and the wire protocol's
 // handshake refuses to pair a frontier and a backend that disagree on it.
-const ReportSchemaVersion = 1
+// Version history:
+//
+//	1: initial shape.
+//	2: added the "bytecode" section (BytecodeReport) for KindBytecode
+//	   requests, and Options gained SourceKind (folded into every cache
+//	   key via the options fingerprint).
+const ReportSchemaVersion = 2
 
 // ReportTier says which cache tier satisfied an AnalyzeReport call.
 type ReportTier string

@@ -86,9 +86,13 @@ const helloMagic = "dfgwire"
 // API's analyzeRequest, flattened to plain data so this package needs no
 // knowledge of the pipeline.
 type Item struct {
-	Program    string  `json:"program"`
+	Program    string   `json:"program"`
 	Stages     []string `json:"stages,omitempty"`
-	Predicates bool    `json:"predicates,omitempty"`
+	Predicates bool     `json:"predicates,omitempty"`
+	// SourceKind selects the frontend for Program ("" = toy-language
+	// source, "bytecode" = bytecode assembly text). Binary containers are
+	// disassembled before they reach the wire.
+	SourceKind string  `json:"source_kind,omitempty"`
 	Inputs     []int64 `json:"inputs,omitempty"`
 	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
 }

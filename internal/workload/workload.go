@@ -317,6 +317,43 @@ func GotoMess(n int, seed int64) *ast.Program {
 	return parser.MustParse(b.String())
 }
 
+// Irreducible returns a goto-heavy program of n units, each a loop with two
+// entry points — the classic irreducible shape no amount of node splitting
+// avoidance can reduce. Each unit is
+//
+//	gI := 0;
+//	if (cond) { goto B_I; }   // entry 1: jumps into the loop's middle
+//	label A_I:                // entry 2: fallthrough, also the back-edge target
+//	  ...
+//	label B_I:
+//	  gI := gI + 1;
+//	  if (gI < bound) { goto A_I; }
+//
+// so the cycle {A_I..B_I} is entered both at A_I and at B_I from outside.
+// The bytecode frontend compiles each unit to a CFG whose loop has two
+// external entries, which is what the cycle-equivalence and region
+// machinery must survive; a T1/T2 reduction test pins the irreducibility.
+// Loops are counter-bounded, so every program terminates.
+func Irreducible(n int, seed int64) *ast.Program {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("read a;\n")
+	for i := 0; i < n; i++ {
+		bound := 2 + rng.Intn(3)
+		fmt.Fprintf(&b, "g%d := 0;\n", i)
+		fmt.Fprintf(&b, "if (a %% %d == %d) { goto B%d; }\n", 2+rng.Intn(3), rng.Intn(2), i)
+		fmt.Fprintf(&b, "label A%d:\n", i)
+		fmt.Fprintf(&b, "a := a + %d;\n", 1+rng.Intn(4))
+		fmt.Fprintf(&b, "label B%d:\n", i)
+		fmt.Fprintf(&b, "g%d := g%d + 1;\n", i, i)
+		fmt.Fprintf(&b, "a := a - %d;\n", rng.Intn(3))
+		fmt.Fprintf(&b, "if (g%d < %d) { goto A%d; }\n", i, bound, i)
+		fmt.Fprintf(&b, "print a;\nprint g%d;\n", i)
+	}
+	b.WriteString("print a;\n")
+	return parser.MustParse(b.String())
+}
+
 // Mixed returns a deterministic random structured program of roughly n
 // statements (the usual entry point for differential tests).
 func Mixed(n int, seed int64) *ast.Program {

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"dfg/internal/bccompile"
+	"dfg/internal/bcfront"
 	"dfg/internal/cdg"
 	"dfg/internal/cfg"
 	"dfg/internal/constprop"
@@ -97,6 +99,44 @@ func TestWideAtScale(t *testing.T) {
 		t.Fatal("parallel DFG differs from serial at scale")
 	}
 	if err := ssa.EquivalentOnUses(ssa.Cytron(g), ssa.FromDFG(d)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrreducibleAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	// 300 two-entry loops recovered from compiled bytecode: the region and
+	// cycle-equivalence machinery on a large genuinely irreducible CFG that
+	// no structured source could produce, exercised through both frontends.
+	prog := workload.Irreducible(300, 13)
+	g, err := cfg.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := regions.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dfg.BuildWithInfo(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.EquivalentOnUses(ssa.Cytron(g), ssa.FromDFG(d)); err != nil {
+		t.Fatalf("SSA forms differ on irreducible graph: %v", err)
+	}
+
+	// The bytecode round trip at the same scale.
+	rec, err := bcfront.RecoverCFG(bccompile.MustCompile(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rinfo, err := regions.Analyze(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dfg.BuildWithInfo(rec, rinfo); err != nil {
 		t.Fatal(err)
 	}
 }
