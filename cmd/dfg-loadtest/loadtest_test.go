@@ -6,13 +6,17 @@ import (
 	"time"
 )
 
-// TestSelfhostSmoke runs the whole two-phase selfhost benchmark at a tiny
-// scale and checks the report: every request answered, warm phase served
-// off the persistent store after the simulated restart, acceptance PASS.
+// TestSelfhostSmoke runs the whole selfhost benchmark at a tiny scale and
+// checks the report: every request answered, warm phase served off the
+// persistent store after the simulated restart, the disk-loss phase served
+// off replicas after a worker is killed and wiped, hedging beating the
+// straggler within its request budget, the GC probe evicting — and every
+// acceptance verdict PASS.
 func TestSelfhostSmoke(t *testing.T) {
 	cfg := loadConfig{
 		Dir:         t.TempDir(),
-		Backends:    2,
+		Backends:    3,
+		Replicas:    2,
 		Programs:    6,
 		Size:        8,
 		Seed:        42,
@@ -25,7 +29,7 @@ func TestSelfhostSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, phase := range []string{"cold", "warm-after-restart"} {
+	for _, phase := range []string{"cold", "warm-after-restart", "disk-loss"} {
 		st, ok := rep.Results[phase]
 		if !ok {
 			t.Fatalf("report missing phase %q", phase)
@@ -60,7 +64,55 @@ func TestSelfhostSmoke(t *testing.T) {
 	if rep.Store.HitRate <= 0.90 || rep.Store.WarmMisses != 0 {
 		t.Fatalf("store acceptance failed: %+v", rep.Store)
 	}
-	if got := rep.Store.Acceptance; !strings.Contains(got, "PASS") {
-		t.Fatalf("acceptance line = %q", got)
+
+	// Disk loss at R=2: a killed-and-wiped worker's keyspace comes out of
+	// the surviving replicas' stores, never recomputed.
+	if rep.Replication == nil {
+		t.Fatal("report missing replication acceptance")
+	}
+	if rep.Replication.Errors != 0 || rep.Replication.HitRate <= 0.90 {
+		t.Fatalf("disk-loss recovery failed: %+v", rep.Replication)
+	}
+	if rep.Replication.ReplPushed == 0 {
+		t.Fatalf("no artifacts were ever replicated: %+v", rep.Replication)
+	}
+	loss := rep.Results["disk-loss"]
+	if loss.Tiers["compute"] != 0 {
+		t.Fatalf("disk-loss phase recomputed %d programs instead of reading replicas: %v",
+			loss.Tiers["compute"], loss.Tiers)
+	}
+
+	// Hedging: p99 down, backend requests within budget, hedges fired.
+	if rep.Hedging == nil {
+		t.Fatal("report missing hedging acceptance")
+	}
+	if rep.Hedging.P99OnMS >= rep.Hedging.P99OffMS {
+		t.Fatalf("hedging did not improve p99: %+v", rep.Hedging)
+	}
+	if rep.Hedging.Hedges == 0 || rep.Hedging.HedgeWins == 0 {
+		t.Fatalf("hedging never fired/won against the straggler: %+v", rep.Hedging)
+	}
+	if rep.Hedging.ExtraRequestPct > 15 {
+		t.Fatalf("hedging blew the backend-request budget: %+v", rep.Hedging)
+	}
+
+	// Eviction probe: the GC ran, evicted, and respected the bound.
+	if rep.Eviction == nil {
+		t.Fatal("report missing eviction acceptance")
+	}
+	if rep.Eviction.GCRuns == 0 || rep.Eviction.EvictedFiles == 0 {
+		t.Fatalf("bounded store never compacted: %+v", rep.Eviction)
+	}
+	if rep.Eviction.DiskBytes > rep.Eviction.MaxBytes {
+		t.Fatalf("store over its bound after GC: %+v", rep.Eviction)
+	}
+
+	for _, verdict := range rep.acceptances() {
+		if !strings.Contains(verdict, "PASS") {
+			t.Fatalf("acceptance line = %q", verdict)
+		}
+	}
+	if got := len(rep.acceptances()); got != 4 {
+		t.Fatalf("expected 4 acceptance gates (store, replication, hedging, eviction), got %d", got)
 	}
 }

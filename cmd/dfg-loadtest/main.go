@@ -4,27 +4,43 @@
 //
 // By default it self-hosts a sharded deployment in-process: N dfg-worker
 // backends (real wire servers on loopback TCP, each with a persistent
-// artifact store) behind a consistent-hash frontier. The run has two
-// phases:
+// artifact store) behind a consistent-hash frontier replicating artifacts
+// at factor R. The run has four phases plus a store-compaction probe:
 //
 //  1. cold: fresh store directories; the first touch of every program is
-//     computed, repeat rounds hit the workers' in-memory report LRU.
+//     computed, repeat rounds hit the workers' in-memory report LRU, and
+//     every computed artifact is replicated to its R ring owners.
 //  2. warm-after-restart: every worker is torn down and rebuilt with a
 //     fresh engine on the same store directory — simulating a fleet
 //     restart — and the same traffic is replayed. First touches must now
 //     be answered from the on-disk store, proving persistence.
+//  3. disk-loss: the busiest worker is killed AND its store directory
+//     deleted. The same traffic replays against the degraded fleet: with
+//     R=2 the dead primary's keyspace must come out of its replicas'
+//     stores with zero client-visible errors and no recomputation.
+//  4. hedge-off/hedge-on: a separate two-worker fleet where one worker
+//     straggles on a fixed slice of programs, measured with hedging off
+//     then on. Hedging must cut p99 without inflating total backend
+//     requests by more than 15%.
 //
-// The acceptance gate is a store-hit rate above 90% in the warm phase.
-// Results are written as JSON (see BENCH_serve.json) with -out.
+// The compaction probe replays the run's artifacts into a store bounded to
+// half their total size and checks the GC actually evicts down to bound.
+//
+// Acceptance gates: warm store-hit rate > 90%, disk-loss phase error-free
+// with > 90% cache-tier responses, hedging p99 improvement within the
+// request budget, and eviction counters > 0 with the store at or under its
+// bound. Results are written as JSON (see BENCH_serve.json) with -out; any
+// FAIL verdict exits non-zero.
 //
 // With -url the tool instead targets an externally running dfg-serve over
-// HTTP POST /analyze (single phase, no restart simulation).
+// HTTP POST /analyze (single phase, no restart or fault simulation).
 //
 // Flags:
 //
 //	-url          external frontier base URL (empty = self-host)
 //	-dir          store root for self-host mode (empty = temp dir)
-//	-backends     self-hosted worker count (default 2)
+//	-backends     self-hosted worker count (default 3)
+//	-replicas     artifact replication factor R across worker stores (default 2)
 //	-programs     distinct programs in the traffic mix (default 50)
 //	-size         statements per generated program (default 12)
 //	-seed         workload seed (default 1)
@@ -44,6 +60,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -61,7 +78,8 @@ import (
 var (
 	flagURL         = flag.String("url", "", "external frontier base URL (empty = self-host)")
 	flagDir         = flag.String("dir", "", "store root for self-host mode (empty = temp dir)")
-	flagBackends    = flag.Int("backends", 2, "self-hosted worker count")
+	flagBackends    = flag.Int("backends", 3, "self-hosted worker count")
+	flagReplicas    = flag.Int("replicas", 2, "artifact replication factor across worker stores")
 	flagPrograms    = flag.Int("programs", 50, "distinct programs in the traffic mix")
 	flagSize        = flag.Int("size", 12, "statements per generated program")
 	flagSeed        = flag.Int64("seed", 1, "workload seed")
@@ -76,6 +94,7 @@ func main() {
 	cfg := loadConfig{
 		Dir:         *flagDir,
 		Backends:    *flagBackends,
+		Replicas:    *flagReplicas,
 		Programs:    *flagPrograms,
 		Size:        *flagSize,
 		Seed:        *flagSeed,
@@ -106,14 +125,17 @@ func main() {
 			log.Fatalf("dfg-loadtest: %v", err)
 		}
 	}
-	if rep.Store != nil && !strings.Contains(rep.Store.Acceptance, "PASS") {
-		log.Fatalf("dfg-loadtest: %s", rep.Store.Acceptance)
+	for _, verdict := range rep.acceptances() {
+		if !strings.Contains(verdict, "PASS") {
+			log.Fatalf("dfg-loadtest: %s", verdict)
+		}
 	}
 }
 
 type loadConfig struct {
 	Dir         string
 	Backends    int
+	Replicas    int
 	Programs    int
 	Size        int
 	Seed        int64
@@ -124,13 +146,35 @@ type loadConfig struct {
 
 // benchReport mirrors the repo's BENCH_*.json shape.
 type benchReport struct {
-	Benchmark   string                `json:"benchmark"`
-	Date        string                `json:"date"`
-	Workload    string                `json:"workload"`
-	Environment benchEnv              `json:"environment"`
-	Results     map[string]phaseStats `json:"results"`
-	Store       *storeAcceptance      `json:"store,omitempty"`
-	Notes       map[string]string     `json:"notes"`
+	Benchmark   string                 `json:"benchmark"`
+	Date        string                 `json:"date"`
+	Workload    string                 `json:"workload"`
+	Environment benchEnv               `json:"environment"`
+	Results     map[string]phaseStats  `json:"results"`
+	Store       *storeAcceptance       `json:"store,omitempty"`
+	Replication *replicationAcceptance `json:"replication,omitempty"`
+	Hedging     *hedgingAcceptance     `json:"hedging,omitempty"`
+	Eviction    *evictionAcceptance    `json:"eviction,omitempty"`
+	Notes       map[string]string      `json:"notes"`
+}
+
+// acceptances collects every gate verdict in the report; main exits
+// non-zero when any of them lacks a PASS.
+func (r *benchReport) acceptances() []string {
+	var out []string
+	if r.Store != nil {
+		out = append(out, r.Store.Acceptance)
+	}
+	if r.Replication != nil {
+		out = append(out, r.Replication.Acceptance)
+	}
+	if r.Hedging != nil {
+		out = append(out, r.Hedging.Acceptance)
+	}
+	if r.Eviction != nil {
+		out = append(out, r.Eviction.Acceptance)
+	}
+	return out
 }
 
 type benchEnv struct {
@@ -154,6 +198,40 @@ type storeAcceptance struct {
 	WarmMisses int64   `json:"warm_misses"`
 	HitRate    float64 `json:"hit_rate"`
 	Acceptance string  `json:"acceptance"`
+}
+
+// replicationAcceptance records the disk-loss recovery gate: a killed and
+// wiped worker must be covered by its replicas, not by recomputation.
+type replicationAcceptance struct {
+	Replicas    int     `json:"replicas"`
+	ReplPushed  int64   `json:"repl_pushed"`
+	ReadRepairs int64   `json:"read_repairs"`
+	Retries     int64   `json:"retries"`
+	Errors      int     `json:"errors"`
+	HitRate     float64 `json:"hit_rate"`
+	Acceptance  string  `json:"acceptance"`
+}
+
+// hedgingAcceptance compares the straggler fleet with hedging off vs on.
+type hedgingAcceptance struct {
+	P99OffMS        float64 `json:"p99_off_ms"`
+	P99OnMS         float64 `json:"p99_on_ms"`
+	Hedges          int64   `json:"hedges"`
+	HedgeWins       int64   `json:"hedge_wins"`
+	BackendReqsOff  int64   `json:"backend_requests_off"`
+	BackendReqsOn   int64   `json:"backend_requests_on"`
+	ExtraRequestPct float64 `json:"extra_request_pct"`
+	Acceptance      string  `json:"acceptance"`
+}
+
+// evictionAcceptance records the store-compaction probe.
+type evictionAcceptance struct {
+	MaxBytes     int64  `json:"max_bytes"`
+	DiskBytes    int64  `json:"disk_bytes"`
+	GCRuns       int64  `json:"gc_runs"`
+	EvictedFiles int64  `json:"evicted_files"`
+	EvictedBytes int64  `json:"evicted_bytes"`
+	Acceptance   string `json:"acceptance"`
 }
 
 // analyzeFn issues one request and reports the serving tier ("compute",
@@ -218,23 +296,34 @@ func runPhase(cfg loadConfig, programs []string, analyze analyzeFn) phaseStats {
 	return st
 }
 
+// fleetOpts tunes one self-hosted fleet generation beyond the base config.
+type fleetOpts struct {
+	hedge      bool
+	hedgeDelay time.Duration
+	straggler  time.Duration   // worker 0 sleeps this long before serving a program in slow
+	slow       map[string]bool // the programs worker 0 straggles on
+}
+
 // fleet is one self-hosted generation of workers plus the frontier routing
 // to them.
 type fleet struct {
 	front   *frontier.Frontier
 	engines []*pipeline.Engine
 	servers []*wire.Server
+	dirs    []string
+	addrs   []string
 	cancel  context.CancelFunc
 }
 
 // startFleet brings up cfg.Backends workers on loopback, each with a
-// persistent store under dir, and a frontier over them.
-func startFleet(cfg loadConfig, dir string) (*fleet, error) {
+// persistent store under dir and a replication push handler, and a
+// frontier over them.
+func startFleet(cfg loadConfig, dir string, opt fleetOpts) (*fleet, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	fl := &fleet{cancel: cancel}
-	var addrs, names []string
 	for i := 0; i < cfg.Backends; i++ {
-		st, err := store.Open(fmt.Sprintf("%s/w%d", dir, i), store.Options{
+		wdir := filepath.Join(dir, fmt.Sprintf("w%d", i))
+		st, err := store.Open(wdir, store.Options{
 			Schema: pipeline.ReportSchemaVersion,
 			NoSync: true, // benchmark: measure the serving path, not fsync
 		})
@@ -243,9 +332,20 @@ func startFleet(cfg loadConfig, dir string) (*fleet, error) {
 			return nil, err
 		}
 		eng := pipeline.New(pipeline.Config{Store: st})
-		srv := wire.NewServer(backend.Handler(eng), wire.ServerOptions{
-			Schema: pipeline.ReportSchemaVersion,
-			Name:   fmt.Sprintf("loadtest-w%d", i),
+		h := backend.Handler(eng)
+		if i == 0 && opt.straggler > 0 {
+			inner := h
+			h = func(ctx context.Context, item wire.Item) wire.Result {
+				if opt.slow[item.Program] {
+					time.Sleep(opt.straggler)
+				}
+				return inner(ctx, item)
+			}
+		}
+		srv := wire.NewServer(h, wire.ServerOptions{
+			Schema:   pipeline.ReportSchemaVersion,
+			Name:     fmt.Sprintf("loadtest-w%d", i),
+			StorePut: backend.StoreHandler(eng),
 		})
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -255,12 +355,23 @@ func startFleet(cfg loadConfig, dir string) (*fleet, error) {
 		go srv.Serve(l)
 		fl.engines = append(fl.engines, eng)
 		fl.servers = append(fl.servers, srv)
-		addrs = append(addrs, l.Addr().String())
-		names = append(names, fmt.Sprintf("w%d", i))
+		fl.dirs = append(fl.dirs, wdir)
+		fl.addrs = append(fl.addrs, l.Addr().String())
 	}
 	// Stable ring names: a restarted fleet comes back on fresh ephemeral
 	// ports, and each shard must keep routing to its own store directory.
-	fl.front = frontier.New(ctx, frontier.Config{Backends: addrs, Names: names, HealthInterval: time.Second})
+	names := make([]string, cfg.Backends)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	fl.front = frontier.New(ctx, frontier.Config{
+		Backends:       fl.addrs,
+		Names:          names,
+		Replicas:       cfg.Replicas,
+		Hedge:          opt.hedge,
+		HedgeDelay:     opt.hedgeDelay,
+		HealthInterval: 250 * time.Millisecond,
+	})
 	return fl, nil
 }
 
@@ -269,6 +380,38 @@ func (fl *fleet) stop() {
 		srv.Shutdown(context.Background())
 	}
 	fl.cancel()
+}
+
+// kill closes worker i's listener and deletes its store directory — the
+// disk-loss fault the replication acceptance must recover from.
+func (fl *fleet) kill(i int) error {
+	fl.servers[i].Close()
+	return os.RemoveAll(fl.dirs[i])
+}
+
+// busiest returns the index of the worker that served the most requests;
+// by pigeonhole it is the ring primary for at least 1/backends of the
+// keyspace, making it the worst-case victim for the disk-loss phase.
+func (fl *fleet) busiest() int {
+	best, most := 0, int64(-1)
+	for _, b := range fl.front.Stats().Backends {
+		for i, addr := range fl.addrs {
+			if b.Addr == addr && b.Requests > most {
+				most, best = b.Requests, i
+			}
+		}
+	}
+	return best
+}
+
+// backendRequests sums requests actually issued to workers — the budget
+// the hedging gate holds request amplification against.
+func (fl *fleet) backendRequests() int64 {
+	var total int64
+	for _, b := range fl.front.Stats().Backends {
+		total += b.Requests
+	}
+	return total
 }
 
 // storeCounts sums store hits/misses across the fleet's workers.
@@ -299,8 +442,8 @@ func (fl *fleet) analyzer(cfg loadConfig) analyzeFn {
 	}
 }
 
-// runSelfhost is the two-phase persistence benchmark described in the
-// package comment.
+// runSelfhost is the multi-phase persistence/replication benchmark
+// described in the package comment.
 func runSelfhost(cfg loadConfig) (*benchReport, error) {
 	dir := cfg.Dir
 	if dir == "" {
@@ -314,21 +457,33 @@ func runSelfhost(cfg loadConfig) (*benchReport, error) {
 	programs := makePrograms(cfg)
 
 	// Phase 1: cold fleet, empty stores.
-	fl, err := startFleet(cfg, dir)
+	fl, err := startFleet(cfg, dir, fleetOpts{})
 	if err != nil {
 		return nil, err
 	}
 	cold := runPhase(cfg, programs, fl.analyzer(cfg))
+	// Drain the replication queue before tearing the fleet down: the cold
+	// phase's compute-tier pushes are what the disk-loss phase later
+	// recovers from, and they are async.
+	if cfg.Replicas > 1 {
+		fctx, fcancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		err := fl.front.FlushReplication(fctx)
+		fcancel()
+		if err != nil {
+			fl.stop()
+			return nil, fmt.Errorf("cold-phase replication queue never drained: %w", err)
+		}
+	}
+	coldStats := fl.front.Stats()
 	fl.stop()
 
 	// Simulated fleet restart: fresh engines (empty LRUs), same store dirs.
-	fl2, err := startFleet(cfg, dir)
+	fl2, err := startFleet(cfg, dir, fleetOpts{})
 	if err != nil {
 		return nil, err
 	}
 	warm := runPhase(cfg, programs, fl2.analyzer(cfg))
 	hits, misses := fl2.storeCounts()
-	fl2.stop()
 
 	rep := newReport(cfg, "self-hosted frontier + workers over loopback TCP")
 	rep.Results["cold"] = cold
@@ -351,7 +506,218 @@ func runSelfhost(cfg loadConfig) (*benchReport, error) {
 	rep.Notes["cold"] = "fresh store directories; first touch of each program computes, repeat rounds hit the workers' report LRU"
 	rep.Notes["warm-after-restart"] = "same store directories behind brand-new engines: first touches must come off disk (tier \"store\"), repeat rounds off the LRU"
 	rep.Notes["store"] = "hits/misses are the workers' persistent-store counters during the warm phase only"
+
+	// Phase 3: disk loss. Drain the replication queue so every artifact is
+	// on its R owners, then kill the busiest worker AND wipe its store.
+	if cfg.Replicas > 1 && cfg.Backends >= 2 {
+		fctx, fcancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		err := fl2.front.FlushReplication(fctx)
+		fcancel()
+		if err != nil {
+			fl2.stop()
+			return nil, fmt.Errorf("replication queue never drained: %w", err)
+		}
+		if err := fl2.kill(fl2.busiest()); err != nil {
+			fl2.stop()
+			return nil, err
+		}
+		time.Sleep(500 * time.Millisecond) // let the health checker notice
+		loss := runPhase(cfg, programs, fl2.analyzer(cfg))
+		st := fl2.front.Stats()
+		rep.Results["disk-loss"] = loss
+		lossVerdict := "FAIL"
+		if loss.Errors == 0 && loss.CacheHitRate > 0.90 {
+			lossVerdict = "PASS"
+		}
+		rep.Replication = &replicationAcceptance{
+			Replicas:    cfg.Replicas,
+			ReplPushed:  coldStats.ReplPushed + st.ReplPushed,
+			ReadRepairs: st.ReadRepairs,
+			Retries:     st.Retries,
+			Errors:      loss.Errors,
+			HitRate:     loss.CacheHitRate,
+			Acceptance: fmt.Sprintf("worker killed + store dir deleted at R=%d: zero errors and > 90%% cache-tier responses: %s (errors=%d, rate=%.0f%%)",
+				cfg.Replicas, lossVerdict, loss.Errors, loss.CacheHitRate*100),
+		}
+		rep.Notes["disk-loss"] = "busiest worker killed and its store directory deleted mid-run: its keyspace must be served from the surviving replicas' stores, not recomputed"
+	} else {
+		rep.Notes["disk-loss"] = "skipped: needs -replicas > 1 and -backends >= 2"
+	}
+	fl2.stop()
+
+	// Phase 4: hedging A/B on a dedicated straggler fleet.
+	hedging, err := runHedgePhases(cfg, dir, rep.Results)
+	if err != nil {
+		return nil, err
+	}
+	rep.Hedging = hedging
+	rep.Notes["hedge-off"] = "two workers, worker 0 sleeps 300ms on a fixed slice of programs it owns; no hedging, stragglers land on clients"
+	rep.Notes["hedge-on"] = "same fleet and traffic with -hedge: after the hedge delay the frontier re-issues to the next replica and the first result wins"
+
+	// Store-compaction probe: the run's artifacts against a bounded store.
+	rep.Eviction, err = runEvictionProbe(cfg, filepath.Join(dir, "evict"), programs)
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes["eviction"] = "the run's artifacts written into a store bounded to half their total size: GC must evict by access time down to the bound"
 	return rep, nil
+}
+
+// runHedgePhases measures an identical straggler fleet with hedging off
+// and then on, over its own fixed 32-program workload. Worker 0 delays a
+// small slice of programs it actually owns — ring placement depends only
+// on the stable names w0/w1, identical across both fleets, so the slow
+// slice is the same slow traffic in both measurements.
+func runHedgePhases(cfg loadConfig, dir string, results map[string]phaseStats) (*hedgingAcceptance, error) {
+	const n = 48
+	programs := make([]string, n)
+	keys := make([]string, n)
+	for i := range programs {
+		programs[i] = workload.Mixed(8, 9000+int64(i)).String()
+		k, err := pipeline.ReportKey(programs[i], pipeline.Options{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	hcfg := cfg
+	hcfg.Backends = 2
+	hcfg.Replicas = 1
+	// One measured round: with repeat rounds a straggling request can still
+	// be in flight when its repeat arrives, and the singleflight dedups the
+	// repeat — deflating the hedge-off backend-request baseline.
+	hcfg.Rounds = 1
+	slow := map[string]bool{}
+
+	run := func(sub string, hedge bool) (phaseStats, frontier.Stats, int64, error) {
+		// Wide margins keep the A/B honest on loaded machines: a warm
+		// request never plausibly crosses the 50ms hedge delay (so only
+		// genuine stragglers hedge, protecting the request budget), and
+		// the hedge path wins against a 300ms sleep with room to spare.
+		opt := fleetOpts{straggler: 300 * time.Millisecond, slow: slow}
+		if hedge {
+			opt.hedge = true
+			opt.hedgeDelay = 50 * time.Millisecond
+		}
+		fl, err := startFleet(hcfg, filepath.Join(dir, sub), opt)
+		if err != nil {
+			return phaseStats{}, frontier.Stats{}, 0, err
+		}
+		defer fl.stop()
+		if len(slow) == 0 {
+			// First fleet: pick 4 straggler-owned programs to delay. The
+			// map is filled before any traffic flows, then only read.
+			for i, p := range programs {
+				if fl.front.Owner(keys[i]) == "w0" {
+					slow[p] = true
+					if len(slow) == 4 {
+						break
+					}
+				}
+			}
+			if len(slow) == 0 {
+				return phaseStats{}, frontier.Stats{}, 0, fmt.Errorf("hedge workload: straggler owns no programs")
+			}
+		}
+		// Prewarm: one unmeasured round fills every report LRU, so the
+		// measured rounds isolate the straggler's sleeps — a cold compute
+		// can exceed the hedge delay and would fire hedges of its own.
+		pw := hcfg
+		pw.Rounds = 1
+		runPhase(pw, programs, fl.analyzer(hcfg))
+		baseReqs := fl.backendRequests()
+		base := fl.front.Stats()
+		ph := runPhase(hcfg, programs, fl.analyzer(hcfg))
+		st := fl.front.Stats()
+		st.Hedges -= base.Hedges
+		st.HedgeWins -= base.HedgeWins
+		return ph, st, fl.backendRequests() - baseReqs, nil
+	}
+
+	off, _, reqsOff, err := run("hedge-off", false)
+	if err != nil {
+		return nil, err
+	}
+	on, stOn, reqsOn, err := run("hedge-on", true)
+	if err != nil {
+		return nil, err
+	}
+	results["hedge-off"] = off
+	results["hedge-on"] = on
+
+	extra := 0.0
+	if reqsOff > 0 {
+		extra = float64(reqsOn-reqsOff) / float64(reqsOff) * 100
+	}
+	verdict := "FAIL"
+	if on.P99MS < off.P99MS && extra <= 15 && off.Errors == 0 && on.Errors == 0 {
+		verdict = "PASS"
+	}
+	return &hedgingAcceptance{
+		P99OffMS:        off.P99MS,
+		P99OnMS:         on.P99MS,
+		Hedges:          stOn.Hedges,
+		HedgeWins:       stOn.HedgeWins,
+		BackendReqsOff:  reqsOff,
+		BackendReqsOn:   reqsOn,
+		ExtraRequestPct: round2(extra),
+		Acceptance: fmt.Sprintf("hedging cuts straggler p99 (%.2fms -> %.2fms) within a 15%% backend-request budget (+%.1f%%): %s",
+			off.P99MS, on.P99MS, extra, verdict),
+	}, nil
+}
+
+// runEvictionProbe computes the run's reports once, then writes them into
+// a store bounded to half their total size: the GC must kick in, evict
+// oldest-access-first, and leave the store at or under its bound.
+func runEvictionProbe(cfg loadConfig, dir string, programs []string) (*evictionAcceptance, error) {
+	eng := pipeline.New(pipeline.Config{})
+	type blob struct {
+		key string
+		raw []byte
+	}
+	var blobs []blob
+	var total int64
+	for _, p := range programs {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		rr, err := eng.AnalyzeReport(ctx, pipeline.Request{Source: p})
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("eviction probe: %w", err)
+		}
+		blobs = append(blobs, blob{key: rr.Key, raw: rr.Raw})
+		total += int64(len(rr.Raw))
+	}
+	maxBytes := total / 2
+	if maxBytes < 1024 {
+		maxBytes = 1024
+	}
+	st, err := store.Open(dir, store.Options{
+		Schema:   pipeline.ReportSchemaVersion,
+		NoSync:   true,
+		MaxBytes: maxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range blobs {
+		if err := st.Put(b.key, b.raw); err != nil {
+			return nil, err
+		}
+	}
+	stats := st.Stats()
+	verdict := "FAIL"
+	if stats.GCRuns > 0 && stats.EvictedFiles > 0 && stats.DiskBytes <= maxBytes {
+		verdict = "PASS"
+	}
+	return &evictionAcceptance{
+		MaxBytes:     maxBytes,
+		DiskBytes:    stats.DiskBytes,
+		GCRuns:       stats.GCRuns,
+		EvictedFiles: stats.EvictedFiles,
+		EvictedBytes: stats.EvictedBytes,
+		Acceptance: fmt.Sprintf("store GC evicts under a %d-byte bound (runs=%d evicted=%d, %d bytes on disk): %s",
+			maxBytes, stats.GCRuns, stats.EvictedFiles, stats.DiskBytes, verdict),
+	}, nil
 }
 
 // runExternal drives a running dfg-serve frontier over HTTP (single
@@ -416,7 +782,7 @@ func newReport(cfg loadConfig, mode string) *benchReport {
 			cfg.Programs, cfg.Size, cfg.Rounds, cfg.Concurrency, mode),
 		Environment: benchEnv{
 			Info: envinfo.Collect(),
-			Note: fmt.Sprintf("%d worker backend(s), stores opened NoSync for benchmarking", cfg.Backends),
+			Note: fmt.Sprintf("%d worker backend(s) at replication factor %d, stores opened NoSync for benchmarking", cfg.Backends, cfg.Replicas),
 		},
 		Results: map[string]phaseStats{},
 		Notes:   map[string]string{},

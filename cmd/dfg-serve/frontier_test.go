@@ -50,7 +50,11 @@ func startTestWorker(t *testing.T, dir string, slowdown time.Duration) *testWork
 			return inner(ctx, item)
 		}
 	}
-	srv := wire.NewServer(h, wire.ServerOptions{Schema: pipeline.ReportSchemaVersion, Name: "test-worker"})
+	srv := wire.NewServer(h, wire.ServerOptions{
+		Schema:   pipeline.ReportSchemaVersion,
+		Name:     "test-worker",
+		StorePut: backend.StoreHandler(eng),
+	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

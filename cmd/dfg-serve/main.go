@@ -18,17 +18,23 @@
 //
 // Endpoints:
 //
-//	POST /analyze        {"program": "...", "stages": ["cfg","constprop"],
-//	                      "predicates": false, "dot": ["cfg"]}
-//	POST /analyze/batch  {"requests": [<analyze bodies>]}
-//	GET  /healthz        liveness probe
-//	GET  /statsz         per-stage, cache, store, and routing counters
-//	GET  /debug/vars     expvar ("pipeline", plus "frontier" when sharded)
+//	POST /analyze         {"program": "...", "stages": ["cfg","constprop"],
+//	                       "predicates": false, "dot": ["cfg"]}
+//	POST /analyze/batch   {"requests": [<analyze bodies>]}
+//	GET  /healthz         liveness probe
+//	GET  /statsz          per-stage, cache, store, and routing counters
+//	GET  /debug/vars      expvar ("pipeline", plus "frontier" when sharded)
+//	GET  /admin/backends  current backend set (frontier mode only)
+//	POST /admin/backends  {"action":"add","name":"w4","addr":"host:port"} or
+//	                      {"action":"remove","name":"w4"} — hot ring rebalance
 //
 // Flags:
 //
 //	-addr             listen address (default :8344)
 //	-backends         comma-separated dfg-worker addresses, each "addr" or "name=addr" (empty = in-process)
+//	-replicas         artifact replication factor R across backend stores (default 1 = off)
+//	-hedge            hedge straggling requests against the next replica (default off)
+//	-hedge-delay      pin the hedge delay (default 0 = adaptive, derived from observed p99)
 //	-store            artifact store dir for in-process mode (empty = memory only)
 //	-workers          engine worker-pool size (default GOMAXPROCS)
 //	-cache            stage-artifact cache capacity (default 1024)
@@ -67,6 +73,9 @@ var (
 	flagTimeout  = flag.Duration("timeout", 10*time.Second, "per-request analysis timeout")
 	flagMaxBody  = flag.Int64("maxbody", 4<<20, "POST /analyze body limit in bytes")
 	flagHealth   = flag.Duration("health-interval", 2*time.Second, "backend health-check cadence")
+	flagReplicas = flag.Int("replicas", 1, "artifact replication factor across backend stores (1 = off)")
+	flagHedge    = flag.Bool("hedge", false, "hedge straggling requests against the next replica")
+	flagHedgeDur = flag.Duration("hedge-delay", 0, "pinned hedge delay (0 = adaptive p99-derived)")
 	flagPprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 )
 
@@ -112,8 +121,12 @@ func main() {
 			Backends:       addrs,
 			Names:          names,
 			HealthInterval: *flagHealth,
+			Replicas:       *flagReplicas,
+			Hedge:          *flagHedge,
+			HedgeDelay:     *flagHedgeDur,
 		})
-		log.Printf("dfg-serve: frontier mode, %d backend(s): %s", len(addrs), *flagBackends)
+		log.Printf("dfg-serve: frontier mode, %d backend(s), replicas=%d hedge=%v: %s",
+			len(addrs), *flagReplicas, *flagHedge, *flagBackends)
 	}
 
 	mux := newMux(eng, serverOptions{Frontier: front, MaxBody: *flagMaxBody, Timeout: *flagTimeout})

@@ -115,6 +115,10 @@ func newMux(eng *pipeline.Engine, opts serverOptions) *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.front != nil {
+		mux.HandleFunc("GET /admin/backends", s.handleBackendsGet)
+		mux.HandleFunc("POST /admin/backends", s.handleBackendsPost)
+	}
 	return mux
 }
 
@@ -415,6 +419,49 @@ func (s *server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, batchResponse{OK: true, Results: results})
+}
+
+// adminBackendRequest is the POST /admin/backends body: hot-add or
+// hot-remove one backend in the frontier's consistent-hash ring. Names are
+// the stable ring identity, so a rebalance moves only the keyspace slices
+// adjacent to the changed backend.
+type adminBackendRequest struct {
+	Action string `json:"action"` // "add" or "remove"
+	Name   string `json:"name"`
+	Addr   string `json:"addr,omitempty"` // required for add
+}
+
+// adminBackendResponse answers both admin verbs with the post-change set.
+type adminBackendResponse struct {
+	OK       bool                    `json:"ok"`
+	Backends []frontier.BackendStats `json:"backends"`
+	Error    string                  `json:"error,omitempty"`
+}
+
+func (s *server) handleBackendsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, adminBackendResponse{OK: true, Backends: s.front.Stats().Backends})
+}
+
+func (s *server) handleBackendsPost(w http.ResponseWriter, r *http.Request) {
+	var req adminBackendRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		return
+	}
+	var err error
+	switch req.Action {
+	case "add":
+		err = s.front.AddBackend(req.Name, req.Addr)
+	case "remove":
+		err = s.front.RemoveBackend(req.Name)
+	default:
+		writeJSON(w, http.StatusBadRequest, adminBackendResponse{Error: fmt.Sprintf("unknown action %q (want add or remove)", req.Action)})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusConflict, adminBackendResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, adminBackendResponse{OK: true, Backends: s.front.Stats().Backends})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -10,9 +10,11 @@
 //
 // Flags:
 //
-//	-addr     listen address (default :8451)
-//	-store    artifact store directory (default dfg-store; empty disables
-//	          persistence, leaving only the in-memory caches)
+//	-addr             listen address (default :8451)
+//	-store            artifact store directory (default dfg-store; empty
+//	                  disables persistence, leaving only in-memory caches)
+//	-store-max-bytes  store size bound; eviction compacts by access time
+//	                  when exceeded (default 0 = unbounded)
 //	-workers  per-batch item concurrency and engine pool size (default GOMAXPROCS)
 //	-cache    stage-artifact LRU capacity (default 1024)
 //	-reports  report LRU capacity in front of the store (default 512)
@@ -42,8 +44,9 @@ import (
 )
 
 var (
-	flagAddr    = flag.String("addr", ":8451", "listen address")
-	flagStore   = flag.String("store", "dfg-store", "artifact store directory (empty = no persistence)")
+	flagAddr     = flag.String("addr", ":8451", "listen address")
+	flagStore    = flag.String("store", "dfg-store", "artifact store directory (empty = no persistence)")
+	flagStoreMax = flag.Int64("store-max-bytes", 0, "artifact store size bound in bytes (0 = unbounded)")
 	flagWorkers = flag.Int("workers", 0, "per-batch item concurrency (0 = GOMAXPROCS)")
 	flagCache   = flag.Int("cache", 1024, "stage-artifact cache capacity")
 	flagReports = flag.Int("reports", 512, "report cache capacity (in front of the store)")
@@ -62,8 +65,9 @@ func main() {
 	if *flagStore != "" {
 		var err error
 		st, err = store.Open(*flagStore, store.Options{
-			Schema: pipeline.ReportSchemaVersion,
-			NoSync: *flagNoSync,
+			Schema:   pipeline.ReportSchemaVersion,
+			NoSync:   *flagNoSync,
+			MaxBytes: *flagStoreMax,
 		})
 		if err != nil {
 			log.Fatalf("dfg-worker: %v", err)
@@ -79,9 +83,10 @@ func main() {
 	eng.PublishExpvar("pipeline")
 
 	srv := wire.NewServer(backend.Handler(eng), wire.ServerOptions{
-		Schema:  pipeline.ReportSchemaVersion,
-		Workers: workers,
-		Name:    "dfg-worker",
+		Schema:   pipeline.ReportSchemaVersion,
+		Workers:  workers,
+		Name:     "dfg-worker",
+		StorePut: backend.StoreHandler(eng),
 	})
 	l, err := net.Listen("tcp", *flagAddr)
 	if err != nil {

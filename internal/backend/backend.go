@@ -51,6 +51,17 @@ func Handler(eng *pipeline.Engine) wire.Handler {
 	}
 }
 
+// StoreHandler adapts eng into a wire ServerOptions.StorePut hook: pushed
+// artifacts land in the engine's report caches verbatim. Returns nil when
+// the engine has no persistent store — the wire server then acks pushes
+// with OK=false instead of pretending to replicate into RAM only.
+func StoreHandler(eng *pipeline.Engine) func(key string, payload []byte) error {
+	if eng.ArtifactStore() == nil {
+		return nil
+	}
+	return eng.ImportReport
+}
+
 // toRequest validates and converts a wire Item into a pipeline Request.
 func toRequest(item wire.Item) (pipeline.Request, error) {
 	stages := make([]pipeline.Stage, 0, len(item.Stages))

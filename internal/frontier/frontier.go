@@ -6,6 +6,23 @@
 // failed backend is retried transparently on the next replica in ring
 // order. dfg-serve uses it when configured with -backends; dfg-loadtest
 // uses it to self-host a sharded deployment in-process.
+//
+// Beyond routing, the frontier is the durability and tail-latency layer:
+//
+//   - Replication (Config.Replicas > 1): every artifact computed by a
+//     backend is pushed asynchronously (wire StorePut, proto >= 2) into the
+//     stores of the key's other ring owners, so a worker that loses its
+//     disk is covered by replicas that already hold its keyspace. When a
+//     read is served off-primary (failover), the bytes are pushed back to
+//     the owners that should have had them — read repair.
+//   - Hedging (Config.Hedge): a request that outlives the observed p99
+//     latency is re-issued to the key's next replica; the first result
+//     wins and the loser is cancelled, never double-counted. Hedge-safe
+//     cancellation in the wire client guarantees the loser's connection is
+//     discarded rather than reused mid-batch.
+//   - Hot add/remove: AddBackend/RemoveBackend swap in a rebuilt ring at
+//     runtime; identities are stable names, so rebalancing moves only the
+//     keyspace slices adjacent to the changed backend.
 package frontier
 
 import (
@@ -32,10 +49,30 @@ type Config struct {
 	// hitting its own store. Empty means the addresses are the names.
 	Names []string
 
+	// Replicas is the artifact replication factor R: every computed
+	// artifact is pushed to the key's first R ring owners. <=1 disables
+	// replication (the pre-replication behavior).
+	Replicas int
+
+	// Hedge enables tail-latency hedging: a request still unanswered after
+	// the hedge delay is raced against the key's next replica.
+	Hedge bool
+	// HedgeDelay pins the hedge delay. Zero derives it adaptively from the
+	// observed p99 of recent successful requests (the production default;
+	// tests pin a fixed delay for determinism).
+	HedgeDelay time.Duration
+
 	Vnodes         int           // ring virtual nodes per backend; <=0 means 64
 	DialTimeout    time.Duration // per-backend connection + handshake budget; <=0 means 2s
 	HealthInterval time.Duration // background ping cadence; <=0 means 2s
 	PoolSize       int           // idle wire connections kept per backend; <=0 means 8
+	// MaxConns bounds *total* outstanding connections per backend
+	// (checked out + idle). <=0 means 2×PoolSize.
+	MaxConns int
+
+	// Dialer overrides connection establishment (tests count dials or
+	// inject failures). nil means wire.Dial with the pipeline schema.
+	Dialer func(addr string) (*wire.Client, error)
 }
 
 func (c *Config) defaults() {
@@ -51,11 +88,18 @@ func (c *Config) defaults() {
 	if c.PoolSize <= 0 {
 		c.PoolSize = 8
 	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 2 * c.PoolSize
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
 }
 
 // backendRec is one configured worker: its connection pool, health bit, and
 // counters (exported via /statsz and expvar).
 type backendRec struct {
+	name    string
 	addr    string
 	pool    *clientPool
 	healthy atomic.Bool
@@ -63,17 +107,13 @@ type backendRec struct {
 	errs    atomic.Int64 // transport/protocol failures
 }
 
-// frontier routes items across the configured backends.
-type Frontier struct {
-	cfg      Config
+// routeTable is an immutable routing snapshot: the backend set and the
+// consistent-hash ring over their names. Mutations (AddBackend,
+// RemoveBackend) build a new table and swap the pointer, so readers never
+// lock.
+type routeTable struct {
 	backends []*backendRec
 	ring     []ringEntry // sorted by hash
-	sf       flightGroup
-
-	retries   atomic.Int64 // failovers to a further replica
-	dedups    atomic.Int64 // singleflight coalesced requests
-	routedOK  atomic.Int64
-	routedErr atomic.Int64 // items that exhausted every replica
 }
 
 type ringEntry struct {
@@ -81,26 +121,148 @@ type ringEntry struct {
 	idx  int // index into backends
 }
 
-// New builds the routing state and starts the health checker, which
-// runs until ctx is cancelled.
+// pushTask is one queued replication (or read-repair) push.
+type pushTask struct {
+	key     string
+	payload []byte
+	targets []*backendRec
+}
+
+const (
+	replQueueDepth  = 256 // queued pushes before new ones are dropped
+	replPushWorkers = 2
+	latWindow       = 512 // recent-latency samples kept for p99 derivation
+	minHedgeSamples = 32  // no adaptive hedging until this many observations
+)
+
+// Frontier routes items across the configured backends.
+type Frontier struct {
+	cfg Config
+	sf  flightGroup
+	lat latencyRing
+
+	tableMu sync.Mutex // serializes table mutations
+	tbl     atomic.Pointer[routeTable]
+
+	pushCh       chan pushTask
+	pushMu       sync.Mutex
+	pushInflight map[string]bool
+	pushPending  atomic.Int64
+
+	retries       atomic.Int64 // failovers to a further replica
+	dedups        atomic.Int64 // singleflight coalesced requests
+	routedOK      atomic.Int64
+	routedErr     atomic.Int64 // items that exhausted every replica
+	hedges        atomic.Int64 // hedge requests launched
+	hedgeWins     atomic.Int64 // hedges that beat the primary
+	sharedRetries atomic.Int64 // singleflight followers retrying a leader's error
+	replPushed    atomic.Int64 // replication pushes enqueued
+	replErrors    atomic.Int64 // pushes that failed (target down, store refused)
+	replDropped   atomic.Int64 // pushes dropped because the queue was full
+	readRepairs   atomic.Int64 // repair pushes after an off-primary read
+}
+
+// New builds the routing state and starts the health checker and
+// replication workers, which run until ctx is cancelled.
 func New(ctx context.Context, cfg Config) *Frontier {
 	cfg.defaults()
-	f := &Frontier{cfg: cfg}
+	f := &Frontier{
+		cfg:          cfg,
+		pushCh:       make(chan pushTask, replQueueDepth),
+		pushInflight: make(map[string]bool),
+	}
+	recs := make([]*backendRec, 0, len(cfg.Backends))
 	for i, addr := range cfg.Backends {
-		rec := &backendRec{addr: addr, pool: newClientPool(addr, cfg.DialTimeout, cfg.PoolSize)}
-		rec.healthy.Store(true) // optimistic; the first failure or ping corrects it
-		f.backends = append(f.backends, rec)
 		name := addr
 		if i < len(cfg.Names) && cfg.Names[i] != "" {
 			name = cfg.Names[i]
 		}
-		for v := 0; v < cfg.Vnodes; v++ {
-			f.ring = append(f.ring, ringEntry{hash: hash64(fmt.Sprintf("%s#%d", name, v)), idx: i})
+		recs = append(recs, f.newBackend(name, addr))
+	}
+	f.tbl.Store(buildTable(recs, cfg.Vnodes))
+	go f.healthLoop(ctx)
+	if cfg.Replicas > 1 {
+		for i := 0; i < replPushWorkers; i++ {
+			go f.pushLoop(ctx)
 		}
 	}
-	sort.Slice(f.ring, func(a, b int) bool { return f.ring[a].hash < f.ring[b].hash })
-	go f.healthLoop(ctx)
 	return f
+}
+
+func (f *Frontier) newBackend(name, addr string) *backendRec {
+	dial := f.cfg.Dialer
+	if dial == nil {
+		dial = func(a string) (*wire.Client, error) {
+			return wire.Dial(a, wire.ClientOptions{
+				Schema:      pipeline.ReportSchemaVersion,
+				DialTimeout: f.cfg.DialTimeout,
+			})
+		}
+	}
+	rec := &backendRec{
+		name: name,
+		addr: addr,
+		pool: newClientPool(addr, dial, f.cfg.PoolSize, f.cfg.MaxConns),
+	}
+	rec.healthy.Store(true) // optimistic; the first failure or ping corrects it
+	return rec
+}
+
+func buildTable(recs []*backendRec, vnodes int) *routeTable {
+	t := &routeTable{backends: recs}
+	for i, rec := range recs {
+		for v := 0; v < vnodes; v++ {
+			t.ring = append(t.ring, ringEntry{hash: hash64(fmt.Sprintf("%s#%d", rec.name, v)), idx: i})
+		}
+	}
+	sort.Slice(t.ring, func(a, b int) bool { return t.ring[a].hash < t.ring[b].hash })
+	return t
+}
+
+func (f *Frontier) table() *routeTable { return f.tbl.Load() }
+
+// AddBackend joins a new worker to the ring under a stable name. The swap
+// is atomic: requests in flight finish on the old table, new requests see
+// the rebalanced ring. Only the keyspace slices adjacent to the new
+// backend's vnodes move.
+func (f *Frontier) AddBackend(name, addr string) error {
+	if name == "" || addr == "" {
+		return fmt.Errorf("frontier: backend name and addr are required")
+	}
+	f.tableMu.Lock()
+	defer f.tableMu.Unlock()
+	old := f.table()
+	for _, b := range old.backends {
+		if b.name == name {
+			return fmt.Errorf("frontier: backend %q already present", name)
+		}
+	}
+	recs := append(append([]*backendRec(nil), old.backends...), f.newBackend(name, addr))
+	f.tbl.Store(buildTable(recs, f.cfg.Vnodes))
+	return nil
+}
+
+// RemoveBackend drains a worker out of the ring by name and closes its
+// connection pool. Requests that raced the removal fail over normally.
+func (f *Frontier) RemoveBackend(name string) error {
+	f.tableMu.Lock()
+	defer f.tableMu.Unlock()
+	old := f.table()
+	var removed *backendRec
+	recs := make([]*backendRec, 0, len(old.backends))
+	for _, b := range old.backends {
+		if b.name == name {
+			removed = b
+			continue
+		}
+		recs = append(recs, b)
+	}
+	if removed == nil {
+		return fmt.Errorf("frontier: no backend named %q", name)
+	}
+	f.tbl.Store(buildTable(recs, f.cfg.Vnodes))
+	removed.pool.closeAll()
+	return nil
 }
 
 func hash64(s string) uint64 {
@@ -109,25 +271,36 @@ func hash64(s string) uint64 {
 	return h.Sum64()
 }
 
-// order returns the backends to try for key, most-preferred first: walk the
-// ring clockwise from the key's hash collecting distinct backends, then
-// stable-partition healthy ones to the front (unhealthy replicas stay as a
-// last resort — a dead health probe must not black-hole the keyspace).
-func (f *Frontier) order(key string) []*backendRec {
-	if len(f.backends) == 0 {
+// replicaSet returns the key's first r distinct ring owners, clockwise from
+// the key's hash. Ownership ignores health — it defines where artifacts
+// *belong*, which must be stable while a backend flaps.
+func (t *routeTable) replicaSet(key string, r int) []*backendRec {
+	if len(t.backends) == 0 || r <= 0 {
 		return nil
 	}
+	if r > len(t.backends) {
+		r = len(t.backends)
+	}
 	h := hash64(key)
-	start := sort.Search(len(f.ring), func(i int) bool { return f.ring[i].hash >= h })
-	seen := make(map[int]bool, len(f.backends))
-	ordered := make([]*backendRec, 0, len(f.backends))
-	for i := 0; len(ordered) < len(f.backends) && i < len(f.ring); i++ {
-		e := f.ring[(start+i)%len(f.ring)]
+	start := sort.Search(len(t.ring), func(i int) bool { return t.ring[i].hash >= h })
+	seen := make(map[int]bool, r)
+	out := make([]*backendRec, 0, r)
+	for i := 0; len(out) < r && i < len(t.ring); i++ {
+		e := t.ring[(start+i)%len(t.ring)]
 		if !seen[e.idx] {
 			seen[e.idx] = true
-			ordered = append(ordered, f.backends[e.idx])
+			out = append(out, t.backends[e.idx])
 		}
 	}
+	return out
+}
+
+// order returns the backends to try for key, most-preferred first: the full
+// ring order with healthy backends stable-partitioned to the front
+// (unhealthy replicas stay as a last resort — a dead health probe must not
+// black-hole the keyspace).
+func (t *routeTable) order(key string) []*backendRec {
+	ordered := t.replicaSet(key, len(t.backends))
 	healthy := make([]*backendRec, 0, len(ordered))
 	var down []*backendRec
 	for _, b := range ordered {
@@ -140,6 +313,23 @@ func (f *Frontier) order(key string) []*backendRec {
 	return append(healthy, down...)
 }
 
+// order returns the current table's failover order for key (see
+// routeTable.order).
+func (f *Frontier) order(key string) []*backendRec { return f.table().order(key) }
+
+// Owner reports the name of the backend holding key's primary replica —
+// the first ring successor, ignoring health (ownership must stay stable
+// while a backend flaps). Empty when the ring is empty. Ownership depends
+// only on the stable backend names and the ring geometry, so ops tooling
+// and tests can predict placement without issuing traffic.
+func (f *Frontier) Owner(key string) string {
+	owners := f.table().replicaSet(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0].name
+}
+
 // Analyze routes one item, deduplicating identical in-flight requests and
 // failing over across replicas. The returned Result may still carry
 // OK=false for program-level failures (parse errors and the like), which
@@ -150,42 +340,153 @@ func (f *Frontier) Analyze(ctx context.Context, key string, item wire.Item) (wir
 	})
 	if shared {
 		f.dedups.Add(1)
+		if err != nil && ctx.Err() == nil {
+			// The leader's error was *its* connection's fate, not ours: a
+			// worker killed mid-flight fails the leader, but the artifact
+			// is still computable. Retry once outside the group so one dead
+			// connection doesn't amplify into N client-visible errors.
+			f.sharedRetries.Add(1)
+			res, err = f.route(ctx, key, item)
+		}
 	}
 	return res, err
 }
 
-// route tries each replica in ring order until one answers.
+// route tries the key's replicas until one answers, hedging the first
+// attempt against the second replica when hedging is armed.
 func (f *Frontier) route(ctx context.Context, key string, item wire.Item) (wire.Result, error) {
-	order := f.order(key)
+	order := f.table().order(key)
 	if len(order) == 0 {
 		return wire.Result{}, fmt.Errorf("no backends configured")
 	}
-	var lastErr error
-	for attempt, b := range order {
+	if delay := f.hedgeDelay(); delay > 0 && len(order) > 1 {
+		return f.routeHedged(ctx, key, item, order, delay)
+	}
+	return f.routeSequential(ctx, key, item, order, 0, nil)
+}
+
+// routeSequential is the plain failover walk. attempted counts prior
+// attempts (from a hedged prefix) so the retry counter stays accurate.
+func (f *Frontier) routeSequential(ctx context.Context, key string, item wire.Item, order []*backendRec, attempted int, lastErr error) (wire.Result, error) {
+	for _, b := range order {
 		if err := ctx.Err(); err != nil {
 			return wire.Result{}, err
 		}
-		if attempt > 0 {
+		if attempted > 0 {
 			f.retries.Add(1)
 		}
+		attempted++
 		res, err := f.tryBackend(ctx, b, item)
 		if err == nil {
 			f.routedOK.Add(1)
+			f.maybeReplicate(key, b, res)
 			return res, nil
 		}
 		lastErr = err
 	}
 	f.routedErr.Add(1)
-	return wire.Result{}, fmt.Errorf("all %d backend(s) failed: %w", len(order), lastErr)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no backends configured")
+	}
+	return wire.Result{}, fmt.Errorf("all %d backend attempt(s) failed: %w", attempted, lastErr)
+}
+
+// routeHedged races the key's first two replicas: the primary is launched
+// immediately, the secondary after delay (or at once if the primary fails
+// outright). First success wins; the loser's context is cancelled, which
+// interrupts its read and discards its connection — the loser is never
+// double-counted as a served request. If both fail, the walk continues
+// sequentially over the remaining replicas.
+func (f *Frontier) routeHedged(ctx context.Context, key string, item wire.Item, order []*backendRec, delay time.Duration) (wire.Result, error) {
+	type attempt struct {
+		res wire.Result
+		err error
+		idx int
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan attempt, 2)
+	launch := func(i int) {
+		go func() {
+			res, err := f.tryBackend(rctx, order[i], item)
+			ch <- attempt{res: res, err: err, idx: i}
+		}()
+	}
+	launch(0)
+	launched, finished := 1, 0
+	hedged := false
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				hedged = true
+				f.hedges.Add(1)
+				launch(1)
+				launched = 2
+			}
+		case a := <-ch:
+			finished++
+			if a.err == nil {
+				cancel() // release the loser immediately; its connection is discarded
+				if hedged && a.idx == 1 {
+					f.hedgeWins.Add(1)
+				}
+				f.routedOK.Add(1)
+				f.maybeReplicate(key, order[a.idx], a.res)
+				return a.res, nil
+			}
+			lastErr = a.err
+			if launched == 1 {
+				// The primary failed before the hedge timer: this is plain
+				// failover, not a hedge.
+				f.retries.Add(1)
+				launch(1)
+				launched = 2
+			} else if finished == 2 {
+				return f.routeSequential(ctx, key, item, order[2:], 2, lastErr)
+			}
+		case <-ctx.Done():
+			return wire.Result{}, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay returns the armed hedge delay, or 0 when hedging should not
+// fire (disabled, or not enough latency samples yet for the adaptive p99).
+func (f *Frontier) hedgeDelay() time.Duration {
+	if !f.cfg.Hedge {
+		return 0
+	}
+	if f.cfg.HedgeDelay > 0 {
+		return f.cfg.HedgeDelay
+	}
+	d := f.lat.p99()
+	if d <= 0 {
+		return 0
+	}
+	// Floor keeps in-memory-cache-hit latencies (microseconds) from turning
+	// every compute request into a hedge.
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // tryBackend runs a one-item batch on b, managing its pool and health bit.
+// A failure caused by our own context (hedge loser cancelled, caller gone)
+// does not penalize the backend's health or error counters.
 func (f *Frontier) tryBackend(ctx context.Context, b *backendRec, item wire.Item) (wire.Result, error) {
 	b.reqs.Add(1)
-	c, err := b.pool.get()
+	start := time.Now()
+	c, err := b.pool.get(ctx)
 	if err != nil {
-		b.errs.Add(1)
-		b.healthy.Store(false)
+		if ctx.Err() == nil {
+			b.errs.Add(1)
+			b.healthy.Store(false)
+		}
 		return wire.Result{}, err
 	}
 	var res wire.Result
@@ -197,15 +498,133 @@ func (f *Frontier) tryBackend(ctx context.Context, b *backendRec, item wire.Item
 	})
 	b.pool.put(c)
 	if err != nil || !got {
-		b.errs.Add(1)
-		b.healthy.Store(false)
 		if err == nil {
 			err = fmt.Errorf("backend %s: batch completed without a result", b.addr)
+		}
+		if ctx.Err() == nil {
+			b.errs.Add(1)
+			b.healthy.Store(false)
 		}
 		return wire.Result{}, err
 	}
 	b.healthy.Store(true)
+	f.lat.observe(time.Since(start))
 	return res, nil
+}
+
+// maybeReplicate decides whether a served result should be pushed into
+// other owners' stores, and enqueues the push. Compute-tier results are the
+// replication path: the artifact exists on exactly one disk until it is
+// pushed. Off-primary reads (a failover or hedge served by a backend that
+// is not the key's first owner) are the read-repair path: the owners ahead
+// of the server were missing or down, so they get the bytes re-pushed —
+// which is what refills a worker whose disk was wiped.
+func (f *Frontier) maybeReplicate(key string, served *backendRec, res wire.Result) {
+	if f.cfg.Replicas <= 1 || !res.OK || res.Key == "" || len(res.Report) == 0 {
+		return
+	}
+	owners := f.table().replicaSet(key, f.cfg.Replicas)
+	targets := make([]*backendRec, 0, len(owners))
+	servedIsPrimary := false
+	for i, b := range owners {
+		if b == served {
+			servedIsPrimary = i == 0
+			continue
+		}
+		targets = append(targets, b)
+	}
+	switch {
+	case res.Tier == "compute":
+		f.enqueuePush(res.Key, res.Report, targets, &f.replPushed)
+	case !servedIsPrimary:
+		f.enqueuePush(res.Key, res.Report, targets, &f.readRepairs)
+	}
+}
+
+// enqueuePush hands a push to the replication workers without blocking the
+// serving path: a full queue drops the push (the artifact still exists
+// where it was computed; the next read-repair gets another chance).
+// In-flight keys are deduplicated so a hot key does not flood the queue.
+func (f *Frontier) enqueuePush(key string, payload []byte, targets []*backendRec, counter *atomic.Int64) {
+	if len(targets) == 0 {
+		return
+	}
+	f.pushMu.Lock()
+	if f.pushInflight[key] {
+		f.pushMu.Unlock()
+		return
+	}
+	f.pushInflight[key] = true
+	f.pushMu.Unlock()
+	f.pushPending.Add(1)
+	select {
+	case f.pushCh <- pushTask{key: key, payload: payload, targets: targets}:
+		counter.Add(1)
+	default:
+		f.replDropped.Add(1)
+		f.pushPending.Add(-1)
+		f.clearInflight(key)
+	}
+}
+
+func (f *Frontier) clearInflight(key string) {
+	f.pushMu.Lock()
+	delete(f.pushInflight, key)
+	f.pushMu.Unlock()
+}
+
+// pushLoop drains the replication queue until ctx is cancelled.
+func (f *Frontier) pushLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-f.pushCh:
+			for _, b := range t.targets {
+				f.pushOne(ctx, b, t.key, t.payload)
+			}
+			f.clearInflight(t.key)
+			f.pushPending.Add(-1)
+		}
+	}
+}
+
+// pushOne delivers one StorePut. A v1 backend on the negotiated connection
+// silently skips the push (replication coverage degrades, correctness does
+// not). Push failures never mark the backend unhealthy: the analysis path's
+// own traffic is the health signal.
+func (f *Frontier) pushOne(ctx context.Context, b *backendRec, key string, payload []byte) {
+	pctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	c, err := b.pool.get(pctx)
+	if err != nil {
+		f.replErrors.Add(1)
+		return
+	}
+	if c.Ack().Proto < 2 {
+		b.pool.put(c)
+		return
+	}
+	if err := c.StorePut(pctx, key, payload); err != nil {
+		f.replErrors.Add(1)
+	}
+	b.pool.put(c)
+}
+
+// FlushReplication blocks until every enqueued push has been attempted
+// (tests use it to make replication deterministic before asserting on
+// replica stores).
+func (f *Frontier) FlushReplication(ctx context.Context) error {
+	for {
+		if f.pushPending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // AnalyzeBatch routes a multi-item batch: items are grouped by their
@@ -217,9 +636,10 @@ func (f *Frontier) AnalyzeBatch(ctx context.Context, keys []string, items []wire
 	out := make([]wire.Result, len(items))
 	failed := make([]bool, len(items))
 
+	rt := f.table()
 	groups := map[*backendRec][]int{}
 	for i, key := range keys {
-		order := f.order(key)
+		order := rt.order(key)
 		if len(order) == 0 {
 			out[i] = wire.Result{OK: false, Error: "no backends configured"}
 			continue
@@ -238,21 +658,25 @@ func (f *Frontier) AnalyzeBatch(ctx context.Context, keys []string, items []wire
 				sub[j] = items[i]
 			}
 			b.reqs.Add(int64(len(idxs)))
-			c, err := b.pool.get()
+			c, err := b.pool.get(ctx)
 			if err == nil {
 				err = c.AnalyzeBatch(ctx, sub, func(r wire.Result) {
 					if r.Index < 0 || r.Index >= len(idxs) {
 						return
 					}
+					i := idxs[r.Index]
 					mu.Lock()
-					out[idxs[r.Index]] = r
+					out[i] = r
 					mu.Unlock()
+					f.maybeReplicate(keys[i], b, r)
 				})
 				b.pool.put(c)
 			}
 			if err != nil {
-				b.errs.Add(int64(len(idxs)))
-				b.healthy.Store(false)
+				if ctx.Err() == nil {
+					b.errs.Add(int64(len(idxs)))
+					b.healthy.Store(false)
+				}
 				mu.Lock()
 				for _, i := range idxs {
 					if !out[i].OK && out[i].Error == "" {
@@ -294,7 +718,7 @@ func (f *Frontier) healthLoop(ctx context.Context) {
 			return
 		case <-t.C:
 		}
-		for _, b := range f.backends {
+		for _, b := range f.table().backends {
 			pctx, cancel := context.WithTimeout(ctx, f.cfg.DialTimeout)
 			err := b.ping(pctx)
 			cancel()
@@ -304,73 +728,166 @@ func (f *Frontier) healthLoop(ctx context.Context) {
 }
 
 func (f *Frontier) closePools() {
-	for _, b := range f.backends {
+	for _, b := range f.table().backends {
 		b.pool.closeAll()
 	}
 }
 
-// ping checks liveness over a pooled connection.
+// ping checks liveness over a pooled connection. A probe cut short by its
+// own context — the pool saturated by real traffic, or the round-trip
+// outliving the probe budget on a starved host — is inconclusive, not
+// evidence of death: reporting healthy avoids flapping every backend at
+// once when the prober itself is starved. Only an error with the context
+// still live (refused dial, reset, protocol fault) marks the backend down.
 func (b *backendRec) ping(ctx context.Context) error {
-	c, err := b.pool.get()
+	c, err := b.pool.get(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
 		return err
 	}
 	err = c.Ping(ctx)
 	b.pool.put(c)
+	if err != nil && ctx.Err() != nil {
+		return nil
+	}
 	return err
 }
 
 // Stats renders the frontier's counters for /statsz and expvar.
 type Stats struct {
-	Backends  []BackendStats `json:"backends"`
-	Retries   int64          `json:"retries"`
-	Dedups    int64          `json:"singleflight_dedups"`
-	RoutedOK  int64          `json:"routed_ok"`
-	RoutedErr int64          `json:"routed_err"`
+	Backends      []BackendStats `json:"backends"`
+	Replicas      int            `json:"replicas"`
+	Retries       int64          `json:"retries"`
+	Dedups        int64          `json:"singleflight_dedups"`
+	RoutedOK      int64          `json:"routed_ok"`
+	RoutedErr     int64          `json:"routed_err"`
+	Hedges        int64          `json:"hedges"`
+	HedgeWins     int64          `json:"hedge_wins"`
+	HedgeDelayMS  float64        `json:"hedge_delay_ms"`
+	SharedRetries int64          `json:"shared_error_retries"`
+	ReplPushed    int64          `json:"repl_pushed"`
+	ReplErrors    int64          `json:"repl_errors"`
+	ReplDropped   int64          `json:"repl_dropped"`
+	ReadRepairs   int64          `json:"read_repairs"`
 }
 
 type BackendStats struct {
+	Name     string `json:"name"`
 	Addr     string `json:"addr"`
 	Healthy  bool   `json:"healthy"`
 	Requests int64  `json:"requests"`
 	Errors   int64  `json:"errors"`
+	Dials    int64  `json:"dials"`
 }
 
 func (f *Frontier) Stats() Stats {
 	s := Stats{
-		Retries:   f.retries.Load(),
-		Dedups:    f.dedups.Load(),
-		RoutedOK:  f.routedOK.Load(),
-		RoutedErr: f.routedErr.Load(),
+		Replicas:      f.cfg.Replicas,
+		Retries:       f.retries.Load(),
+		Dedups:        f.dedups.Load(),
+		RoutedOK:      f.routedOK.Load(),
+		RoutedErr:     f.routedErr.Load(),
+		Hedges:        f.hedges.Load(),
+		HedgeWins:     f.hedgeWins.Load(),
+		HedgeDelayMS:  float64(f.hedgeDelay()) / float64(time.Millisecond),
+		SharedRetries: f.sharedRetries.Load(),
+		ReplPushed:    f.replPushed.Load(),
+		ReplErrors:    f.replErrors.Load(),
+		ReplDropped:   f.replDropped.Load(),
+		ReadRepairs:   f.readRepairs.Load(),
 	}
-	for _, b := range f.backends {
+	for _, b := range f.table().backends {
 		s.Backends = append(s.Backends, BackendStats{
+			Name:     b.name,
 			Addr:     b.addr,
 			Healthy:  b.healthy.Load(),
 			Requests: b.reqs.Load(),
 			Errors:   b.errs.Load(),
+			Dials:    b.pool.dials.Load(),
 		})
 	}
 	return s
 }
 
+// latencyRing keeps the last latWindow successful request durations for
+// adaptive hedge-delay derivation. Hedging wants the p99 of *recent*
+// traffic — a fixed window of samples, not an all-time histogram, so the
+// delay tracks the workload as it shifts between cache-hit and compute
+// regimes.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latWindow]time.Duration
+	n   int // total observations (monotonic)
+}
+
+func (l *latencyRing) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latWindow] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// p99 returns the 99th percentile of the window, or 0 until
+// minHedgeSamples observations exist (hedging on noise is worse than not
+// hedging).
+func (l *latencyRing) p99() time.Duration {
+	l.mu.Lock()
+	if l.n < minHedgeSamples {
+		l.mu.Unlock()
+		return 0
+	}
+	n := l.n
+	if n > latWindow {
+		n = latWindow
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	return tmp[n*99/100]
+}
+
 // clientPool keeps a bounded stack of idle negotiated connections to one
-// backend. Broken clients are discarded on put; get dials when empty.
+// backend and bounds *total* outstanding connections (checked out + idle)
+// with a semaphore. The idle cap alone is not a connection bound: before
+// the semaphore, any burst past the free list dialed unconditionally, so a
+// 64-way burst opened 64 sockets per backend and the cap only governed how
+// many survived as idle afterwards.
 type clientPool struct {
-	addr        string
-	dialTimeout time.Duration
-	max         int
+	addr  string
+	dial  func(addr string) (*wire.Client, error)
+	max   int           // idle connections kept
+	sem   chan struct{} // capacity = total outstanding bound
+	dials atomic.Int64
 
-	mu   sync.Mutex
-	free []*wire.Client
+	mu     sync.Mutex
+	free   []*wire.Client
+	closed bool
 }
 
-func newClientPool(addr string, dialTimeout time.Duration, max int) *clientPool {
-	return &clientPool{addr: addr, dialTimeout: dialTimeout, max: max}
+func newClientPool(addr string, dial func(string) (*wire.Client, error), idleMax, totalMax int) *clientPool {
+	if totalMax < idleMax {
+		totalMax = idleMax
+	}
+	return &clientPool{addr: addr, dial: dial, max: idleMax, sem: make(chan struct{}, totalMax)}
 }
 
-func (p *clientPool) get() (*wire.Client, error) {
+// get returns a negotiated connection, blocking (up to ctx) while the
+// backend already has totalMax connections outstanding.
+func (p *clientPool) get(ctx context.Context) (*wire.Client, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, fmt.Errorf("frontier: pool for %s is closed", p.addr)
+	}
 	if n := len(p.free); n > 0 {
 		c := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -378,20 +895,26 @@ func (p *clientPool) get() (*wire.Client, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	return wire.Dial(p.addr, wire.ClientOptions{
-		Schema:      pipeline.ReportSchemaVersion,
-		DialTimeout: p.dialTimeout,
-	})
+	p.dials.Add(1)
+	c, err := p.dial(p.addr)
+	if err != nil {
+		<-p.sem
+		return nil, err
+	}
+	return c, nil
 }
 
+// put returns a connection to the pool (or discards it if broken, the
+// idle cap is reached, or the pool closed) and releases its semaphore slot.
 func (p *clientPool) put(c *wire.Client) {
+	defer func() { <-p.sem }()
 	if c.Broken() {
 		c.Close()
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.free) >= p.max {
+	if p.closed || len(p.free) >= p.max {
 		c.Close()
 		return
 	}
@@ -401,6 +924,7 @@ func (p *clientPool) put(c *wire.Client) {
 func (p *clientPool) closeAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.closed = true
 	for _, c := range p.free {
 		c.Close()
 	}
@@ -421,7 +945,9 @@ type flightCall struct {
 }
 
 // do runs fn once per key at a time; duplicate callers block and share the
-// result. shared reports whether this caller piggybacked.
+// result. shared reports whether this caller piggybacked — and a shared
+// *error* is the leader's, not necessarily the follower's: callers decide
+// whether to retry outside the group (Analyze does, once).
 func (g *flightGroup) do(key string, fn func() (wire.Result, error)) (res wire.Result, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {

@@ -121,6 +121,32 @@ func (e *Engine) AnalyzeReport(ctx context.Context, req Request) (*ReportResult,
 	return &ReportResult{Key: rkey, Raw: raw, Tier: TierCompute, Stages: res.Stages}, nil
 }
 
+// ImportReport accepts a finished Report pushed from elsewhere — the
+// frontier's replication and read-repair path — and installs it in both
+// cache tiers under its report key, bytes verbatim. Storing the pushed
+// bytes (rather than re-marshalling) preserves the byte-identical
+// cross-worker property the differential tests pin. The key is trusted:
+// it was derived by a worker running the same ReportKey code behind the
+// same schema-checked wire handshake.
+func (e *Engine) ImportReport(key string, raw []byte) error {
+	if key == "" || len(raw) == 0 {
+		return fmt.Errorf("pipeline: import needs a key and a payload")
+	}
+	if !json.Valid(raw) {
+		return fmt.Errorf("pipeline: imported report for %q is not valid JSON", key)
+	}
+	if e.cfg.Store != nil {
+		if err := e.cfg.Store.Put(key, raw); err != nil {
+			e.metrics.storePutErrors.Add(1)
+			return err
+		}
+	}
+	if e.reportLRU != nil {
+		e.reportLRU.put(key, raw)
+	}
+	return nil
+}
+
 // ArtifactStore exposes the engine's persistent artifact store (nil when
 // the engine is purely in-memory).
 func (e *Engine) ArtifactStore() *store.Store { return e.cfg.Store }

@@ -34,6 +34,17 @@
 // because the schema version is part of every logical key; purging merely
 // reclaims the space), then the marker is rewritten. The hook exists so a
 // future schema change can rewrite artifacts in place instead.
+//
+// The store bounds its own footprint. Open sweeps *.tmp files orphaned by a
+// crash between create and rename (older than a grace period, so a live
+// writer sharing the directory is never raced). With Options.MaxBytes set,
+// Put triggers GC once the artifact bytes on disk exceed the bound: the
+// bucket layout makes the scan cheap (two fixed directory levels, no
+// recursion surprises), eviction is oldest-access-first using each file's
+// mtime as the access clock (Get touches the file on a hit), and GC stops
+// at a low-water mark below the bound so evictions run in batches instead
+// of on every Put. Eviction can race Get — a file removed mid-read simply
+// reads as a miss — so GC never compromises correctness, only hit rate.
 package store
 
 import (
@@ -45,9 +56,12 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -55,6 +69,16 @@ const (
 	artSuffix   = ".art"
 	tmpPrefix   = "tmp-"
 	versionFile = "VERSION"
+
+	// staleTmpAge is how old a tmp file must be before the Open-time sweep
+	// treats it as a crash orphan rather than an in-progress write from a
+	// process sharing the directory.
+	staleTmpAge = time.Hour
+
+	// gcLowWater is the fraction of MaxBytes GC compacts down to, so
+	// evictions run in batches instead of thrashing on every Put at the
+	// boundary.
+	gcLowWater = 0.9
 )
 
 // Options configure Open. Schema is required (>= 1).
@@ -72,20 +96,28 @@ type Options struct {
 	// NoSync disables fsync on writes. Tests and benchmarks only; a real
 	// deployment wants the crash-safety fsync buys.
 	NoSync bool
+
+	// MaxBytes bounds the artifact bytes kept on disk; Put triggers an
+	// oldest-access-first GC pass once the bound is exceeded. <=0 means
+	// unbounded (no GC).
+	MaxBytes int64
 }
 
 // PurgeMigration is the default migration hook: it deletes every artifact
 // file. Old-schema entries are unreachable regardless (the schema version is
-// folded into each key); purging reclaims their disk space.
-func PurgeMigration(s *Store, from, to int) error { return s.Purge() }
+// folded into each key); purging reclaims their disk space. The from/to
+// versions are deliberately unused — a purge is version-oblivious — but the
+// signature matches Options.Migrate so it can be assigned directly.
+func PurgeMigration(s *Store, _, _ int) error { return s.Purge() }
 
 // Store is a handle on one artifact directory. It is safe for concurrent
 // use by multiple goroutines and — thanks to atomic rename — by multiple
 // processes sharing the directory.
 type Store struct {
-	root   string
-	schema int
-	noSync bool
+	root     string
+	schema   int
+	noSync   bool
+	maxBytes int64
 
 	hits         atomic.Int64
 	misses       atomic.Int64
@@ -93,6 +125,17 @@ type Store struct {
 	corrupt      atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+
+	// diskBytes approximates the artifact bytes on disk: seeded by the
+	// Open-time scan, adjusted on Put/removal, and resynced to ground truth
+	// by every GC walk (so drift from racing processes self-heals).
+	diskBytes    atomic.Int64
+	gcRuns       atomic.Int64
+	evictedFiles atomic.Int64
+	evictedBytes atomic.Int64
+	tmpSwept     atomic.Int64
+
+	gcMu sync.Mutex // at most one GC walk at a time; Put skips, not blocks
 }
 
 // Open opens (creating if necessary) the store rooted at dir and runs the
@@ -104,7 +147,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{root: dir, schema: opts.Schema, noSync: opts.NoSync}
+	s := &Store{root: dir, schema: opts.Schema, noSync: opts.NoSync, maxBytes: opts.MaxBytes}
+	s.sweepAndMeasure()
 	onDisk, err := s.readVersion()
 	if err != nil {
 		return nil, err
@@ -149,6 +193,34 @@ func (s *Store) writeVersion(v int) error {
 	return s.writeAtomic(filepath.Join(s.root, versionFile), []byte(strconv.Itoa(v)+"\n"))
 }
 
+// sweepAndMeasure is the Open-time housekeeping walk: it removes *.tmp
+// files orphaned by a crash between create and rename (older than
+// staleTmpAge, so an in-progress writer in another process is never raced)
+// and seeds the artifact-byte count GC works against.
+func (s *Store) sweepAndMeasure() {
+	var artBytes int64
+	cutoff := time.Now().Add(-staleTmpAge)
+	filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(path, artSuffix):
+			if info, err := d.Info(); err == nil {
+				artBytes += info.Size()
+			}
+		case strings.HasPrefix(d.Name(), tmpPrefix):
+			if info, err := d.Info(); err == nil && info.ModTime().Before(cutoff) {
+				if os.Remove(path) == nil {
+					s.tmpSwept.Add(1)
+				}
+			}
+		}
+		return nil
+	})
+	s.diskBytes.Store(artBytes)
+}
+
 // path maps a logical key to its artifact file: two levels of 256-way
 // buckets keyed by the sha256 of the key, so directories stay small however
 // many artifacts accumulate.
@@ -189,6 +261,9 @@ func (s *Store) Put(key string, payload []byte) error {
 	}
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(buf)))
+	if n := s.diskBytes.Add(int64(len(buf))); s.maxBytes > 0 && n > s.maxBytes {
+		s.gc()
+	}
 	return nil
 }
 
@@ -206,11 +281,20 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 	if err != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
-		os.Remove(path) // drop the bad artifact so the slot heals on rewrite
+		if os.Remove(path) == nil { // drop the bad artifact so the slot heals on rewrite
+			s.diskBytes.Add(-int64(len(b)))
+		}
 		return nil, false
 	}
 	s.hits.Add(1)
 	s.bytesRead.Add(int64(len(b)))
+	if s.maxBytes > 0 {
+		// mtime doubles as the access clock GC evicts by; refresh it so hot
+		// artifacts survive compaction. Best-effort: a file GC removed
+		// between the read and the touch was already served from b.
+		now := time.Now()
+		os.Chtimes(path, now, now)
+	}
 	return payload, true
 }
 
@@ -290,6 +374,60 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 	return nil
 }
 
+// gc is the size-bounded compaction pass: one walk over the bucket tree
+// collecting (path, size, mtime) per artifact, a resync of the byte count
+// (healing any drift from racing processes), then oldest-mtime-first
+// removal down to the low-water mark. At most one pass runs at a time;
+// a Put that trips the bound while another pass is walking just returns.
+func (s *Store) gc() {
+	if !s.gcMu.TryLock() {
+		return
+	}
+	defer s.gcMu.Unlock()
+	s.gcRuns.Add(1)
+
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, artSuffix) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	s.diskBytes.Store(total)
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].mtime.Before(entries[b].mtime) })
+	target := int64(float64(s.maxBytes) * gcLowWater)
+	for _, e := range entries {
+		if total <= target {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			continue // raced a corruption-removal or another GC; walk resyncs next time
+		}
+		total -= e.size
+		s.diskBytes.Add(-e.size)
+		s.evictedFiles.Add(1)
+		s.evictedBytes.Add(e.size)
+	}
+}
+
+// DiskBytes reports the store's (approximate) artifact bytes on disk.
+func (s *Store) DiskBytes() int64 { return s.diskBytes.Load() }
+
 // Purge deletes every artifact file (but not the VERSION marker). Temp
 // files from in-progress writers are left alone.
 func (s *Store) Purge() error {
@@ -297,7 +435,14 @@ func (s *Store) Purge() error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(path, artSuffix) {
 			return err
 		}
-		return os.Remove(path)
+		info, ierr := d.Info()
+		if rerr := os.Remove(path); rerr != nil {
+			return rerr
+		}
+		if ierr == nil {
+			s.diskBytes.Add(-info.Size())
+		}
+		return nil
 	})
 }
 
@@ -323,6 +468,12 @@ type Stats struct {
 	Corrupt      int64 `json:"corrupt"`
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
+	DiskBytes    int64 `json:"disk_bytes"`
+	MaxBytes     int64 `json:"max_bytes,omitempty"`
+	GCRuns       int64 `json:"gc_runs"`
+	EvictedFiles int64 `json:"evicted_files"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	TmpSwept     int64 `json:"tmp_swept"`
 	Schema       int   `json:"schema"`
 }
 
@@ -335,6 +486,12 @@ func (s *Store) Stats() Stats {
 		Corrupt:      s.corrupt.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
+		DiskBytes:    s.diskBytes.Load(),
+		MaxBytes:     s.maxBytes,
+		GCRuns:       s.gcRuns.Load(),
+		EvictedFiles: s.evictedFiles.Load(),
+		EvictedBytes: s.evictedBytes.Load(),
+		TmpSwept:     s.tmpSwept.Load(),
 		Schema:       s.schema,
 	}
 }

@@ -125,6 +125,12 @@ func (c *Client) fail(err error) error {
 // The read deadline is the soonest of ctx's deadline and the batch's largest
 // item timeout plus FrameSlack, pushed forward on every received frame —
 // a batch making progress is not reaped, a hung server is.
+//
+// Cancelling ctx interrupts a blocked read immediately (not at the next
+// deadline): a hedged request whose other replica won can release this
+// connection right away. The interrupted connection is marked broken and
+// will be discarded, never reused mid-batch — that is what makes
+// cancellation hedge-safe.
 func (c *Client) AnalyzeBatch(ctx context.Context, items []Item, onResult func(Result)) error {
 	if c.broken {
 		return fmt.Errorf("wire: client is broken")
@@ -141,6 +147,7 @@ func (c *Client) AnalyzeBatch(ctx context.Context, items []Item, onResult func(R
 		maxTimeout = 30 * time.Second
 	}
 	frameBudget := maxTimeout + c.opts.FrameSlack
+	defer c.watchCancel(ctx)()
 
 	c.conn.SetWriteDeadline(deadlineFrom(ctx, frameBudget))
 	if err := c.send(frameBatch, Batch{ID: id, Items: items}); err != nil {
@@ -148,10 +155,13 @@ func (c *Client) AnalyzeBatch(ctx context.Context, items []Item, onResult func(R
 	}
 	seen := 0
 	for {
+		// Order matters: set the deadline first, check ctx after. The
+		// cancellation watcher may stomp the deadline concurrently, but then
+		// ctx.Err() is already non-nil and this check returns before the read.
+		c.conn.SetReadDeadline(deadlineFrom(ctx, frameBudget))
 		if err := ctx.Err(); err != nil {
 			return c.fail(err)
 		}
-		c.conn.SetReadDeadline(deadlineFrom(ctx, frameBudget))
 		kind, payload, err := readFrame(c.br)
 		if err != nil {
 			return c.fail(fmt.Errorf("wire: read batch result: %w", err))
@@ -188,6 +198,72 @@ func (c *Client) AnalyzeBatch(ctx context.Context, items []Item, onResult func(R
 				return c.fail(werr)
 			}
 			return c.fail(fmt.Errorf("wire: unexpected frame kind %d during batch", kind))
+		}
+	}
+}
+
+// watchCancel arms a goroutine that yanks the connection's read deadline to
+// "now" the moment ctx is cancelled, unblocking a read in progress. The
+// returned func disarms it; call via defer.
+func (c *Client) watchCancel(ctx context.Context) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.SetReadDeadline(time.Now())
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// StorePut (proto >= 2) pushes one finished artifact into the backend's
+// store, for the frontier's replication and read-repair paths. A storage
+// failure on the backend comes back as an error but leaves the connection
+// healthy; transport failures mark it broken as usual.
+func (c *Client) StorePut(ctx context.Context, key string, payload []byte) error {
+	if c.broken {
+		return fmt.Errorf("wire: client is broken")
+	}
+	if c.ack.Proto < 2 {
+		return &WireError{Code: "version", Message: fmt.Sprintf("backend speaks proto %d; store push needs >= 2", c.ack.Proto)}
+	}
+	defer c.watchCancel(ctx)()
+	c.conn.SetWriteDeadline(deadlineFrom(ctx, 10*time.Second))
+	if err := c.send(frameStorePut, StorePut{Key: key, Payload: payload}); err != nil {
+		return c.fail(fmt.Errorf("wire: send store-put: %w", err))
+	}
+	for {
+		c.conn.SetReadDeadline(deadlineFrom(ctx, 10*time.Second))
+		if err := ctx.Err(); err != nil {
+			return c.fail(err)
+		}
+		kind, payload, err := readFrame(c.br)
+		if err != nil {
+			return c.fail(fmt.Errorf("wire: read store-ack: %w", err))
+		}
+		switch kind {
+		case frameStoreAck:
+			ack, err := decodeAs[StoreAck](payload)
+			if err != nil {
+				return c.fail(fmt.Errorf("wire: malformed store-ack: %w", err))
+			}
+			c.conn.SetReadDeadline(time.Time{})
+			c.conn.SetWriteDeadline(time.Time{})
+			if !ack.OK {
+				return fmt.Errorf("wire: backend store refused %q: %s", key, ack.Error)
+			}
+			return nil
+		case framePong:
+			// A stray pong (health check raced the push) is harmless.
+		default:
+			if werr := errWire(kind, payload); werr != nil {
+				return c.fail(werr)
+			}
+			return c.fail(fmt.Errorf("wire: unexpected frame kind %d during store-put", kind))
 		}
 	}
 }

@@ -28,6 +28,10 @@ type ServerOptions struct {
 	IdleTimeout time.Duration
 	// HandshakeTimeout bounds the hello exchange. Zero means 5s.
 	HandshakeTimeout time.Duration
+	// StorePut accepts a replicated artifact pushed by the frontier
+	// (proto >= 2). nil means pushes are acked with OK=false — the backend
+	// has no store, which costs replication coverage, never correctness.
+	StorePut func(key string, payload []byte) error
 }
 
 func (o *ServerOptions) defaults() {
@@ -238,6 +242,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			err = s.runBatch(conn, batch, send)
 			s.inflight.Done()
 			if err != nil {
+				return
+			}
+		case frameStorePut:
+			if proto < 2 {
+				send(frameError, &WireError{Code: "proto", Message: "store-put needs protocol >= 2"})
+				return
+			}
+			put, err := decodeAs[StorePut](payload)
+			if err != nil {
+				send(frameError, &WireError{Code: "proto", Message: "malformed store-put"})
+				return
+			}
+			ack := StoreAck{OK: true}
+			if s.opts.StorePut == nil {
+				ack = StoreAck{OK: false, Error: "backend has no artifact store"}
+			} else if err := s.opts.StorePut(put.Key, put.Payload); err != nil {
+				// Storage trouble fails the push, not the connection: the
+				// artifact still exists wherever it was computed.
+				ack = StoreAck{OK: false, Error: err.Error()}
+			}
+			if err := send(frameStoreAck, ack); err != nil {
 				return
 			}
 		default:

@@ -46,8 +46,11 @@ import (
 )
 
 // ProtoVersion is the newest protocol version this build speaks. Version 1:
-// frames as documented above.
-const ProtoVersion = 1
+// frames as documented above. Version 2 adds StorePut/StoreAck frames — a
+// frontier pushing a finished artifact into a replica's store (replication
+// and read repair). The handshake negotiates down: a v2 frontier talking to
+// a v1 backend simply skips replication pushes on that connection.
+const ProtoVersion = 2
 
 // MaxFrame bounds a frame payload (64 MiB — a Report for a very large
 // program is well under 1 MiB; the headroom is for batches).
@@ -63,6 +66,8 @@ const (
 	framePing      = byte(6)
 	framePong      = byte(7)
 	frameError     = byte(8)
+	frameStorePut  = byte(9)  // proto >= 2
+	frameStoreAck  = byte(10) // proto >= 2
 )
 
 // Hello is the client's opening message.
@@ -131,6 +136,25 @@ type Meta struct {
 type BatchDone struct {
 	ID      uint64 `json:"id"`
 	Results int    `json:"results"`
+}
+
+// StorePut (proto >= 2) pushes one finished artifact into the backend's
+// store: the frontier's replication and read-repair primitive. Payload is
+// the canonical Report JSON exactly as some backend produced it — the
+// receiver stores the bytes verbatim, preserving the byte-identical
+// end-to-end property. The schema was fenced at handshake time, so both
+// sides already agree on what the bytes mean.
+type StorePut struct {
+	Key     string `json:"key"`
+	Payload []byte `json:"payload"` // base64 inside the JSON frame
+}
+
+// StoreAck answers a StorePut. OK=false carries the storage error; the
+// connection stays healthy either way (a full replica disk must not sever
+// the analysis path).
+type StoreAck struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
 }
 
 // WireError is the Error frame payload and the error type handshake and

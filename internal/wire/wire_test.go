@@ -275,6 +275,121 @@ func TestClientDeadlineReapsDeadServer(t *testing.T) {
 	}
 }
 
+// TestStorePutRoundtrip: a proto-2 store push lands in the server's
+// StorePut hook, a rejected push surfaces the error without breaking the
+// connection, and a server without a store acks OK=false.
+func TestStorePutRoundtrip(t *testing.T) {
+	var mu sync.Mutex
+	stored := map[string][]byte{}
+	addr, _ := startServer(t, echoHandler(0), ServerOptions{
+		StorePut: func(key string, payload []byte) error {
+			if key == "reject-me" {
+				return errors.New("disk full")
+			}
+			mu.Lock()
+			stored[key] = payload
+			mu.Unlock()
+			return nil
+		},
+	})
+	c, err := Dial(addr, ClientOptions{Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.StorePut(context.Background(), "k1", []byte(`{"report":1}`)); err != nil {
+		t.Fatalf("StorePut: %v", err)
+	}
+	mu.Lock()
+	got := string(stored["k1"])
+	mu.Unlock()
+	if got != `{"report":1}` {
+		t.Fatalf("stored payload = %q", got)
+	}
+
+	// A refused push errors but leaves the connection usable…
+	if err := c.StorePut(context.Background(), "reject-me", []byte("x")); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("rejected push err = %v", err)
+	}
+	if c.Broken() {
+		t.Fatal("storage refusal broke the connection")
+	}
+	// …for both more pushes and analysis batches.
+	if err := c.StorePut(context.Background(), "k2", []byte("y")); err != nil {
+		t.Fatalf("push after refusal: %v", err)
+	}
+	if err := c.AnalyzeBatch(context.Background(), []Item{{Program: "p"}}, nil); err != nil {
+		t.Fatalf("batch after refusal: %v", err)
+	}
+
+	// A storeless server acks OK=false.
+	addr2, _ := startServer(t, echoHandler(0), ServerOptions{})
+	c2, err := Dial(addr2, ClientOptions{Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.StorePut(context.Background(), "k", []byte("z")); err == nil || !strings.Contains(err.Error(), "no artifact store") {
+		t.Fatalf("storeless push err = %v", err)
+	}
+}
+
+// TestStorePutNeedsProtoV2: a client that negotiated protocol 1 refuses to
+// send store pushes locally (no wasted round-trip, no protocol violation).
+func TestStorePutNeedsProtoV2(t *testing.T) {
+	addr, _ := startServer(t, echoHandler(0), ServerOptions{StorePut: func(string, []byte) error { return nil }})
+	c, err := Dial(addr, ClientOptions{Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ack.Proto = 1 // simulate a v1 backend on the negotiated connection
+	var werr *WireError
+	if err := c.StorePut(context.Background(), "k", []byte("v")); !errors.As(err, &werr) || werr.Code != "version" {
+		t.Fatalf("proto-1 StorePut err = %v, want version WireError", err)
+	}
+	if c.Broken() {
+		t.Fatal("local refusal must not break the connection")
+	}
+}
+
+// TestCancelInterruptsBlockedRead is the hedge-safe-cancellation property:
+// cancelling the context of an in-flight batch unblocks the read
+// immediately (well before the frame deadline) and marks the client broken
+// so the poisoned connection is never reused.
+func TestCancelInterruptsBlockedRead(t *testing.T) {
+	addr, _ := startServer(t, echoHandler(2*time.Second), ServerOptions{})
+	c, err := Dial(addr, ClientOptions{Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	batchErr := make(chan error, 1)
+	go func() {
+		batchErr <- c.AnalyzeBatch(ctx, []Item{{Program: "slow", TimeoutMS: 30_000}}, nil)
+	}()
+	time.Sleep(50 * time.Millisecond) // batch is blocked on the 2s handler
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-batchErr:
+		if err == nil {
+			t.Fatal("cancelled batch returned nil error")
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("cancellation took %v to unblock the read", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation never unblocked the batch read")
+	}
+	if !c.Broken() {
+		t.Fatal("cancelled mid-batch client must be marked broken")
+	}
+}
+
 // TestOversizeFrameRejected: a frame header promising more than MaxFrame is
 // rejected before any allocation.
 func TestOversizeFrameRejected(t *testing.T) {
